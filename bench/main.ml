@@ -1,0 +1,185 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Regeneration of every table and figure of the paper (the experiment
+      index in DESIGN.md) through Harness.Experiment — this prints the same
+      rows/series the paper reports and is the reproduction artefact.
+   2. Bechamel micro-benchmarks of the building blocks (ordering round,
+      certification, locking, logging, simulation kernel), so performance
+      regressions in the substrate are visible independently of the
+      simulation results.
+
+   `BENCH_FAST=1 dune exec bench/main.exe` shrinks the Figure 9 sweep. *)
+
+open Bechamel
+open Toolkit
+
+(* ---- Micro-benchmark fixtures ---- *)
+
+let bench_event_queue =
+  let q = Sim.Event_queue.create () in
+  let i = ref 0 in
+  Test.make ~name:"sim/event_queue add+pop"
+    (Staged.stage (fun () ->
+         incr i;
+         Sim.Event_queue.add q ~time:(Sim.Sim_time.of_us (!i land 0xffff)) !i;
+         ignore (Sim.Event_queue.pop q)))
+
+let bench_rng =
+  let r = Sim.Rng.create 7L in
+  Test.make ~name:"sim/rng int64" (Staged.stage (fun () -> ignore (Sim.Rng.int64 r)))
+
+let bench_certifier =
+  let c = Db.Certifier.create () in
+  let i = ref 0 in
+  Test.make ~name:"db/certify writeset"
+    (Staged.stage (fun () ->
+         incr i;
+         let ws =
+           {
+             Db.Transaction.tx_id = !i;
+             ws_client = 0;
+             read_items = [ !i land 1023; (!i + 7) land 1023 ];
+             write_values = [ ((!i + 13) land 1023, !i) ];
+           }
+         in
+         ignore (Db.Certifier.certify c ~start:(Db.Certifier.current_version c) ~ws)))
+
+let bench_lock_table =
+  let lt = Db.Lock_table.create () in
+  let i = ref 0 in
+  Test.make ~name:"db/lock acquire+release"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore
+           (Db.Lock_table.acquire lt ~tx:!i ~item:(!i land 255) ~mode:Db.Lock_table.Exclusive
+              ~granted:(fun () -> ()));
+         Db.Lock_table.release_all lt ~tx:!i))
+
+(* One full atomic-broadcast round (send -> decided on all members) in a
+   live 3-node simulated cluster. State persists across runs; each run
+   appends one more entry to the replicated log. *)
+let bench_abcast_round =
+  let module V = struct
+    type t = int
+
+    let equal = Int.equal
+    let pp = Format.pp_print_int
+  end in
+  let module Ab =
+    Gcs.Atomic_broadcast.Make
+      (V)
+      (struct
+        type t = unit
+      end)
+  in
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine Net.Network.lan_config in
+  let delivered = ref 0 in
+  let nodes =
+    List.init 3 (fun i ->
+        let id = Net.Node_id.make ~index:i ~label:(Printf.sprintf "B%d" i) in
+        let process = Sim.Process.create engine ~name:(Net.Node_id.label id) in
+        Net.Endpoint.attach network ~id ~process ())
+  in
+  let group = List.map Net.Endpoint.id nodes in
+  let members =
+    List.map
+      (fun ep ->
+        Ab.create ep ~group
+          ~deliver:(fun _ -> incr delivered)
+          ~get_snapshot:(fun () -> ())
+          ~install_snapshot:(fun () -> ())
+          ~cold_start:(fun () -> ())
+          ())
+      nodes
+  in
+  let first = List.hd members in
+  let value = ref 0 in
+  Sim.Engine.run ~until:(Sim.Sim_time.of_us 100_000) engine;
+  Test.make ~name:"gcs/abcast round (3 nodes, sim)"
+    (Staged.stage (fun () ->
+         incr value;
+         let target = !delivered + 3 in
+         Ab.broadcast first !value;
+         while !delivered < target do
+           if not (Sim.Engine.step engine) then failwith "bench_abcast_round: queue empty"
+         done))
+
+(* One complete transaction (submit -> client response) on a small
+   group-safe system. *)
+let bench_transaction =
+  let params =
+    {
+      Workload.Params.table4 with
+      Workload.Params.servers = 3;
+      items = 1000;
+      hot_fraction = 0.;
+      hot_items = 0;
+    }
+  in
+  let sys =
+    Groupsafe.System.create ~params ~trace_enabled:false
+      (Groupsafe.System.Dsm Groupsafe.Dsm_replica.Group_safe_mode)
+  in
+  let engine = Groupsafe.System.engine sys in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let generator = Workload.Generator.create params rng in
+  Groupsafe.System.run_for sys (Sim.Sim_time.span_ms 100.);
+  Test.make ~name:"groupsafe/transaction end-to-end (sim)"
+    (Staged.stage (fun () ->
+         let responded = ref false in
+         Groupsafe.System.submit sys
+           ~delegate:(Sim.Rng.int rng 3)
+           ~on_response:(fun _ -> responded := true)
+           (Workload.Generator.next generator ~client:0);
+         while not !responded do
+           if not (Sim.Engine.step engine) then failwith "bench_transaction: queue empty"
+         done))
+
+let micro_tests =
+  Test.make_grouped ~name:"micro"
+    [
+      bench_event_queue;
+      bench_rng;
+      bench_certifier;
+      bench_lock_table;
+      bench_abcast_round;
+      bench_transaction;
+    ]
+
+let run_micro () =
+  Harness.Report.section "Micro-benchmarks (Bechamel, ns per run)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let results = Analyze.all ols (List.hd instances) raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%.1f" e
+        | Some [] | None -> "-"
+      in
+      rows := [ name; estimate ] :: !rows)
+    results;
+  Harness.Report.table ~header:[ "benchmark"; "ns/run" ]
+    (List.sort compare !rows)
+
+let () =
+  let fast = Sys.getenv_opt "BENCH_FAST" <> None in
+  Printf.printf
+    "Group-Safety reproduction benchmark (Wiesmann & Schiper, EDBT 2004)\n";
+  Printf.printf "regenerating every table and figure%s...\n"
+    (if fast then " (fast mode)" else "");
+  let t0 = Unix.gettimeofday () in
+  Harness.Experiment.all ~fast ();
+  Printf.printf "\n[experiments regenerated in %.1f s wall clock]\n"
+    (Unix.gettimeofday () -. t0);
+  run_micro ()

@@ -1,0 +1,81 @@
+(* Command-line driver: regenerate any table or figure of the paper, or run
+   the whole evaluation. *)
+
+open Cmdliner
+
+let seed =
+  let doc = "Random seed (runs are deterministic per seed)." in
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let measure =
+  let doc = "Measured simulated seconds per load point." in
+  Arg.(value & opt float 60. & info [ "measure" ] ~docv:"SECONDS" ~doc)
+
+let loads =
+  let doc = "Offered loads (tps) for the Figure 9 sweep." in
+  Arg.(value & opt (list float) Harness.Experiment.default_loads & info [ "loads" ] ~docv:"TPS,..." ~doc)
+
+let csv =
+  let doc = "Where to write the Figure 9 CSV." in
+  Arg.(value & opt string "fig9.csv" & info [ "csv" ] ~docv:"PATH" ~doc)
+
+let replications =
+  let doc = "Independent runs per Figure 9 point (reports 95% confidence)." in
+  Arg.(value & opt int 1 & info [ "replications" ] ~docv:"N" ~doc)
+
+let fast =
+  let doc = "Shrink the sweeps for a quick smoke run." in
+  Arg.(value & flag & info [ "fast" ] ~doc)
+
+let simple name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ seed)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "table1" ~doc:"Safety lattice (Table 1).")
+      Term.(const (fun _ -> Harness.Experiment.table1 ()) $ seed);
+    simple "table2" "Tolerated crashes per level, empirically (Table 2)."
+      (fun seed -> Harness.Experiment.table2 ~seed ());
+    simple "table3" "Group-safe vs group-1-safe loss conditions (Table 3)."
+      (fun seed -> Harness.Experiment.table3 ~seed ());
+    Cmd.v (Cmd.info "table4" ~doc:"Simulator parameters (Table 4).")
+      Term.(const (fun _ -> Harness.Experiment.table4 ()) $ seed);
+    simple "fig5" "Classical atomic broadcast loses an acknowledged transaction (Fig. 5)."
+      (fun seed -> Harness.Experiment.fig5 ~seed ());
+    simple "fig7" "End-to-end atomic broadcast replays it (Fig. 7)."
+      (fun seed -> Harness.Experiment.fig7 ~seed ());
+    Cmd.v
+      (Cmd.info "fig9" ~doc:"Response time vs offered load (Figure 9).")
+      Term.(
+        const (fun seed loads measure_s replications csv_path ->
+            Harness.Experiment.fig9 ~seed ~loads ~measure_s ~replications ~csv_path ())
+        $ seed $ loads $ measure $ replications $ csv);
+    simple "closedloop" "Figure 9 under the closed-loop Table 4 client model."
+      (fun seed -> Harness.Experiment.closed_loop ~seed ());
+    simple "latency" "Disk-write vs atomic-broadcast latency (Section 6)."
+      (fun seed -> Harness.Experiment.latency ~seed ());
+    Cmd.v (Cmd.info "section7" ~doc:"Scaling analysis: lazy risk vs group risk (Section 7).")
+      Term.(const (fun _ -> Harness.Experiment.section7 ()) $ seed);
+    simple "scaleout" "Response time vs number of servers."
+      (fun seed -> Harness.Experiment.scaleout ~seed ());
+    simple "recovery" "Catch-up time after an outage: state transfer vs log replay."
+      (fun seed -> Harness.Experiment.recovery ~seed ());
+    simple "eager" "Eager 2PC baseline vs group communication (introduction)."
+      (fun seed -> Harness.Experiment.eager_comparison ~seed ());
+    simple "ablations" "Design ablations (group commit, apply coalescing, uniformity)."
+      (fun seed ->
+        Harness.Experiment.ablation_group_commit ~seed ();
+        Harness.Experiment.ablation_apply_factor ~seed ();
+        Harness.Experiment.ablation_buffer ~seed ();
+        Harness.Experiment.ablation_loss ~seed ();
+        Harness.Experiment.ablation_uniformity ~seed ());
+    Cmd.v (Cmd.info "all" ~doc:"Everything, in paper order.")
+      Term.(const (fun seed fast -> Harness.Experiment.all ~seed ~fast ()) $ seed $ fast);
+  ]
+
+let () =
+  let info =
+    Cmd.info "groupsafe-cli" ~version:"1.0.0"
+      ~doc:"Reproduction of Wiesmann & Schiper, Group-Safety (EDBT 2004)"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,40 @@
+(** Networked clients.
+
+    A client is a network node of its own: it sends the transaction to a
+    delegate server over the simulated LAN, waits for the reply, and on
+    timeout {b retries the same transaction (same id) at the next server}.
+    Because the servers implement testable transactions (paper §2.2), a
+    retry of a transaction that already committed is answered from the
+    recorded outcome instead of executing again — the client observes
+    exactly-once semantics even when its delegate crashes mid-flight. *)
+
+type t
+
+val create :
+  System.t ->
+  index:int ->
+  ?retry_timeout:Sim.Sim_time.span ->
+  ?max_attempts:int ->
+  unit ->
+  t
+(** [create sys ~index ()] attaches client [index] ("C<index>") to the
+    system's network. [retry_timeout] defaults to 500 ms, [max_attempts]
+    to 10. *)
+
+val submit :
+  t -> ?delegate:int -> Db.Transaction.t -> on_outcome:(Db.Testable_tx.outcome -> unit) -> unit
+(** [submit c tx ~on_outcome] sends [tx] to [delegate] (default: round
+    robin) and calls [on_outcome] exactly once, when a reply arrives —
+    possibly after retries at other servers. After [max_attempts] silent
+    attempts the client gives up and [on_outcome] never fires. *)
+
+val completed : t -> int
+(** Transactions for which an outcome arrived. *)
+
+val retries : t -> int
+(** Resubmissions performed so far (0 when every first attempt answers). *)
+
+val in_flight : t -> int
+
+val node_id : t -> Net.Node_id.t
+(** The client's own network identity (for fault injection in tests). *)

@@ -1,0 +1,8 @@
+(* The client/server wire protocol: clients are ordinary network nodes and
+   servers answer their requests; a reply lost to a crash is the client's
+   problem (timeout and retry — testable transactions make retries
+   harmless). Shared between {!System} (server side) and {!Client}. *)
+
+type Net.Message.payload +=
+  | Client_request of { tx : Db.Transaction.t }
+  | Client_reply of { tx_id : Db.Transaction.id; outcome : Db.Testable_tx.outcome }

@@ -1,0 +1,39 @@
+let after sys span f = ignore (Sim.Engine.schedule (System.engine sys) ~delay:span f)
+
+let crash_at sys ~after:span i = after sys span (fun () -> System.crash sys i)
+let recover_at sys ~after:span i = after sys span (fun () -> System.recover sys i)
+
+let crash_all_at sys ~after:span =
+  after sys span (fun () ->
+      for i = 0 to System.n_servers sys - 1 do
+        System.crash sys i
+      done)
+
+let recover_all_at sys ~after:span =
+  after sys span (fun () ->
+      for i = 0 to System.n_servers sys - 1 do
+        System.recover sys i
+      done)
+
+let crash_storm sys ~rng ~duration ~max_down ~mean_up ~mean_down =
+  let deadline = Sim.Sim_time.add (System.now sys) duration in
+  let down = ref 0 in
+  let rec schedule_crash i =
+    let delay = Sim.Rng.exponential_span rng ~mean:mean_up in
+    after sys delay (fun () ->
+        if Sim.Sim_time.(System.now sys < deadline) then begin
+          if !down < max_down && System.alive sys i then begin
+            incr down;
+            System.crash sys i;
+            let outage = Sim.Rng.exponential_span rng ~mean:mean_down in
+            after sys outage (fun () ->
+                decr down;
+                System.recover sys i;
+                schedule_crash i)
+          end
+          else schedule_crash i
+        end)
+  in
+  for i = 0 to System.n_servers sys - 1 do
+    schedule_crash i
+  done

@@ -1,0 +1,30 @@
+(** Fault injection schedules.
+
+    Thin helpers for scripting crash/recovery patterns against a
+    {!System.t} — delays are relative to "now" at scheduling time — plus a
+    random crash storm for robustness testing. The named experiment
+    schedules (Fig. 5, Tables 2/3) live in the harness, built from these. *)
+
+val after : System.t -> Sim.Sim_time.span -> (unit -> unit) -> unit
+(** Run a thunk at [now + span]. *)
+
+val crash_at : System.t -> after:Sim.Sim_time.span -> int -> unit
+val recover_at : System.t -> after:Sim.Sim_time.span -> int -> unit
+
+val crash_all_at : System.t -> after:Sim.Sim_time.span -> unit
+(** Crash every server at the given instant — the group failure. *)
+
+val recover_all_at : System.t -> after:Sim.Sim_time.span -> unit
+
+val crash_storm :
+  System.t ->
+  rng:Sim.Rng.t ->
+  duration:Sim.Sim_time.span ->
+  max_down:int ->
+  mean_up:Sim.Sim_time.span ->
+  mean_down:Sim.Sim_time.span ->
+  unit
+(** Randomly crash and recover servers for [duration]: each server stays up
+    an exponential [mean_up] then, if fewer than [max_down] servers are
+    currently down, crashes for an exponential [mean_down]. With
+    [max_down < quorum] the group never fails. *)

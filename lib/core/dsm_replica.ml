@@ -1,0 +1,455 @@
+type mode = Group_safe_mode | Group_one_safe_mode | Two_safe_mode | Very_safe_mode
+
+let mode_level = function
+  | Group_safe_mode -> Safety.Group_safe
+  | Group_one_safe_mode -> Safety.Group_one_safe
+  | Two_safe_mode -> Safety.Two_safe
+  | Very_safe_mode -> Safety.Very_safe
+
+(* Classical atomic broadcast serves the group-safe pair; the durable
+   end-to-end broadcast serves the 2-safe pair. Runtime switching (paper
+   §5.2) is possible within a family: the broadcast stack is shared. *)
+let broadcast_family = function
+  | Group_safe_mode | Group_one_safe_mode -> `Classical
+  | Two_safe_mode | Very_safe_mode -> `End_to_end
+
+(* What gets broadcast: the writeset, the delegate's certification snapshot
+   (meaningful on every server because all certifiers see the same decided
+   sequence) and the delegate's index for response routing. *)
+module Cert_ws = struct
+  type t = { ws : Db.Transaction.writeset; start : int; delegate : int }
+
+  let equal a b = Int.equal a.ws.Db.Transaction.tx_id b.ws.Db.Transaction.tx_id
+  let pp ppf v = Format.fprintf ppf "T%d@S%d" v.ws.Db.Transaction.tx_id v.delegate
+end
+
+(* State-transfer checkpoint: database values, the replica's committed view
+   and the certification state — everything a joiner needs to continue the
+   deterministic processing exactly where the donor stands. *)
+module Snapshot = struct
+  type t = {
+    values : int array;
+    view : (Db.Transaction.id * Db.Testable_tx.outcome) list;
+    cert_version : int;
+    cert_bindings : (int * int) list;
+    pending : cert_ws list;
+        (** writesets the donor had delivered but not yet processed — the
+            joiner must process them itself, or a transaction that was only
+            in a pipeline at snapshot time could vanish from the group. *)
+  }
+  and cert_ws = Cert_ws.t
+end
+
+module Abcast = Gcs.Atomic_broadcast.Make (Cert_ws) (Snapshot)
+module E2e = Gcs.E2e_broadcast.Make (Cert_ws)
+
+type Net.Message.payload += Logged of { tx : Db.Transaction.id; origin : int }
+
+type bcast = Classical of Abcast.t | End_to_end of E2e.t
+
+type pending = { cws : Cert_ws.t; token : E2e.token option }
+
+type waiting_2safe = { mutable acks : Net.Node_id.Set.t }
+
+type t = {
+  server : Server.t;
+  mutable mode : mode;
+  trace : Sim.Trace.t;
+  group : Net.Node_id.t list;
+  cert : Db.Certifier.t;
+  view : Db.Testable_tx.t;
+  pending_responses : (int, Db.Testable_tx.outcome -> unit) Hashtbl.t;
+  waiting_2safe : (int, waiting_2safe) Hashtbl.t;
+  mutable fd : Gcs.Failure_detector.t option;  (* 2-safe response rule only *)
+  pipe : pending Queue.t;
+  mutable pipe_busy : bool;
+  mutable current : pending option;  (* popped from [pipe], still processing *)
+  mutable ready : bool;
+  mutable bcast : bcast option;
+  apply_write_factor : float;
+  certify_cpu : Sim.Sim_time.span;
+  mutable cold_start_count : int;
+}
+
+let tr t kind attrs = Sim.Trace.record t.trace ~source:(Server.label t.server) ~kind attrs
+
+let outcome_of = function
+  | Db.Certifier.Commit -> Db.Testable_tx.Committed
+  | Db.Certifier.Abort -> Db.Testable_tx.Aborted
+
+let outcome_string = function
+  | Db.Testable_tx.Committed -> "committed"
+  | Db.Testable_tx.Aborted -> "aborted"
+
+let guard t k = Sim.Process.guard t.server.Server.process k
+
+let respond t tx outcome =
+  match Hashtbl.find_opt t.pending_responses tx with
+  | None -> ()
+  | Some k ->
+    Hashtbl.remove t.pending_responses tx;
+    tr t "respond" [ ("tx", string_of_int tx); ("outcome", outcome_string outcome) ];
+    k outcome
+
+let broadcast_cws t cws =
+  match t.bcast with
+  | Some (Classical a) -> Abcast.broadcast a cws
+  | Some (End_to_end e) -> E2e.broadcast e cws
+  | None -> ()
+
+let ack_token t token = match (t.bcast, token) with
+  | Some (End_to_end e), Some tok -> E2e.ack e tok
+  | Some (End_to_end _), None | Some (Classical _), _ | None, _ -> ()
+
+let node_of_index t index = List.find (fun n -> Net.Node_id.index n = index) t.group
+
+(* ---- 2-safe response rule: answer once every available server logged ---- *)
+
+let check_2safe_responses t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    (* 2-safe: logged on every *available* server (the detector's trusted
+       set). Very safe: logged on every server, available or not — one
+       crash blocks commits until the crashed server recovers and its
+       replayed delivery is logged. *)
+    let required =
+      match t.mode with
+      | Very_safe_mode -> t.group
+      | Two_safe_mode | Group_safe_mode | Group_one_safe_mode ->
+        Gcs.Failure_detector.trusted fd
+    in
+    let ready_txs =
+      Hashtbl.fold
+        (fun tx w acc ->
+          if List.for_all (fun n -> Net.Node_id.Set.mem n w.acks) required then tx :: acc else acc)
+        t.waiting_2safe []
+    in
+    List.iter
+      (fun tx ->
+        Hashtbl.remove t.waiting_2safe tx;
+        respond t tx Db.Testable_tx.Committed)
+      ready_txs
+
+let note_logged t tx origin =
+  match Hashtbl.find_opt t.waiting_2safe tx with
+  | None -> ()
+  | Some w ->
+    w.acks <- Net.Node_id.Set.add (node_of_index t origin) w.acks;
+    check_2safe_responses t
+
+let announce_logged t cws =
+  let self = t.server.Server.index in
+  if cws.Cert_ws.delegate = self then note_logged t cws.Cert_ws.ws.Db.Transaction.tx_id self
+  else
+    Net.Endpoint.send t.server.Server.endpoint
+      ~dst:(node_of_index t cws.Cert_ws.delegate)
+      (Logged { tx = cws.Cert_ws.ws.Db.Transaction.tx_id; origin = self })
+
+(* ---- The in-order processing pipeline ---- *)
+
+let rec pump t =
+  if t.ready && not t.pipe_busy then begin
+    match Queue.take_opt t.pipe with
+    | None -> ()
+    | Some item ->
+      t.pipe_busy <- true;
+      t.current <- Some item;
+      process t item
+  end
+
+and advance t () =
+  t.pipe_busy <- false;
+  t.current <- None;
+  pump t
+
+and process t item =
+  let cws = item.cws in
+  let ws = cws.Cert_ws.ws in
+  let tx = ws.Db.Transaction.tx_id in
+  let db = t.server.Server.db in
+  if Db.Testable_tx.already_processed t.view tx then begin
+    (* Replayed or retransmitted duplicate: testable transactions make the
+       redelivery harmless (paper §4.3). *)
+    ack_token t item.token;
+    (match Db.Testable_tx.find t.view tx with
+     | Some outcome -> respond t tx outcome
+     | None -> ());
+    advance t ()
+  end
+  else
+    Sim.Resource.request t.server.Server.cpus ~duration:t.certify_cpu
+      (guard t (fun () ->
+           let decision = Db.Certifier.certify t.cert ~start:cws.Cert_ws.start ~ws in
+           let outcome = outcome_of decision in
+           Db.Testable_tx.record t.view tx outcome;
+           tr t "decide" [ ("tx", string_of_int tx); ("outcome", outcome_string outcome) ];
+           match decision with
+           | Db.Certifier.Abort -> begin
+               respond t tx Db.Testable_tx.Aborted;
+               match t.mode with
+               | Two_safe_mode | Very_safe_mode ->
+                 (* The abort decision is the processing of the message: log
+                    it, then acknowledge successful delivery. *)
+                 let token = item.token in
+                 Db.Db_engine.log_commit db ~tx ~decision ~writes:[]
+                   ~k:
+                     (guard t (fun () ->
+                          tr t "logged" [ ("tx", string_of_int tx) ];
+                          ack_token t token));
+                 advance t ()
+               | Group_safe_mode | Group_one_safe_mode ->
+                 Db.Db_engine.log_commit_quiet db ~tx ~decision ~writes:[];
+                 advance t ()
+             end
+           | Db.Certifier.Commit ->
+             let writes = ws.Db.Transaction.write_values in
+             let count = List.length writes in
+             Db.Db_engine.install_writes db writes;
+             (match t.mode with
+              | Group_safe_mode ->
+                (* Fig. 8: answer at the decision; durability is the
+                   group's business, disk work happens behind it. *)
+                respond t tx Db.Testable_tx.Committed;
+                Db.Db_engine.log_commit db ~tx ~decision ~writes
+                  ~k:(guard t (fun () -> tr t "logged" [ ("tx", string_of_int tx) ]));
+                Db.Db_engine.write_io db ~count ~factor:t.apply_write_factor
+                  ~k:(guard t (advance t))
+              | Group_one_safe_mode ->
+                (* Fig. 2: the delegate answers after applying the writes
+                   and flushing the decision record. *)
+                let applied = ref false and flushed = ref false in
+                let maybe_respond () =
+                  if !applied && !flushed then respond t tx Db.Testable_tx.Committed
+                in
+                Db.Db_engine.log_commit db ~tx ~decision ~writes
+                  ~k:
+                    (guard t (fun () ->
+                         tr t "logged" [ ("tx", string_of_int tx) ];
+                         flushed := true;
+                         maybe_respond ()));
+                Db.Db_engine.write_io db ~count ~factor:1.0
+                  ~k:
+                    (guard t (fun () ->
+                         applied := true;
+                         maybe_respond ();
+                         advance t ()))
+              | Two_safe_mode | Very_safe_mode ->
+                (* §4.3: apply, log, then acknowledge successful delivery
+                   and tell the delegate this server has logged. *)
+                let token = item.token in
+                Db.Db_engine.write_io db ~count ~factor:1.0
+                  ~k:
+                    (guard t (fun () ->
+                         Db.Db_engine.log_commit db ~tx ~decision ~writes
+                           ~k:
+                             (guard t (fun () ->
+                                  tr t "logged" [ ("tx", string_of_int tx) ];
+                                  ack_token t token;
+                                  announce_logged t cws));
+                         advance t ())))))
+
+let deliver t cws token =
+  tr t "deliver" [ ("tx", string_of_int cws.Cert_ws.ws.Db.Transaction.tx_id) ];
+  Queue.push { cws; token } t.pipe;
+  pump t
+
+(* ---- Recovery ---- *)
+
+let rebuild_from_local_log t ~with_cert =
+  let db = t.server.Server.db in
+  Db.Db_engine.recover_now db;
+  Db.Testable_tx.replace t.view (Db.Testable_tx.to_list (Db.Db_engine.testable db));
+  Db.Certifier.reset t.cert;
+  if with_cert then
+    List.iter
+      (fun r ->
+        match r.Db.Db_engine.w_decision with
+        | Db.Certifier.Commit ->
+          Db.Certifier.note_commit t.cert ~write_items:(List.map fst r.Db.Db_engine.w_writes)
+        | Db.Certifier.Abort -> ())
+      (Db.Db_engine.wal_records db)
+
+let get_snapshot t () =
+  (* The log position handed to the joiner covers everything delivered to
+     this replica, including writesets still queued (or mid-flight) in the
+     processing pipeline; ship those unprocessed ones explicitly. The
+     in-flight item may complete between capture and transfer — the
+     pipeline's testable-transaction check makes re-including it safe. *)
+  let unprocessed =
+    let queued = List.map (fun p -> p.cws) (List.of_seq (Queue.to_seq t.pipe)) in
+    let not_done cws =
+      not (Db.Testable_tx.already_processed t.view cws.Cert_ws.ws.Db.Transaction.tx_id)
+    in
+    match t.current with
+    | Some p when not_done p.cws -> p.cws :: queued
+    | Some _ | None -> queued
+  in
+  {
+    Snapshot.values = Db.Db_engine.values_snapshot t.server.Server.db;
+    view = Db.Testable_tx.to_list t.view;
+    cert_version = fst (Db.Certifier.export t.cert);
+    cert_bindings = snd (Db.Certifier.export t.cert);
+    pending = unprocessed;
+  }
+
+let install_snapshot t (s : Snapshot.t) =
+  Db.Db_engine.install_snapshot t.server.Server.db s.Snapshot.values;
+  Db.Testable_tx.replace t.view s.Snapshot.view;
+  Db.Certifier.import t.cert ~version:s.Snapshot.cert_version ~bindings:s.Snapshot.cert_bindings;
+  List.iter (fun cws -> Queue.push { cws; token = None } t.pipe) s.Snapshot.pending;
+  tr t "state_transfer" [];
+  t.ready <- true;
+  pump t
+
+let cold_start t () =
+  t.cold_start_count <- t.cold_start_count + 1;
+  tr t "cold_start" [];
+  (* Restart from this server's own durable state; the group's volatile
+     knowledge is gone (paper Fig. 5). The certifier restarts empty on
+     every member, consistently, since the ordering log also restarts. *)
+  rebuild_from_local_log t ~with_cert:false;
+  t.ready <- true;
+  pump t
+
+let on_kill t () =
+  t.ready <- false;
+  t.pipe_busy <- false;
+  t.current <- None;
+  Queue.clear t.pipe;
+  Hashtbl.reset t.pending_responses;
+  Hashtbl.reset t.waiting_2safe;
+  Db.Certifier.reset t.cert;
+  Db.Testable_tx.reset t.view
+
+let on_restart_two_safe t () =
+  (* Static crash recovery: rebuild locally (values, committed view and
+     certification state all follow from the WAL, whose order is delivery
+     order); the end-to-end broadcast replays whatever was not yet
+     successfully delivered on top of it. *)
+  rebuild_from_local_log t ~with_cert:true;
+  tr t "recovered_local" [];
+  t.ready <- true;
+  pump t
+
+(* ---- Submission (delegate side) ---- *)
+
+let serving t = Sim.Process.alive t.server.Server.process && t.ready
+
+let submit t tx ~on_response =
+  if serving t then begin
+    let id = tx.Db.Transaction.id in
+    tr t "submit" [ ("tx", string_of_int id) ];
+    Hashtbl.replace t.pending_responses id on_response;
+    let read_items = Db.Transaction.read_set tx in
+    (* The certification snapshot is taken when the read phase begins:
+       every item read afterwards is validated against all writesets that
+       commit after this point, which is the conservative direction. *)
+    let start = Db.Certifier.current_version t.cert in
+    Db.Db_engine.read_seq t.server.Server.db ~items:read_items
+      ~k:
+        (guard t (fun () ->
+             if Db.Transaction.is_update tx then begin
+               let cws =
+                 {
+                   Cert_ws.ws = Db.Transaction.to_writeset tx;
+                   start;
+                   delegate = t.server.Server.index;
+                 }
+               in
+               (match t.mode with
+                | Two_safe_mode | Very_safe_mode ->
+                  Hashtbl.replace t.waiting_2safe id { acks = Net.Node_id.Set.empty }
+                | Group_safe_mode | Group_one_safe_mode -> ());
+               tr t "broadcast" [ ("tx", string_of_int id) ];
+               broadcast_cws t cws
+             end
+             else respond t id Db.Testable_tx.Committed))
+  end
+
+(* ---- Construction ---- *)
+
+let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) ?uniform ~trace ()
+    =
+  ignore params;
+  let t =
+    {
+      server;
+      mode;
+      trace;
+      group = List.sort Net.Node_id.compare group;
+      cert = Db.Certifier.create ();
+      view = Db.Testable_tx.create ();
+      pending_responses = Hashtbl.create 64;
+      waiting_2safe = Hashtbl.create 64;
+      fd = None;
+      pipe = Queue.create ();
+      pipe_busy = false;
+      current = None;
+      ready = true;
+      bcast = None;
+      apply_write_factor;
+      certify_cpu = Sim.Sim_time.span_ms 0.1;
+      cold_start_count = 0;
+    }
+  in
+  let endpoint = server.Server.endpoint in
+  (match broadcast_family mode with
+   | `Classical ->
+     let ab =
+       Abcast.create endpoint ~group ?fd_config ?uniform
+         ~deliver:(fun cws -> deliver t cws None)
+         ~get_snapshot:(get_snapshot t) ~install_snapshot:(install_snapshot t)
+         ~cold_start:(cold_start t) ()
+     in
+     t.bcast <- Some (Classical ab);
+     (* During a rejoin the broadcast layer drives recovery; block the
+        pipeline until it finishes. *)
+     Sim.Process.on_restart server.Server.process (fun () -> t.ready <- false)
+   | `End_to_end ->
+     let e2e =
+       E2e.create endpoint ~group ~disk:server.Server.disks
+         ~write_time:(fun () ->
+           Sim.Rng.uniform_span server.Server.rng
+             (Db.Db_engine.config server.Server.db).Db.Db_engine.io_time_min
+             (Db.Db_engine.config server.Server.db).Db.Db_engine.io_time_max)
+         ?fd_config
+         ~deliver:(fun token cws -> deliver t cws (Some token))
+         ()
+     in
+     t.bcast <- Some (End_to_end e2e);
+     t.fd <- Some (Gcs.Failure_detector.create endpoint ~peers:group ?config:fd_config ());
+     (match t.fd with
+      | Some fd -> Gcs.Failure_detector.on_change fd (fun () -> check_2safe_responses t)
+      | None -> ());
+     Sim.Process.on_restart server.Server.process (fun () -> on_restart_two_safe t ()));
+  Sim.Process.on_kill server.Server.process (fun () -> on_kill t ());
+  Net.Endpoint.add_handler endpoint (fun message ->
+      match message.Net.Message.payload with
+      | Logged { tx; origin } ->
+        note_logged t tx origin;
+        true
+      | _ -> false);
+  t
+
+let mode t = t.mode
+
+let set_mode t new_mode =
+  if broadcast_family new_mode <> broadcast_family t.mode then
+    invalid_arg
+      "Dsm_replica.set_mode: can only switch within a broadcast family (group-safe <-> \
+       group-1-safe, or 2-safe <-> very-safe)";
+  t.mode <- new_mode;
+  tr t "mode_switch" [ ("to", Safety.to_string (mode_level new_mode)) ];
+  (* A relaxation (very-safe -> 2-safe) may unblock waiting responses. *)
+  check_2safe_responses t
+
+let committed t id =
+  match Db.Testable_tx.find t.view id with
+  | Some Db.Testable_tx.Committed -> true
+  | Some Db.Testable_tx.Aborted | None -> false
+
+let committed_count t = Db.Testable_tx.committed_count t.view
+let certifier t = t.cert
+let cold_starts t = t.cold_start_count
+let pipeline_depth t = Queue.length t.pipe

@@ -1,0 +1,83 @@
+(** The database state machine replication technique (paper §2.1, Figs. 2
+    and 8), parameterised by safety level.
+
+    Update-everywhere, non-voting, single network interaction: the delegate
+    executes the transaction's reads locally, then atomically broadcasts
+    the writeset (with its certification snapshot); every server certifies
+    delivered writesets deterministically in delivery order and applies the
+    committed ones, so no voting phase is needed. Writesets are processed
+    by an in-order pipeline per server — total order forces sequential
+    application, which is what eventually queues under load.
+
+    The three modes differ only in the instant the delegate answers the
+    client, and in the broadcast primitive underneath:
+
+    - {b Group-safe} (Fig. 8): answer at the certification decision;
+      logging and the write-back of pages happen asynchronously, with the
+      write-scheduling gain asynchrony buys (paper §5.1). Classical atomic
+      broadcast; recovery by state transfer.
+    - {b Group-1-safe} (Fig. 2): answer once the delegate has applied the
+      writes and flushed the decision record. Classical atomic broadcast.
+    - {b 2-safe} (§4.3): end-to-end atomic broadcast; every server
+      acknowledges successful delivery after logging, and the delegate
+      answers once every available server has logged the transaction. *)
+
+type mode = Group_safe_mode | Group_one_safe_mode | Two_safe_mode | Very_safe_mode
+
+val mode_level : mode -> Safety.level
+
+val broadcast_family : mode -> [ `Classical | `End_to_end ]
+(** Which broadcast primitive the mode needs: the group-safe pair runs on
+    classical atomic broadcast, the 2-safe pair on end-to-end atomic
+    broadcast. Runtime switching is possible within a family (§5.2). *)
+
+type t
+
+val create :
+  Server.t ->
+  group:Net.Node_id.t list ->
+  mode:mode ->
+  params:Workload.Params.t ->
+  ?fd_config:Gcs.Failure_detector.config ->
+  ?apply_write_factor:float ->
+  ?uniform:bool ->
+  trace:Sim.Trace.t ->
+  unit ->
+  t
+(** [create server ~group ~mode ~params ~trace ()] attaches the replica to
+    [server]. [apply_write_factor] scales the disk service time of ordered
+    writeset application (default 0.625: ordered write-back still coalesces
+    some adjacent pages); the group-safe mode's background flushes use the
+    database engine's own asynchronous factor. [uniform] (classical modes
+    only, default [true]) selects uniform delivery in the ordering
+    protocol; [false] is the ablation that invalidates group-safety. *)
+
+val submit : t -> Db.Transaction.t -> on_response:(Db.Testable_tx.outcome -> unit) -> unit
+(** Run the transaction with this server as delegate. [on_response] fires
+    at the mode's answer instant; it never fires if the delegate crashes
+    first, and submissions to a recovering server are dropped. Read-only
+    transactions answer after the local read phase, without broadcast. *)
+
+val serving : t -> bool
+(** Up and not recovering. *)
+
+val mode : t -> mode
+
+val set_mode : t -> mode -> unit
+(** Switch the response rule at runtime — the paper notes group-1-safe and
+    group-safe can be swapped on the fly (§5.2). Effective for writesets
+    processed from now on; a relaxation may immediately release waiting
+    responses. @raise Invalid_argument when the new mode needs the other
+    broadcast primitive ({!broadcast_family}). *)
+
+val committed : t -> Db.Transaction.id -> bool
+(** Whether this replica's current (group-consistent) view includes the
+    transaction as committed. *)
+
+val committed_count : t -> int
+val certifier : t -> Db.Certifier.t
+val cold_starts : t -> int
+(** Times this replica restarted the group from local state. *)
+
+val pipeline_depth : t -> int
+(** Writesets queued for in-order processing right now. *)

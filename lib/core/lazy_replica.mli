@@ -1,0 +1,49 @@
+(** Lazy update-everywhere replication — the 1-safe baseline of the paper's
+    evaluation (§6), plus its 0-safe degeneration.
+
+    The delegate executes the whole transaction locally under strict
+    two-phase locking (reads and writes both charge disk time), flushes the
+    decision record, answers the client, and only then propagates the
+    writeset to the other servers, which apply it on arrival with no
+    ordering and no certification: concurrent updates at different sites
+    can leave the copies inconsistent even without failures (§7).
+
+    - {b 1-safe}: the answer follows the local log flush.
+    - {b 0-safe}: the answer precedes any disk write — execution happens in
+      memory, write-back and logging are asynchronous. *)
+
+type mode = One_safe_mode | Zero_safe_mode
+
+val mode_level : mode -> Safety.level
+
+type t
+
+val create :
+  Server.t ->
+  group:Net.Node_id.t list ->
+  mode:mode ->
+  params:Workload.Params.t ->
+  trace:Sim.Trace.t ->
+  unit ->
+  t
+
+val submit : t -> Db.Transaction.t -> on_response:(Db.Testable_tx.outcome -> unit) -> unit
+(** Execute with this server as delegate. Local deadlocks abort the
+    transaction (the response is [Aborted]); lazy propagation has no
+    global conflict handling, so remote applies never abort. *)
+
+val serving : t -> bool
+
+val recover : t -> unit
+(** Rebuild local state from the server's own log after a restart (lazy
+    replication has no group to transfer state from; missed propagations
+    stay missing). *)
+
+val committed : t -> Db.Transaction.id -> bool
+val committed_count : t -> int
+val deadlock_aborts : t -> int
+val propagations_applied : t -> int
+
+val cross_site_conflicts : t -> int
+(** Remote writesets that conflicted with a concurrent local update of the
+    same item — the §7 inconsistency hazard, counted as it happens. *)

@@ -1,0 +1,77 @@
+type lost_tx = { tx : Db.Transaction.id; acked_at : Sim.Sim_time.t }
+
+type report = {
+  horizon : Sim.Sim_time.t;
+  level : Safety.level;
+  acked_commits : int;
+  surviving : int;
+  lost : lost_tx list;
+  group_failed : bool;
+  divergent_items : int;
+  classes : (string * Gcs.Process_class.t) list;
+}
+
+let divergent_items sys =
+  let serving =
+    List.filter (System.serving sys) (List.init (System.n_servers sys) Fun.id)
+  in
+  match serving with
+  | [] | [ _ ] -> 0
+  | first :: rest ->
+    let reference = System.values_of sys ~server:first in
+    let views = List.map (fun s -> System.values_of sys ~server:s) rest in
+    let differs = ref 0 in
+    Array.iteri
+      (fun item v -> if List.exists (fun view -> view.(item) <> v) views then incr differs)
+      reference;
+    !differs
+
+let analyse sys =
+  let n = System.n_servers sys in
+  let live = List.filter (System.alive sys) (List.init n Fun.id) in
+  let acked_committed =
+    List.filter_map
+      (fun (tx, outcome, at) ->
+        match outcome with Db.Testable_tx.Committed -> Some (tx, at) | Db.Testable_tx.Aborted -> None)
+      (System.acked sys)
+  in
+  let lost =
+    List.filter_map
+      (fun (tx, at) ->
+        let survives = List.exists (fun s -> System.committed_on sys ~server:s tx) live in
+        if survives then None else Some { tx; acked_at = at })
+      acked_committed
+  in
+  let horizon = System.now sys in
+  let classes =
+    List.init n (fun i ->
+        ( Printf.sprintf "S%d" i,
+          Gcs.Process_class.classify ~horizon (System.history sys i) ))
+  in
+  {
+    horizon;
+    level = System.level sys;
+    acked_commits = List.length acked_committed;
+    surviving = List.length acked_committed - List.length lost;
+    lost;
+    group_failed = System.group_failed sys;
+    divergent_items = divergent_items sys;
+    classes;
+  }
+
+let losses_allowed report ~delegate_crashed =
+  List.for_all
+    (fun { tx; _ } ->
+      Safety.lost_if report.level ~group_failed:report.group_failed
+        ~delegate_crashed:(delegate_crashed tx))
+    report.lost
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>level: %a@ acked commits: %d@ surviving: %d@ lost: %d@ "
+    Safety.pp r.level r.acked_commits r.surviving (List.length r.lost);
+  Format.fprintf ppf "group failed: %b@ divergent items: %d@ classes:" r.group_failed
+    r.divergent_items;
+  List.iter
+    (fun (s, c) -> Format.fprintf ppf " %s=%a" s Gcs.Process_class.pp c)
+    r.classes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,42 @@
+(** The safety oracle.
+
+    After a run (including any injected crashes and recoveries), the
+    checker compares what clients were told against what the system still
+    holds: a transaction is {b lost} when a client was told it committed
+    yet no live server's current view has it. It also measures replica
+    {b divergence} (items whose values differ across serving servers —
+    lazy replication's failure-free hazard, §7) and classifies each
+    server's crash behaviour (green / yellow / red, Fig. 3).
+
+    Losses are then confronted with the technique's advertised safety
+    level: {!consistent_with_level} says whether the observed outcome is
+    allowed by Tables 2 and 3 given what actually failed. *)
+
+type lost_tx = {
+  tx : Db.Transaction.id;
+  acked_at : Sim.Sim_time.t;  (** when the client was told "committed". *)
+}
+
+type report = {
+  horizon : Sim.Sim_time.t;
+  level : Safety.level;  (** the technique's advertised level. *)
+  acked_commits : int;  (** transactions acknowledged as committed. *)
+  surviving : int;  (** of those, still present on some live server. *)
+  lost : lost_tx list;  (** of those, present nowhere live. *)
+  group_failed : bool;  (** a majority was down at some point. *)
+  divergent_items : int;  (** items with conflicting values across serving servers. *)
+  classes : (string * Gcs.Process_class.t) list;  (** per-server behaviour class. *)
+}
+
+val analyse : System.t -> report
+(** Inspect the system as it stands now. Run the simulation to quiescence
+    (e.g. a second or two past the last activity) first, or in-flight work
+    will be reported as lost. *)
+
+val losses_allowed : report -> delegate_crashed:(Db.Transaction.id -> bool) -> bool
+(** Whether every observed loss is permitted by the level's loss condition
+    (Table 3 / {!Safety.lost_if}) given the run's failures.
+    [delegate_crashed tx] tells whether the transaction's delegate crashed
+    during the run. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,38 @@
+type t = {
+  index : int;
+  id : Net.Node_id.t;
+  process : Sim.Process.t;
+  cpus : Sim.Resource.t;
+  disks : Sim.Resource.t;
+  endpoint : Net.Endpoint.t;
+  db : Db.Db_engine.t;
+  rng : Sim.Rng.t;
+}
+
+let create engine network params ~index =
+  let label = Printf.sprintf "S%d" index in
+  let id = Net.Node_id.make ~index ~label in
+  let process = Sim.Process.create engine ~name:label in
+  let cpus =
+    Sim.Resource.create engine ~name:(label ^ ".cpu")
+      ~servers:params.Workload.Params.cpus_per_server
+  in
+  let disks =
+    Sim.Resource.create engine ~name:(label ^ ".disk")
+      ~servers:params.Workload.Params.disks_per_server
+  in
+  let endpoint = Net.Endpoint.attach network ~id ~process ~cpu:cpus () in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let db =
+    Db.Db_engine.create engine ~process ~cpus ~disks ~rng:(Sim.Rng.split rng)
+      (Workload.Params.db_config params)
+  in
+  Sim.Process.on_kill process (fun () ->
+      Sim.Resource.reset cpus;
+      Sim.Resource.reset disks);
+  { index; id; process; cpus; disks; endpoint; db; rng }
+
+let crash t = Sim.Process.kill t.process
+let restart t = Sim.Process.restart t.process
+let alive t = Sim.Process.alive t.process
+let label t = Net.Node_id.label t.id

@@ -1,0 +1,34 @@
+(** One replica server: the bundle of simulated hardware and local database
+    that every replication technique builds on.
+
+    A server owns a process (crash unit), its CPUs and disks (Table 4:
+    2 + 2), a network endpoint whose traffic is charged to the CPUs, and a
+    local database component. Crashing a server resets its resources and
+    volatile state; the replication technique layered on top decides how it
+    recovers. *)
+
+type t = {
+  index : int;  (** dense server number, 0-based. *)
+  id : Net.Node_id.t;
+  process : Sim.Process.t;
+  cpus : Sim.Resource.t;
+  disks : Sim.Resource.t;
+  endpoint : Net.Endpoint.t;
+  db : Db.Db_engine.t;
+  rng : Sim.Rng.t;  (** server-private stream, split from the engine's. *)
+}
+
+val create : Sim.Engine.t -> Net.Network.t -> Workload.Params.t -> index:int -> t
+(** [create e net params ~index] builds server [index] ("S<index>"),
+    registers its endpoint, and wires crash behaviour: killing the process
+    resets CPUs and disks and drops the database's volatile state. *)
+
+val crash : t -> unit
+(** Kill the server (idempotent). *)
+
+val restart : t -> unit
+(** Bring the server back up under a new incarnation (idempotent). The
+    replication layer's recovery hooks then run. *)
+
+val alive : t -> bool
+val label : t -> string

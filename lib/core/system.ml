@@ -1,0 +1,206 @@
+type technique = Dsm of Dsm_replica.mode | Lazy of Lazy_replica.mode | Two_pc
+
+let technique_level = function
+  | Dsm m -> Dsm_replica.mode_level m
+  | Lazy m -> Lazy_replica.mode_level m
+  | Two_pc -> Safety.Two_safe
+
+let technique_name = function
+  | Two_pc -> "eager-2pc"
+  | (Dsm _ | Lazy _) as t -> Safety.to_string (technique_level t)
+
+let all_techniques =
+  [
+    Lazy Lazy_replica.Zero_safe_mode;
+    Lazy Lazy_replica.One_safe_mode;
+    Dsm Dsm_replica.Group_safe_mode;
+    Dsm Dsm_replica.Group_one_safe_mode;
+    Dsm Dsm_replica.Two_safe_mode;
+    Dsm Dsm_replica.Very_safe_mode;
+    Two_pc;
+  ]
+
+type replica = Dsm_r of Dsm_replica.t | Lazy_r of Lazy_replica.t | Tpc_r of Twopc_replica.t
+
+
+
+type t = {
+  engine : Sim.Engine.t;
+  network : Net.Network.t;
+  params : Workload.Params.t;
+  trace : Sim.Trace.t;
+  metrics : Workload.Metrics.t;
+  technique : technique;
+  servers : Server.t array;
+  replicas : replica array;
+  mutable submitted : int;
+  mutable acked_rev : (Db.Transaction.id * Db.Testable_tx.outcome * Sim.Sim_time.t) list;
+  acked_ids : (Db.Transaction.id, unit) Hashtbl.t;
+  crashes : Sim.Sim_time.t list ref array;
+  recoveries : Sim.Sim_time.t list ref array;
+  mutable max_simultaneously_down : int;
+  mutable currently_down : int;
+}
+
+let engine t = t.engine
+let network t = t.network
+let params t = t.params
+let trace t = t.trace
+let metrics t = t.metrics
+let technique t = t.technique
+let level t = technique_level t.technique
+let n_servers t = Array.length t.servers
+
+let serving t i =
+  match t.replicas.(i) with
+  | Dsm_r r -> Dsm_replica.serving r
+  | Lazy_r r -> Lazy_replica.serving r
+  | Tpc_r r -> Twopc_replica.serving r
+
+let alive t i = Server.alive t.servers.(i)
+
+let submit t ?on_response ~delegate tx =
+  t.submitted <- t.submitted + 1;
+  let submitted_at = Sim.Engine.now t.engine in
+  let respond outcome =
+    (* Retried transactions answer at most once into the books. *)
+    if not (Hashtbl.mem t.acked_ids tx.Db.Transaction.id) then begin
+      Hashtbl.replace t.acked_ids tx.Db.Transaction.id ();
+      t.acked_rev <- (tx.Db.Transaction.id, outcome, Sim.Engine.now t.engine) :: t.acked_rev;
+      Workload.Metrics.record_response t.metrics ~submitted:submitted_at;
+      match outcome with
+      | Db.Testable_tx.Committed -> Workload.Metrics.record_commit t.metrics
+      | Db.Testable_tx.Aborted -> Workload.Metrics.record_abort t.metrics
+    end;
+    match on_response with Some k -> k outcome | None -> ()
+  in
+  match t.replicas.(delegate) with
+  | Dsm_r r -> Dsm_replica.submit r tx ~on_response:respond
+  | Lazy_r r -> Lazy_replica.submit r tx ~on_response:respond
+  | Tpc_r r -> Twopc_replica.submit r tx ~on_response:respond
+
+let server_id t i = t.servers.(i).Server.id
+
+let partition t groups =
+  Net.Network.partition t.network
+    (List.map (List.map (fun i -> t.servers.(i).Server.id)) groups)
+
+let heal t = Net.Network.heal t.network
+
+(* Server-side frontend: answer client requests over the network. *)
+let attach_frontends t =
+  Array.iteri
+    (fun i server ->
+      Net.Endpoint.add_handler server.Server.endpoint (fun message ->
+          match message.Net.Message.payload with
+          | Client_protocol.Client_request { tx } ->
+            let client = message.Net.Message.src in
+            submit t ~delegate:i
+              ~on_response:(fun outcome ->
+                Net.Endpoint.send server.Server.endpoint ~dst:client
+                  (Client_protocol.Client_reply { tx_id = tx.Db.Transaction.id; outcome }))
+              tx;
+            true
+          | _ -> false))
+    t.servers
+
+let create ?(seed = 1L) ?(params = Workload.Params.table4) ?fd_config ?apply_write_factor
+    ?uniform ?(trace_enabled = true) technique =
+  let engine = Sim.Engine.create ~seed () in
+  let net_config =
+    {
+      Net.Network.transit = params.Workload.Params.network_transit;
+      cpu_per_op = params.Workload.Params.cpu_per_net_op;
+      drop_probability = params.Workload.Params.drop_probability;
+    }
+  in
+  let network = Net.Network.create engine net_config in
+  let trace = Sim.Trace.create ~enabled:trace_enabled engine in
+  let metrics = Workload.Metrics.create engine in
+  let n = params.Workload.Params.servers in
+  let servers = Array.init n (fun index -> Server.create engine network params ~index) in
+  let group = Array.to_list (Array.map (fun s -> s.Server.id) servers) in
+  let replicas =
+    Array.map
+      (fun server ->
+        match technique with
+        | Dsm mode ->
+          Dsm_r
+            (Dsm_replica.create server ~group ~mode ~params ?fd_config ?apply_write_factor
+               ?uniform ~trace ())
+        | Lazy mode -> Lazy_r (Lazy_replica.create server ~group ~mode ~params ~trace ())
+        | Two_pc -> Tpc_r (Twopc_replica.create server ~group ~params ~trace ()))
+      servers
+  in
+  let t = {
+    engine;
+    network;
+    params;
+    trace;
+    metrics;
+    technique;
+    servers;
+    replicas;
+    submitted = 0;
+    acked_rev = [];
+    acked_ids = Hashtbl.create 1024;
+    crashes = Array.init n (fun _ -> ref []);
+    recoveries = Array.init n (fun _ -> ref []);
+    max_simultaneously_down = 0;
+    currently_down = 0;
+  }
+  in
+  attach_frontends t;
+  t
+
+
+let run_for t span = Sim.Engine.run ~until:(Sim.Sim_time.add (Sim.Engine.now t.engine) span) t.engine
+let now t = Sim.Engine.now t.engine
+
+let crash t i =
+  if Server.alive t.servers.(i) then begin
+    Sim.Trace.record t.trace ~source:(Server.label t.servers.(i)) ~kind:"crash" [];
+    t.crashes.(i) := Sim.Engine.now t.engine :: !(t.crashes.(i));
+    t.currently_down <- t.currently_down + 1;
+    if t.currently_down > t.max_simultaneously_down then
+      t.max_simultaneously_down <- t.currently_down;
+    Server.crash t.servers.(i)
+  end
+
+let recover t i =
+  if not (Server.alive t.servers.(i)) then begin
+    Sim.Trace.record t.trace ~source:(Server.label t.servers.(i)) ~kind:"recover" [];
+    t.recoveries.(i) := Sim.Engine.now t.engine :: !(t.recoveries.(i));
+    t.currently_down <- t.currently_down - 1;
+    Server.restart t.servers.(i)
+  end
+
+let submitted t = t.submitted
+let acked t = List.rev t.acked_rev
+
+let committed_on t ~server id =
+  match t.replicas.(server) with
+  | Dsm_r r -> Dsm_replica.committed r id
+  | Lazy_r r -> Lazy_replica.committed r id
+  | Tpc_r r -> Twopc_replica.committed r id
+
+let values_of t ~server = Db.Db_engine.values_snapshot t.servers.(server).Server.db
+
+let history t i =
+  {
+    Gcs.Process_class.crashes = List.rev !(t.crashes.(i));
+    recoveries = List.rev !(t.recoveries.(i));
+    up_at_end = Server.alive t.servers.(i);
+  }
+
+let group_failed t =
+  t.max_simultaneously_down >= Gcs.View.quorum (Array.length t.servers)
+
+let dsm_replica t i = match t.replicas.(i) with Dsm_r r -> Some r | Lazy_r _ | Tpc_r _ -> None
+let lazy_replica t i = match t.replicas.(i) with Lazy_r r -> Some r | Dsm_r _ | Tpc_r _ -> None
+let twopc_replica t i = match t.replicas.(i) with Tpc_r r -> Some r | Dsm_r _ | Lazy_r _ -> None
+
+let set_dsm_mode t mode =
+  Array.iter
+    (function Dsm_r r -> Dsm_replica.set_mode r mode | Lazy_r _ | Tpc_r _ -> ())
+    t.replicas

@@ -1,0 +1,110 @@
+(** A whole replicated database: engine, network, servers, replicas.
+
+    One [System.t] is one simulated deployment running one replication
+    technique. It owns the virtual clock, offers submission and fault
+    injection, and records everything the safety checker and the metrics
+    need. Deterministic for a given seed. *)
+
+type technique =
+  | Dsm of Dsm_replica.mode  (** the database state machine technique. *)
+  | Lazy of Lazy_replica.mode  (** lazy update-everywhere propagation. *)
+  | Two_pc
+      (** traditional eager replication over two-phase commit — the
+          baseline the paper's introduction argues against. *)
+
+val technique_level : technique -> Safety.level
+val technique_name : technique -> string
+
+val all_techniques : technique list
+(** Every implemented technique, weakest safety first. *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?params:Workload.Params.t ->
+  ?fd_config:Gcs.Failure_detector.config ->
+  ?apply_write_factor:float ->
+  ?uniform:bool ->
+  ?trace_enabled:bool ->
+  technique ->
+  t
+(** [create technique] builds the full system: [params.servers] servers on
+    a LAN per the parameters, each running the technique's replica stack.
+    [trace_enabled] (default [true]) can be switched off for long
+    performance runs. [uniform] (default [true]) keeps uniform delivery in
+    the ordering protocol; [false] is the DESIGN.md ablation. *)
+
+val partition : t -> int list list -> unit
+(** Install a network partition between server groups (by index); servers
+    left out form an implicit last group. *)
+
+val heal : t -> unit
+
+val engine : t -> Sim.Engine.t
+val network : t -> Net.Network.t
+val params : t -> Workload.Params.t
+val trace : t -> Sim.Trace.t
+val metrics : t -> Workload.Metrics.t
+val technique : t -> technique
+val level : t -> Safety.level
+val n_servers : t -> int
+
+val submit :
+  t -> ?on_response:(Db.Testable_tx.outcome -> unit) -> delegate:int -> Db.Transaction.t -> unit
+(** Submit with server [delegate]. The response (if any arrives) is
+    recorded in the metrics and in the acknowledgement table; the optional
+    callback fires too. Submissions to a dead or recovering delegate are
+    dropped silently (the client would time out). Metrics and the
+    acknowledgement table count each transaction id once, so client
+    retries do not double-count. *)
+
+val server_id : t -> int -> Net.Node_id.t
+(** The network identity of server [i] — servers also answer
+    {!Client} requests sent to this id. *)
+
+val run_for : t -> Sim.Sim_time.span -> unit
+(** Advance the simulation by the given amount of virtual time. *)
+
+val now : t -> Sim.Sim_time.t
+
+val crash : t -> int -> unit
+(** Crash server [i] (traced; idempotent). *)
+
+val recover : t -> int -> unit
+(** Restart server [i] (traced; idempotent). *)
+
+val alive : t -> int -> bool
+val serving : t -> int -> bool
+
+val submitted : t -> int
+(** Transactions submitted so far. *)
+
+val acked : t -> (Db.Transaction.id * Db.Testable_tx.outcome * Sim.Sim_time.t) list
+(** Every response ever given to a client (the god's-eye record the safety
+    checker starts from), in response order. *)
+
+val committed_on : t -> server:int -> Db.Transaction.id -> bool
+(** Whether server [server]'s current replica view has the transaction
+    committed. *)
+
+val values_of : t -> server:int -> int array
+(** Server [server]'s current in-memory database contents. *)
+
+val history : t -> int -> Gcs.Process_class.history
+(** Server [i]'s crash/recovery history up to now. *)
+
+val group_failed : t -> bool
+(** Whether at any point so far a majority of servers was down
+    simultaneously (the group-failure condition of Tables 2 and 3). *)
+
+val dsm_replica : t -> int -> Dsm_replica.t option
+val lazy_replica : t -> int -> Lazy_replica.t option
+val twopc_replica : t -> int -> Twopc_replica.t option
+
+val set_dsm_mode : t -> Dsm_replica.mode -> unit
+(** Switch every DSM replica's response rule at runtime (paper §5.2): e.g.
+    group-safe under normal operation, group-1-safe while the group looks
+    fragile. A no-op on lazy systems.
+    @raise Invalid_argument across broadcast families
+    (see {!Dsm_replica.set_mode}). *)

@@ -1,0 +1,350 @@
+type Net.Message.payload +=
+  | Tpc_prepare of { tx_id : Db.Transaction.id; writes : (int * int) list; coordinator : int }
+  | Tpc_vote of { tx_id : Db.Transaction.id; yes : bool }
+  | Tpc_decision of { tx_id : Db.Transaction.id; commit : bool; writes : (int * int) list }
+  | Tpc_decision_req of { tx_id : Db.Transaction.id }
+
+(* Durable prepare records: what a recovering participant finds and must
+   resolve with the coordinator. *)
+type prep_record = { p_tx : Db.Transaction.id; p_writes : (int * int) list; p_coord : int }
+
+type coord_state = {
+  c_writes : (int * int) list;
+  mutable c_votes : Net.Node_id.Set.t;
+  mutable c_decided : bool;
+  c_respond : Db.Testable_tx.outcome -> unit;
+}
+
+type t = {
+  server : Server.t;
+  trace : Sim.Trace.t;
+  group : Net.Node_id.t list;
+  others : Net.Node_id.t list;
+  view : Db.Testable_tx.t;
+  prepared_log : prep_record Store.Stable_storage.t;
+  prepared : (Db.Transaction.id, prep_record) Hashtbl.t;  (* in doubt *)
+  coordinating : (Db.Transaction.id, coord_state) Hashtbl.t;
+  lock_timeout : Sim.Sim_time.span;
+  vote_timeout : Sim.Sim_time.span;
+  mutable ready : bool;
+  mutable deadlock_aborts : int;
+  mutable vote_timeouts : int;
+}
+
+let tr t kind attrs = Sim.Trace.record t.trace ~source:(Server.label t.server) ~kind attrs
+let guard t k = Sim.Process.guard t.server.Server.process k
+let db t = t.server.Server.db
+let locks t = Db.Db_engine.locks (db t)
+
+let outcome_string = function
+  | Db.Testable_tx.Committed -> "committed"
+  | Db.Testable_tx.Aborted -> "aborted"
+
+let node_of_index t index = List.find (fun n -> Net.Node_id.index n = index) t.group
+let send t dst payload = Net.Endpoint.send t.server.Server.endpoint ~dst payload
+let serving t = Sim.Process.alive t.server.Server.process && t.ready
+
+let record_outcome t tx outcome =
+  if not (Db.Testable_tx.already_processed t.view tx) then begin
+    Db.Testable_tx.record t.view tx outcome;
+    Db.Testable_tx.record (Db.Db_engine.testable (db t)) tx outcome;
+    tr t "decide" [ ("tx", string_of_int tx); ("outcome", outcome_string outcome) ]
+  end
+
+(* ---- Coordinator ---- *)
+
+let coordinator_decide t tx_id commit =
+  match Hashtbl.find_opt t.coordinating tx_id with
+  | None -> ()
+  | Some c ->
+    if not c.c_decided then begin
+      c.c_decided <- true;
+      Hashtbl.remove t.coordinating tx_id;
+      Hashtbl.remove t.prepared tx_id;
+      let release () = Db.Lock_table.release_all (locks t) ~tx:tx_id in
+      if commit then begin
+        Db.Db_engine.install_writes (db t) c.c_writes;
+        record_outcome t tx_id Db.Testable_tx.Committed;
+        (* Force the decision record, then answer: 2-safety's point is that
+           the acknowledgement implies durable preparation everywhere and a
+           durable decision here. *)
+        Db.Db_engine.log_commit (db t) ~tx:tx_id ~decision:Db.Certifier.Commit ~writes:c.c_writes
+          ~k:
+            (guard t (fun () ->
+                 tr t "respond" [ ("tx", string_of_int tx_id); ("outcome", "committed") ];
+                 c.c_respond Db.Testable_tx.Committed));
+        Db.Db_engine.write_io (db t) ~count:(List.length c.c_writes) ~factor:1.0 ~k:(fun () -> ());
+        List.iter
+          (fun p -> send t p (Tpc_decision { tx_id; commit = true; writes = c.c_writes }))
+          t.others;
+        release ()
+      end
+      else begin
+        record_outcome t tx_id Db.Testable_tx.Aborted;
+        Db.Db_engine.log_commit_quiet (db t) ~tx:tx_id ~decision:Db.Certifier.Abort ~writes:[];
+        tr t "respond" [ ("tx", string_of_int tx_id); ("outcome", "aborted") ];
+        c.c_respond Db.Testable_tx.Aborted;
+        List.iter (fun p -> send t p (Tpc_decision { tx_id; commit = false; writes = [] })) t.others;
+        release ()
+      end
+    end
+
+let start_two_phase_commit t tx ~on_response =
+  let tx_id = tx.Db.Transaction.id in
+  let writes = Db.Transaction.writes tx in
+  let c = { c_writes = writes; c_votes = Net.Node_id.Set.empty; c_decided = false; c_respond = on_response } in
+  Hashtbl.replace t.coordinating tx_id c;
+  (* Force the coordinator's own prepare record, then solicit votes. *)
+  let self = t.server.Server.index in
+  Store.Stable_storage.append t.prepared_log { p_tx = tx_id; p_writes = writes; p_coord = self }
+    ~on_durable:
+      (guard t (fun () ->
+           List.iter (fun p -> send t p (Tpc_prepare { tx_id; writes; coordinator = self })) t.others));
+  ignore
+    (Sim.Process.after t.server.Server.process t.vote_timeout (fun () ->
+         match Hashtbl.find_opt t.coordinating tx_id with
+         | Some c when not c.c_decided ->
+           t.vote_timeouts <- t.vote_timeouts + 1;
+           tr t "vote_timeout" [ ("tx", string_of_int tx_id) ];
+           coordinator_decide t tx_id false
+         | Some _ | None -> ()))
+
+let handle_vote t src tx_id yes =
+  match Hashtbl.find_opt t.coordinating tx_id with
+  | None -> ()
+  | Some c ->
+    if not c.c_decided then begin
+      if not yes then coordinator_decide t tx_id false
+      else begin
+        c.c_votes <- Net.Node_id.Set.add src c.c_votes;
+        if List.for_all (fun p -> Net.Node_id.Set.mem p c.c_votes) t.others then
+          coordinator_decide t tx_id true
+      end
+    end
+
+(* ---- Participant ---- *)
+
+let apply_decision t tx_id commit writes =
+  Hashtbl.remove t.prepared tx_id;
+  if commit then begin
+    Db.Db_engine.install_writes (db t) writes;
+    record_outcome t tx_id Db.Testable_tx.Committed;
+    Db.Db_engine.log_commit_quiet (db t) ~tx:tx_id ~decision:Db.Certifier.Commit ~writes;
+    Db.Db_engine.write_io (db t) ~count:(List.length writes)
+      ~factor:(Db.Db_engine.async_factor (db t))
+      ~k:(fun () -> ())
+  end
+  else begin
+    record_outcome t tx_id Db.Testable_tx.Aborted;
+    Db.Db_engine.log_commit_quiet (db t) ~tx:tx_id ~decision:Db.Certifier.Abort ~writes:[]
+  end;
+  Db.Lock_table.release_all (locks t) ~tx:tx_id
+
+let handle_prepare t tx_id writes coordinator =
+  if serving t && not (Db.Testable_tx.already_processed t.view tx_id) then begin
+    let coord_node = node_of_index t coordinator in
+    let items = List.map fst writes in
+    let granted_all = ref false in
+    let abandoned = ref false in
+    let vote_no () =
+      if not !abandoned then begin
+        abandoned := true;
+        t.deadlock_aborts <- t.deadlock_aborts + 1;
+        Db.Lock_table.release_all (locks t) ~tx:tx_id;
+        send t coord_node (Tpc_vote { tx_id; yes = false })
+      end
+    in
+    (* Waiting too long for locks means a (possibly distributed) deadlock:
+       vote no and let the coordinator abort. *)
+    ignore
+      (Sim.Process.after t.server.Server.process t.lock_timeout (fun () ->
+           if (not !granted_all) && not !abandoned then vote_no ()));
+    let rec acquire = function
+      | [] ->
+        granted_all := true;
+        if (not !abandoned) && not (Db.Testable_tx.already_processed t.view tx_id) then begin
+          let record = { p_tx = tx_id; p_writes = writes; p_coord = coordinator } in
+          Hashtbl.replace t.prepared tx_id record;
+          Store.Stable_storage.append t.prepared_log record
+            ~on_durable:
+              (guard t (fun () ->
+                   if Hashtbl.mem t.prepared tx_id then
+                     send t coord_node (Tpc_vote { tx_id; yes = true })))
+        end
+      | item :: rest -> begin
+          match
+            Db.Lock_table.acquire (locks t) ~tx:tx_id ~item ~mode:Db.Lock_table.Exclusive
+              ~granted:(guard t (fun () -> if not !abandoned then acquire rest))
+          with
+          | `Ok -> ()
+          | `Deadlock -> vote_no ()
+        end
+    in
+    acquire items
+  end
+
+let handle_decision t tx_id commit writes =
+  if not (Db.Testable_tx.already_processed t.view tx_id) then apply_decision t tx_id commit writes
+  else Hashtbl.remove t.prepared tx_id
+
+let handle_decision_req t src tx_id =
+  match Db.Testable_tx.find t.view tx_id with
+  | Some Db.Testable_tx.Committed ->
+    let writes =
+      match
+        List.find_opt (fun r -> r.Db.Db_engine.w_tx = tx_id) (Db.Db_engine.wal_records (db t))
+      with
+      | Some r -> r.Db.Db_engine.w_writes
+      | None -> []
+    in
+    send t src (Tpc_decision { tx_id; commit = true; writes })
+  | Some Db.Testable_tx.Aborted -> send t src (Tpc_decision { tx_id; commit = false; writes = [] })
+  | None -> () (* still undecided here; the requester retries *)
+
+(* ---- Client-facing execution (same local 2PL as the lazy technique) ---- *)
+
+let execute_ops t tx ~k =
+  let id = tx.Db.Transaction.id in
+  let rec step = function
+    | [] -> k `Done
+    | op :: rest ->
+      let item = Db.Op.item op in
+      let mode = if Db.Op.is_write op then Db.Lock_table.Exclusive else Db.Lock_table.Shared in
+      let continue () =
+        match op with
+        | Db.Op.Read _ -> Db.Db_engine.read (db t) ~item ~k:(fun _ -> step rest)
+        | Db.Op.Write _ -> step rest
+      in
+      (match Db.Lock_table.acquire (locks t) ~tx:id ~item ~mode ~granted:(guard t continue) with
+       | `Ok -> ()
+       | `Deadlock -> k `Deadlock)
+  in
+  step tx.Db.Transaction.ops
+
+let submit t tx ~on_response =
+  if serving t then begin
+    let id = tx.Db.Transaction.id in
+    tr t "submit" [ ("tx", string_of_int id) ];
+    execute_ops t tx ~k:(fun result ->
+        match result with
+        | `Deadlock ->
+          t.deadlock_aborts <- t.deadlock_aborts + 1;
+          Db.Lock_table.release_all (locks t) ~tx:id;
+          record_outcome t id Db.Testable_tx.Aborted;
+          tr t "respond" [ ("tx", string_of_int id); ("outcome", "aborted") ];
+          on_response Db.Testable_tx.Aborted
+        | `Done ->
+          if Db.Transaction.is_update tx then start_two_phase_commit t tx ~on_response
+          else begin
+            Db.Lock_table.release_all (locks t) ~tx:id;
+            tr t "respond" [ ("tx", string_of_int id); ("outcome", "committed") ];
+            on_response Db.Testable_tx.Committed
+          end)
+  end
+
+(* ---- Recovery ---- *)
+
+let resolve_in_doubt t =
+  Hashtbl.iter
+    (fun tx_id record -> send t (node_of_index t record.p_coord) (Tpc_decision_req { tx_id }))
+    t.prepared
+
+let recover t =
+  Db.Db_engine.recover_now (db t);
+  Db.Testable_tx.replace t.view (Db.Testable_tx.to_list (Db.Db_engine.testable (db t)));
+  Hashtbl.reset t.prepared;
+  (* Re-discover in-doubt transactions: durably prepared, no decision on
+     disk. Transactions this server itself coordinated are resolved by
+     presumed abort (the crash interrupted the vote); the rest stay blocked
+     until their coordinator answers. *)
+  let self = t.server.Server.index in
+  List.iter
+    (fun record ->
+      if not (Db.Testable_tx.already_processed t.view record.p_tx) then begin
+        if record.p_coord = self then begin
+          record_outcome t record.p_tx Db.Testable_tx.Aborted;
+          Db.Db_engine.log_commit_quiet (db t) ~tx:record.p_tx ~decision:Db.Certifier.Abort
+            ~writes:[];
+          List.iter
+            (fun p -> send t p (Tpc_decision { tx_id = record.p_tx; commit = false; writes = [] }))
+            t.others
+        end
+        else begin
+          Hashtbl.replace t.prepared record.p_tx record;
+          tr t "in_doubt" [ ("tx", string_of_int record.p_tx) ]
+        end
+      end)
+    (Store.Stable_storage.durable_records t.prepared_log);
+  t.ready <- true;
+  resolve_in_doubt t;
+  Sim.Process.periodic t.server.Server.process ~every:(Sim.Sim_time.span_ms 500.) (fun () ->
+      if Hashtbl.length t.prepared > 0 then resolve_in_doubt t)
+
+let create server ~group ~params ?(lock_timeout = Sim.Sim_time.span_ms 300.)
+    ?(vote_timeout = Sim.Sim_time.span_s 1.) ~trace () =
+  ignore params;
+  let self = Net.Endpoint.id server.Server.endpoint in
+  let group = List.sort Net.Node_id.compare group in
+  let others = List.filter (fun n -> not (Net.Node_id.equal n self)) group in
+  let engine = Db.Db_engine.engine server.Server.db in
+  let config = Db.Db_engine.config server.Server.db in
+  let rng = Sim.Rng.split server.Server.rng in
+  let prepared_log =
+    Store.Stable_storage.create engine
+      ~name:(Server.label server ^ ".2pc")
+      ~disk:server.Server.disks
+      ~write_time:(fun () ->
+        Sim.Rng.uniform_span rng config.Db.Db_engine.io_time_min config.Db.Db_engine.io_time_max)
+      ()
+  in
+  let t =
+    {
+      server;
+      trace;
+      group;
+      others;
+      view = Db.Testable_tx.create ();
+      prepared_log;
+      prepared = Hashtbl.create 64;
+      coordinating = Hashtbl.create 64;
+      lock_timeout;
+      vote_timeout;
+      ready = true;
+      deadlock_aborts = 0;
+      vote_timeouts = 0;
+    }
+  in
+  Net.Endpoint.add_handler server.Server.endpoint (fun message ->
+      let src = message.Net.Message.src in
+      match message.Net.Message.payload with
+      | Tpc_prepare { tx_id; writes; coordinator } ->
+        handle_prepare t tx_id writes coordinator;
+        true
+      | Tpc_vote { tx_id; yes } ->
+        handle_vote t src tx_id yes;
+        true
+      | Tpc_decision { tx_id; commit; writes } ->
+        handle_decision t tx_id commit writes;
+        true
+      | Tpc_decision_req { tx_id } ->
+        handle_decision_req t src tx_id;
+        true
+      | _ -> false);
+  Sim.Process.on_kill server.Server.process (fun () ->
+      t.ready <- false;
+      Store.Stable_storage.crash prepared_log;
+      Hashtbl.reset t.coordinating;
+      Hashtbl.reset t.prepared;
+      Db.Testable_tx.reset t.view);
+  Sim.Process.on_restart server.Server.process (fun () -> recover t);
+  t
+
+let committed t id =
+  match Db.Testable_tx.find t.view id with
+  | Some Db.Testable_tx.Committed -> true
+  | Some Db.Testable_tx.Aborted | None -> false
+
+let committed_count t = Db.Testable_tx.committed_count t.view
+let deadlock_aborts t = t.deadlock_aborts
+let vote_timeouts t = t.vote_timeouts
+let in_doubt t = Hashtbl.length t.prepared

@@ -1,0 +1,59 @@
+(** Eager update-everywhere replication over two-phase commit — the
+    traditional technique the paper's introduction contrasts with
+    group-communication replication ("slow and deadlock prone", after Gray
+    et al.'s dangers of replication).
+
+    The delegate executes the transaction under local strict 2PL, then
+    coordinates a 2PC round: every replica acquires exclusive locks on the
+    written items, force-logs a prepare record and votes; on unanimous yes
+    the coordinator force-logs the decision, answers the client and
+    broadcasts commit. The client answer therefore implies the transaction
+    is durably prepared on {e every} server — 2-safe — but:
+
+    - a write conflict between concurrent coordinators at two sites blocks
+      lock queues in opposite orders at different participants: a
+      {e distributed deadlock}, resolved only by timeouts (counted);
+    - one unreachable participant stalls the vote and forces an abort —
+      commit availability requires every server;
+    - a participant that crashes after voting yes recovers {e in doubt}
+      and must ask the coordinator for the decision; while the coordinator
+      is down the transaction stays blocked with its locks held (the
+      classic 2PC blocking problem). *)
+
+type t
+
+val create :
+  Server.t ->
+  group:Net.Node_id.t list ->
+  params:Workload.Params.t ->
+  ?lock_timeout:Sim.Sim_time.span ->
+  ?vote_timeout:Sim.Sim_time.span ->
+  trace:Sim.Trace.t ->
+  unit ->
+  t
+(** [create server ~group ~params ~trace ()] attaches the replica.
+    [lock_timeout] (default 300 ms) bounds a participant's wait for write
+    locks before voting no; [vote_timeout] (default 1 s) bounds the
+    coordinator's wait for votes before aborting. *)
+
+val submit : t -> Db.Transaction.t -> on_response:(Db.Testable_tx.outcome -> unit) -> unit
+(** Execute with this server as coordinator. The response arrives after
+    the full 2PC round: [Committed] on unanimous yes votes, [Aborted] on a
+    local deadlock, a no vote, or a vote timeout. *)
+
+val serving : t -> bool
+val recover : t -> unit
+
+val committed : t -> Db.Transaction.id -> bool
+val committed_count : t -> int
+
+val deadlock_aborts : t -> int
+(** Transactions aborted by local deadlock detection or lock timeouts —
+    the distributed-deadlock casualties. *)
+
+val vote_timeouts : t -> int
+(** Coordinator-side aborts caused by missing votes. *)
+
+val in_doubt : t -> int
+(** Transactions currently prepared on this replica without a known
+    decision (blocked if the coordinator is down). *)

@@ -1,0 +1,59 @@
+type t = {
+  mutable version : int;
+  last_written : (int, int) Hashtbl.t;
+  mutable commits : int;
+  mutable aborts : int;
+}
+
+type decision = Commit | Abort
+
+let decision_equal a b =
+  match (a, b) with Commit, Commit | Abort, Abort -> true | Commit, Abort | Abort, Commit -> false
+
+let pp_decision ppf = function
+  | Commit -> Format.pp_print_string ppf "commit"
+  | Abort -> Format.pp_print_string ppf "abort"
+
+let create () = { version = 0; last_written = Hashtbl.create 1024; commits = 0; aborts = 0 }
+
+let current_version c = c.version
+
+let check_only c ~start ~read_items =
+  let stale item =
+    match Hashtbl.find_opt c.last_written item with Some v -> v > start | None -> false
+  in
+  if List.exists stale read_items then Abort else Commit
+
+let certify c ~start ~ws =
+  match check_only c ~start ~read_items:ws.Transaction.read_items with
+  | Abort ->
+    c.aborts <- c.aborts + 1;
+    Abort
+  | Commit ->
+    c.version <- c.version + 1;
+    List.iter
+      (fun (item, _) -> Hashtbl.replace c.last_written item c.version)
+      ws.Transaction.write_values;
+    c.commits <- c.commits + 1;
+    Commit
+
+let last_writer c item = Hashtbl.find_opt c.last_written item
+let commits c = c.commits
+let aborts c = c.aborts
+
+let reset c =
+  c.version <- 0;
+  Hashtbl.reset c.last_written;
+  c.commits <- 0;
+  c.aborts <- 0
+
+let export c = (c.version, Hashtbl.fold (fun item v acc -> (item, v) :: acc) c.last_written [])
+
+let import c ~version ~bindings =
+  reset c;
+  c.version <- version;
+  List.iter (fun (item, v) -> Hashtbl.replace c.last_written item v) bindings
+
+let note_commit c ~write_items =
+  c.version <- c.version + 1;
+  List.iter (fun item -> Hashtbl.replace c.last_written item c.version) write_items

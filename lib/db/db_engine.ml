@@ -1,0 +1,175 @@
+type config = {
+  items : int;
+  io_time_min : Sim.Sim_time.span;
+  io_time_max : Sim.Sim_time.span;
+  cpu_per_io : Sim.Sim_time.span;
+  buffer : Store.Buffer_pool.model;
+  group_commit : bool;
+  async_write_factor : float;
+}
+
+let table4_config =
+  {
+    items = 10_000;
+    io_time_min = Sim.Sim_time.span_ms 4.;
+    io_time_max = Sim.Sim_time.span_ms 12.;
+    cpu_per_io = Sim.Sim_time.span_ms 0.4;
+    buffer = Store.Buffer_pool.Probabilistic 0.2;
+    group_commit = true;
+    async_write_factor = 0.5;
+  }
+
+type wal_record = {
+  w_tx : Transaction.id;
+  w_decision : Certifier.decision;
+  w_writes : (int * int) list;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  process : Sim.Process.t;
+  cpus : Sim.Resource.t;
+  disks : Sim.Resource.t;
+  rng : Sim.Rng.t;
+  config : config;
+  mutable values : int array;
+  pool : Store.Buffer_pool.t;
+  wal : wal_record Store.Stable_storage.t;
+  mutable lock_table : Lock_table.t;
+  testable_table : Testable_tx.t;
+}
+
+let config t = t.config
+let engine t = t.engine
+
+let draw_io_time rng config = Sim.Rng.uniform_span rng config.io_time_min config.io_time_max
+
+let io_time t = draw_io_time t.rng t.config
+
+let scaled_io_time t factor =
+  let us = float_of_int (Sim.Sim_time.span_to_us (io_time t)) *. factor in
+  Sim.Sim_time.span_us (int_of_float (Float.max 1. (Float.round us)))
+
+let create engine ~process ~cpus ~disks ~rng config =
+  let pool = Store.Buffer_pool.create (Sim.Rng.split rng) config.buffer in
+  let wal_rng = Sim.Rng.split rng in
+  let wal =
+    Store.Stable_storage.create engine
+      ~name:(Sim.Process.name process ^ ".wal")
+      ~disk:disks
+      ~write_time:(fun () -> draw_io_time wal_rng config)
+      ~config:{ Store.Stable_storage.group_commit = config.group_commit }
+      ()
+  in
+  let t =
+    {
+      engine;
+      process;
+      cpus;
+      disks;
+      rng;
+      config;
+      values = Array.make config.items 0;
+      pool;
+      wal;
+      lock_table = Lock_table.create ();
+      testable_table = Testable_tx.create ();
+    }
+  in
+  Sim.Process.on_kill process (fun () ->
+      Store.Stable_storage.crash wal;
+      Store.Buffer_pool.invalidate pool;
+      Testable_tx.reset t.testable_table;
+      t.lock_table <- Lock_table.create ());
+  t
+
+let value t item = t.values.(item)
+let values_snapshot t = Array.copy t.values
+let install_snapshot t snapshot = t.values <- Array.copy snapshot
+
+let guard t k = Sim.Process.guard t.process k
+
+(* Every timed operation is a no-op on a dead server: straight-line code
+   can keep issuing I/O after a synchronous crash (e.g. a client callback
+   that kills the server), and none of it may reach the disk. *)
+let read t ~item ~k =
+  if not (Sim.Process.alive t.process) then ()
+  else if Store.Buffer_pool.read t.pool ~page:item then k t.values.(item)
+  else
+    Sim.Resource.request t.cpus ~duration:t.config.cpu_per_io
+      (guard t (fun () ->
+           Sim.Resource.request t.disks ~duration:(io_time t)
+             (guard t (fun () -> k t.values.(item)))))
+
+let read_seq t ~items ~k =
+  let rec loop = function
+    | [] -> k ()
+    | item :: rest -> read t ~item ~k:(fun _ -> loop rest)
+  in
+  loop items
+
+let install_writes t writes =
+  List.iter
+    (fun (item, v) ->
+      t.values.(item) <- v;
+      Store.Buffer_pool.write t.pool ~page:item)
+    writes
+
+let write_io t ~count ~factor ~k =
+  if not (Sim.Process.alive t.process) then ()
+  else if count <= 0 then k ()
+  else begin
+    let remaining = ref count in
+    let one_done () =
+      decr remaining;
+      if !remaining = 0 then k ()
+    in
+    for _ = 1 to count do
+      Sim.Resource.request t.cpus ~duration:t.config.cpu_per_io
+        (guard t (fun () ->
+             Sim.Resource.request t.disks ~duration:(scaled_io_time t factor) (guard t one_done)))
+    done
+  end
+
+let async_factor t = t.config.async_write_factor
+
+let log_commit t ~tx ~decision ~writes ~k =
+  if Sim.Process.alive t.process then
+    Store.Stable_storage.append t.wal
+      { w_tx = tx; w_decision = decision; w_writes = writes }
+      ~on_durable:(guard t k)
+
+let log_commit_quiet t ~tx ~decision ~writes =
+  if Sim.Process.alive t.process then
+    Store.Stable_storage.append_quiet t.wal { w_tx = tx; w_decision = decision; w_writes = writes }
+
+let locks t = t.lock_table
+let testable t = t.testable_table
+let wal_records t = Store.Stable_storage.durable_records t.wal
+
+let durable_commits t =
+  List.length
+    (List.filter
+       (fun r -> Certifier.decision_equal r.w_decision Certifier.Commit)
+       (wal_records t))
+
+let recover_now t =
+  Array.fill t.values 0 t.config.items 0;
+  Testable_tx.reset t.testable_table;
+  List.iter
+    (fun r ->
+      match r.w_decision with
+      | Certifier.Commit ->
+        List.iter (fun (item, v) -> t.values.(item) <- v) r.w_writes;
+        Testable_tx.record t.testable_table r.w_tx Testable_tx.Committed
+      | Certifier.Abort -> Testable_tx.record t.testable_table r.w_tx Testable_tx.Aborted)
+    (wal_records t)
+
+let recover t ~k =
+  Sim.Resource.request t.disks ~duration:(io_time t)
+    (guard t (fun () ->
+         recover_now t;
+         k ()))
+
+let log_flushes t = Store.Stable_storage.flush_count t.wal
+let buffer_hit_ratio t = Store.Buffer_pool.hit_ratio t.pool

@@ -1,0 +1,121 @@
+(** The local database component (paper §2.2).
+
+    One instance per server. Holds the full copy of the database in memory,
+    charges simulated CPU and disk time for operations (Table 4: 4–12 ms
+    per I/O, 0.4 ms of CPU per I/O, buffer pool with a hit ratio), logs
+    commit decisions to a write-ahead log on stable storage, and recovers
+    its state from that log after a crash. Serialisation of the in-memory
+    state is the caller's concern: replication techniques install write
+    values at their commit point (in delivery order), while the disk cost
+    of those writes is charged separately, synchronously or in the
+    background. *)
+
+type config = {
+  items : int;  (** database size. *)
+  io_time_min : Sim.Sim_time.span;  (** fastest disk operation. *)
+  io_time_max : Sim.Sim_time.span;  (** slowest disk operation. *)
+  cpu_per_io : Sim.Sim_time.span;  (** CPU charged per physical I/O. *)
+  buffer : Store.Buffer_pool.model;
+  group_commit : bool;  (** batch log flushes. *)
+  async_write_factor : float;
+      (** service-time multiplier for background (write-back) disk writes;
+          below 1 models coalescing and elevator scheduling of
+          asynchronous writes (paper §5.1). *)
+}
+
+val table4_config : config
+(** The paper's simulator parameters: 10 000 items, 4–12 ms I/O, 0.4 ms
+    CPU per I/O, 20 % buffer hit ratio, group commit on, async factor
+    0.5. *)
+
+type wal_record = {
+  w_tx : Transaction.id;
+  w_decision : Certifier.decision;
+  w_writes : (int * int) list;  (** empty for aborts. *)
+}
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  process:Sim.Process.t ->
+  cpus:Sim.Resource.t ->
+  disks:Sim.Resource.t ->
+  rng:Sim.Rng.t ->
+  config ->
+  t
+(** [create e ~process ~cpus ~disks ~rng config] builds the component.
+    Crash behaviour (losing buffered state, pending log writes, lock table
+    and in-memory values) is wired to [process]; call {!recover} after a
+    restart. The resources are shared with the rest of the server and are
+    not reset here. *)
+
+val config : t -> config
+val engine : t -> Sim.Engine.t
+
+val value : t -> int -> int
+(** Current in-memory value of an item. *)
+
+val values_snapshot : t -> int array
+(** A copy of the whole in-memory state (used by state transfer). *)
+
+val install_snapshot : t -> int array -> unit
+
+val read : t -> item:int -> k:(int -> unit) -> unit
+(** [read t ~item ~k] performs a timed read: free on a buffer hit,
+    otherwise CPU + disk. [k] receives the value. *)
+
+val read_seq : t -> items:int list -> k:(unit -> unit) -> unit
+(** Reads the items one after another (program order), then [k]. *)
+
+val install_writes : t -> (int * int) list -> unit
+(** Instantly installs values in memory and the buffer. The disk cost is
+    charged separately via {!write_io} or {!log_commit}. *)
+
+val write_io : t -> count:int -> factor:float -> k:(unit -> unit) -> unit
+(** [write_io t ~count ~factor ~k] charges CPU + disk for [count] page
+    writes, issued concurrently (they queue on the server's disks). The
+    disk service time of each write is scaled by [factor]: use [1.0] for
+    synchronous in-path writes and a value below one for background
+    write-back that can be coalesced and elevator-scheduled (the config's
+    [async_write_factor] is the conventional choice). [k] runs when all
+    complete. *)
+
+val async_factor : t -> float
+(** The configured background-write factor. *)
+
+val log_commit :
+  t -> tx:Transaction.id -> decision:Certifier.decision -> writes:(int * int) list ->
+  k:(unit -> unit) -> unit
+(** Appends a decision record to the WAL; [k] runs once it is durable
+    (group commit may batch it with neighbours). *)
+
+val log_commit_quiet :
+  t -> tx:Transaction.id -> decision:Certifier.decision -> writes:(int * int) list -> unit
+(** Fire-and-forget WAL append (asynchronous durability — the group-safe
+    mode). *)
+
+val locks : t -> Lock_table.t
+(** The server-local lock table (fresh after every crash). *)
+
+val testable : t -> Testable_tx.t
+(** The testable-transaction table; {!recover} rebuilds it from the WAL. *)
+
+val wal_records : t -> wal_record list
+(** Durable WAL contents, oldest first (inspection / checkers). *)
+
+val durable_commits : t -> int
+(** Number of committed transactions currently recorded on this server's
+    disk. *)
+
+val recover : t -> k:(unit -> unit) -> unit
+(** Rebuilds in-memory values and the testable-transaction table by
+    replaying the durable WAL (one timed disk read), then calls [k]. *)
+
+val recover_now : t -> unit
+(** {!recover} without the timed disk read: the rebuild happens instantly.
+    For replication layers that must restore state synchronously inside a
+    recovery protocol step and account for the I/O themselves. *)
+
+val log_flushes : t -> int
+val buffer_hit_ratio : t -> float

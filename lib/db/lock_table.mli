@@ -1,0 +1,36 @@
+(** Strict two-phase locking.
+
+    Shared/exclusive item locks with FIFO queueing and deadlock detection
+    on the waits-for graph: a request that would close a cycle is refused
+    immediately ([`Deadlock]) and the requester is expected to abort and
+    {!release_all}. Lock upgrades (shared to exclusive by the sole holder)
+    are granted in place.
+
+    The local database components use this for the execution phase; the
+    certification-based replication techniques never hold cross-server
+    locks — that is the point of the non-voting technique. *)
+
+type mode = Shared | Exclusive
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> tx:int -> item:int -> mode:mode -> granted:(unit -> unit) -> [ `Ok | `Deadlock ]
+(** [acquire lt ~tx ~item ~mode ~granted] requests the lock. [`Ok] means the
+    request was accepted: [granted] has either already been called
+    (immediate grant) or will be called when the lock becomes available.
+    [`Deadlock] means granting would create a waits-for cycle; the request
+    is not enqueued and [granted] will never be called. Re-acquiring a held
+    lock at the same or weaker mode is an immediate grant. *)
+
+val release_all : t -> tx:int -> unit
+(** Releases every lock [tx] holds and removes its queued requests, then
+    grants whatever became available. *)
+
+val holds : t -> tx:int -> item:int -> bool
+
+val waiting : t -> int
+(** Total queued (not yet granted) requests. *)
+
+val deadlocks_detected : t -> int

@@ -1,0 +1,14 @@
+type t = Read of int | Write of int * int
+
+let item = function Read i -> i | Write (i, _) -> i
+let is_write = function Write _ -> true | Read _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Read i, Read j -> i = j
+  | Write (i, v), Write (j, w) -> i = j && v = w
+  | Read _, Write _ | Write _, Read _ -> false
+
+let pp ppf = function
+  | Read i -> Format.fprintf ppf "r(%d)" i
+  | Write (i, v) -> Format.fprintf ppf "w(%d:=%d)" i v

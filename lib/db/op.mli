@@ -1,0 +1,17 @@
+(** Transaction operations.
+
+    Items are identified by dense integers in [\[0, items)]; an item maps
+    one-to-one onto a disk page. A write carries the value it installs, so
+    replicas can check convergence value-by-value. *)
+
+type t =
+  | Read of int  (** read of an item. *)
+  | Write of int * int  (** write of an item with the new value. *)
+
+val item : t -> int
+(** The item the operation touches. *)
+
+val is_write : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

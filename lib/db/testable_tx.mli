@@ -1,0 +1,34 @@
+(** Testable transactions (paper §2.2, after Frølund & Guerraoui).
+
+    The local database can be asked whether a given transaction was already
+    processed and with which outcome, so a replayed message never commits a
+    transaction twice. The table is rebuilt from the write-ahead log during
+    recovery, which is what makes the answer trustworthy after a crash. *)
+
+type outcome = Committed | Aborted
+
+val outcome_equal : outcome -> outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type t
+
+val create : unit -> t
+
+val record : t -> Transaction.id -> outcome -> unit
+(** Records the outcome; recording the same outcome again is a no-op.
+    @raise Invalid_argument on a conflicting outcome for the same id. *)
+
+val find : t -> Transaction.id -> outcome option
+val already_processed : t -> Transaction.id -> bool
+val count : t -> int
+
+val reset : t -> unit
+(** Forgets everything (crash); the owner re-populates it from the log. *)
+
+val to_list : t -> (Transaction.id * outcome) list
+(** All recorded outcomes, in unspecified order (state transfer). *)
+
+val replace : t -> (Transaction.id * outcome) list -> unit
+(** Replaces the contents with an exported list. *)
+
+val committed_count : t -> int

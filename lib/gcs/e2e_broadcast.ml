@@ -1,0 +1,105 @@
+module Make (V : Replicated_log.VALUE) = struct
+  module Uid = struct
+    type t = { origin : int; incarnation : int; seq : int }
+
+    let equal a b = a.origin = b.origin && a.incarnation = b.incarnation && a.seq = b.seq
+    let hash = Hashtbl.hash
+    let pp ppf u = Format.fprintf ppf "%d.%d.%d" u.origin u.incarnation u.seq
+  end
+
+  module LV = struct
+    type t = { uid : Uid.t; value : V.t }
+
+    let equal a b = Uid.equal a.uid b.uid
+    let pp ppf e = Format.fprintf ppf "%a:%a" Uid.pp e.uid V.pp e.value
+  end
+
+  module Log = Replicated_log.Make (LV)
+  module Uid_tbl = Hashtbl.Make (Uid)
+
+  type token = int (* the log slot of the delivery *)
+
+  type t = {
+    ep : Net.Endpoint.t;
+    log : Log.t;
+    cursor : int Store.Durable_cell.t;
+    deliver : token -> V.t -> unit;
+    (* Volatile; rebuilt during replay after each restart. *)
+    seen_uids : unit Uid_tbl.t;
+    unstable : LV.t Uid_tbl.t;
+    mutable next_seq : int;
+    mutable delivered : int;
+  }
+
+  let delivered_count t = t.delivered
+  let acked_slot t = Store.Durable_cell.read t.cursor
+
+  let on_log_decide t ~slot value =
+    match value with
+    | None -> ()
+    | Some { LV.uid; value } ->
+      Uid_tbl.remove t.unstable uid;
+      let duplicate = Uid_tbl.mem t.seen_uids uid in
+      Uid_tbl.replace t.seen_uids uid ();
+      (* Slots below the durable cursor were successfully delivered before
+         a crash: recorded for deduplication but not redelivered. *)
+      if (not duplicate) && slot >= Store.Durable_cell.read t.cursor then begin
+        t.delivered <- t.delivered + 1;
+        t.deliver slot value
+      end
+
+  let ack t token =
+    let current = Store.Durable_cell.read t.cursor in
+    if token + 1 > current then Store.Durable_cell.write_quiet t.cursor (token + 1)
+
+  let broadcast t value =
+    let uid =
+      {
+        Uid.origin = Net.Node_id.index (Net.Endpoint.id t.ep);
+        incarnation = Sim.Process.incarnation (Net.Endpoint.process t.ep);
+        seq = t.next_seq;
+      }
+    in
+    t.next_seq <- t.next_seq + 1;
+    let entry = { LV.uid; value } in
+    Uid_tbl.replace t.unstable uid entry;
+    Log.propose t.log entry
+
+  let retransmit_interval = Sim.Sim_time.span_ms 100.
+
+  let arm_retransmit t =
+    Sim.Process.periodic (Net.Endpoint.process t.ep) ~every:retransmit_interval (fun () ->
+        Uid_tbl.iter (fun _ entry -> Log.propose t.log entry) t.unstable)
+
+  let create ep ~group ~disk ~write_time ?fd_config ~deliver () =
+    let log = Log.create ep ~group ~mode:(Log.Durable { disk; write_time }) ?fd_config () in
+    let engine = Net.Network.engine (Net.Endpoint.network ep) in
+    let cursor =
+      Store.Durable_cell.create engine
+        ~name:(Net.Node_id.label (Net.Endpoint.id ep) ^ ".cursor")
+        ~disk ~write_time ~initial:0
+    in
+    let t =
+      {
+        ep;
+        log;
+        cursor;
+        deliver;
+        seen_uids = Uid_tbl.create 256;
+        unstable = Uid_tbl.create 16;
+        next_seq = 0;
+        delivered = 0;
+      }
+    in
+    Log.on_decide log (on_log_decide t);
+    let process = Net.Endpoint.process ep in
+    Sim.Process.on_kill process (fun () ->
+        Store.Durable_cell.crash cursor;
+        Uid_tbl.reset t.seen_uids;
+        Uid_tbl.reset t.unstable);
+    Sim.Process.on_restart process (fun () ->
+        t.next_seq <- 0;
+        arm_retransmit t);
+    arm_retransmit t;
+    t
+end

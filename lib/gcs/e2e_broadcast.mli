@@ -1,0 +1,54 @@
+(** End-to-end atomic broadcast (the paper's new primitive, §4).
+
+    Extends atomic broadcast with an application acknowledgement: a
+    delivery is {e successful} only once the application has processed the
+    message and called {!ack}. The group-communication layer logs protocol
+    state and its acknowledgement cursor on stable storage; after a crash it
+    {b replays} every decided message that was not yet successfully
+    delivered. Properties (paper §4.2):
+
+    - {e End-to-end}: a non-red process that A-delivers [m] eventually
+      successfully A-delivers [m];
+    - {e Refined uniform integrity}: [m] may be {e delivered} several times
+      (replays), but is {e successfully delivered} at most once — up to the
+      durability lag of the acknowledgement cursor, which is why the paper
+      requires testable (exactly-once) transactions at the application
+      (§2.2, §4.3).
+
+    Built on the replicated log in durable mode, so it tolerates the
+    simultaneous crash of every member. *)
+
+module Make (V : Replicated_log.VALUE) : sig
+  type t
+
+  type token
+  (** Identifies one delivery for acknowledgement. *)
+
+  val create :
+    Net.Endpoint.t ->
+    group:Net.Node_id.t list ->
+    disk:Sim.Resource.t ->
+    write_time:(unit -> Sim.Sim_time.span) ->
+    ?fd_config:Failure_detector.config ->
+    deliver:(token -> V.t -> unit) ->
+    unit ->
+    t
+  (** [create ep ~group ~disk ~write_time ~deliver ()] attaches a member
+      whose protocol log and acknowledgement cursor live on [disk].
+      [deliver] is the A-deliver upcall; the application must call
+      [ack t token] once it has durably processed the message. *)
+
+  val broadcast : t -> V.t -> unit
+  (** A-broadcast with internal retransmission until ordered. *)
+
+  val ack : t -> token -> unit
+  (** [ack t token] marks the delivery successful. The cursor write is
+      asynchronous: a crash immediately after [ack] may still replay the
+      message once more. *)
+
+  val delivered_count : t -> int
+  (** Deliveries (including replays) made by this member so far. *)
+
+  val acked_slot : t -> int
+  (** Durable cursor: every slot below it was successfully delivered. *)
+end

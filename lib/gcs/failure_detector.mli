@@ -1,0 +1,39 @@
+(** Heartbeat failure detector.
+
+    Every member periodically broadcasts a heartbeat to its peers; a peer
+    unheard from for [timeout] becomes suspected. In the simulated LAN
+    (bounded transit, no false timeouts when [timeout] exceeds the heartbeat
+    interval plus transit) the detector is eventually perfect, which is all
+    the ordering protocol needs for liveness. Safety never depends on it.
+
+    Volatile: a crash clears the detector's state; on restart it starts
+    afresh and re-suspects everyone until heartbeats arrive. *)
+
+type config = {
+  heartbeat_interval : Sim.Sim_time.span;
+  timeout : Sim.Sim_time.span;  (** must exceed [heartbeat_interval]. *)
+}
+
+val default_config : config
+(** 10 ms heartbeats, 50 ms timeout — negligible load at Table 4 scale. *)
+
+type t
+
+val create : Net.Endpoint.t -> peers:Net.Node_id.t list -> ?config:config -> unit -> t
+(** [create ep ~peers ()] attaches a detector for [peers] (the member list
+    excluding or including self; self is never suspected) to endpoint
+    [ep]. Starts beating immediately and restarts itself after recoveries. *)
+
+val suspects : t -> Net.Node_id.t -> bool
+(** [suspects fd n] is [true] when [n] is currently suspected. Self is
+    never suspected. *)
+
+val suspected : t -> Net.Node_id.Set.t
+(** The current suspect set. Freshly (re)started detectors suspect nobody
+    until the first timeout elapses. *)
+
+val trusted : t -> Net.Node_id.t list
+(** Peers (plus self) currently not suspected, sorted by index. *)
+
+val on_change : t -> (unit -> unit) -> unit
+(** [on_change fd f] calls [f] whenever the suspect set changes. *)

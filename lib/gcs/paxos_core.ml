@@ -1,0 +1,40 @@
+module Ballot = struct
+  type t = { round : int; proposer : int }
+
+  let compare a b =
+    let c = Int.compare a.round b.round in
+    if c <> 0 then c else Int.compare a.proposer b.proposer
+
+  let equal a b = compare a b = 0
+  let pp ppf b = Format.fprintf ppf "(%d.%d)" b.round b.proposer
+end
+
+type 'v acceptor = { promised : Ballot.t option; accepted : (Ballot.t * 'v) option }
+
+let acceptor_empty = { promised = None; accepted = None }
+
+type 'v prepare_outcome = Promise of 'v acceptor * (Ballot.t * 'v) option | Prepare_nack of Ballot.t
+
+let receive_prepare a b =
+  match a.promised with
+  | Some p when Ballot.compare p b > 0 -> Prepare_nack p
+  | Some _ | None -> Promise ({ a with promised = Some b }, a.accepted)
+
+type 'v accept_outcome = Accepted of 'v acceptor | Accept_nack of Ballot.t
+
+let receive_accept a b v =
+  match a.promised with
+  | Some p when Ballot.compare p b > 0 -> Accept_nack p
+  | Some _ | None -> Accepted { promised = Some b; accepted = Some (b, v) }
+
+let value_to_propose reports =
+  let best =
+    List.fold_left
+      (fun best report ->
+        match (best, report) with
+        | None, r -> r
+        | Some _, None -> best
+        | Some (bb, _), Some (rb, _) -> if Ballot.compare rb bb > 0 then report else best)
+      None reports
+  in
+  Option.map snd best

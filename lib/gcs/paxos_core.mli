@@ -1,0 +1,46 @@
+(** Pure single-decree Paxos state machines.
+
+    The protocol core — ballots, acceptor transitions, and the proposer's
+    value-selection rule — with no I/O, timers or network: the replicated
+    log drives one instance of this per slot and supplies messaging and
+    leader election around it. Keeping the core pure makes the safety
+    argument small and lets property tests exercise it exhaustively. *)
+
+module Ballot : sig
+  type t = { round : int; proposer : int }
+  (** Ballots are ordered lexicographically by round then proposer index,
+      so two proposers never share a ballot. *)
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type 'v acceptor = {
+  promised : Ballot.t option;  (** highest ballot promised. *)
+  accepted : (Ballot.t * 'v) option;  (** latest accepted ballot and value. *)
+}
+
+val acceptor_empty : 'v acceptor
+
+type 'v prepare_outcome =
+  | Promise of 'v acceptor * (Ballot.t * 'v) option
+      (** updated state and previously accepted value to report. *)
+  | Prepare_nack of Ballot.t  (** the higher ballot already promised. *)
+
+val receive_prepare : 'v acceptor -> Ballot.t -> 'v prepare_outcome
+(** [receive_prepare a b] promises [b] if [b] is at least as high as any
+    prior promise, else nacks with the conflicting ballot. *)
+
+type 'v accept_outcome =
+  | Accepted of 'v acceptor
+  | Accept_nack of Ballot.t
+
+val receive_accept : 'v acceptor -> Ballot.t -> 'v -> 'v accept_outcome
+(** [receive_accept a b v] accepts [(b, v)] unless a higher ballot was
+    promised. *)
+
+val value_to_propose : (Ballot.t * 'v) option list -> 'v option
+(** The proposer rule: among the accepted values reported by a quorum of
+    promises, the one with the highest ballot must be proposed; [None]
+    when the proposer is free to pick its own value. *)

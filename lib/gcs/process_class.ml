@@ -1,0 +1,30 @@
+type t = Green | Yellow | Red
+
+let equal a b =
+  match (a, b) with Green, Green | Yellow, Yellow | Red, Red -> true | _, _ -> false
+
+let pp ppf = function
+  | Green -> Format.pp_print_string ppf "green"
+  | Yellow -> Format.pp_print_string ppf "yellow"
+  | Red -> Format.pp_print_string ppf "red"
+
+let is_good = function Green | Yellow -> true | Red -> false
+
+type history = {
+  crashes : Sim.Sim_time.t list;
+  recoveries : Sim.Sim_time.t list;
+  up_at_end : bool;
+}
+
+let classify ?(stability_window = Sim.Sim_time.span_zero) ~horizon h =
+  match h.crashes with
+  | [] -> Green
+  | _ :: _ ->
+    if not h.up_at_end then Red
+    else begin
+      match List.rev h.recoveries with
+      | [] -> Red (* crashed yet never recovered but "up": inconsistent history *)
+      | last_recovery :: _ ->
+        let stable_since = Sim.Sim_time.add last_recovery stability_window in
+        if Sim.Sim_time.(stable_since <= horizon) then Yellow else Red
+    end

@@ -1,0 +1,32 @@
+(** Process behaviour classes (paper, Fig. 3).
+
+    The paper classifies processes by their crash behaviour over a whole
+    run: {e green} processes never crash; {e yellow} processes crash one or
+    more times but are eventually forever up; {e red} processes crash
+    forever or keep crashing (unstable). Green and yellow together are the
+    {e good} processes of Aguilera et al.; red are the bad ones.
+
+    The classification is decided retrospectively from a node's crash /
+    recovery history over a finite horizon: a node down at the horizon, or
+    whose up-time after its last recovery is shorter than [stability_window],
+    counts as red. *)
+
+type t = Green | Yellow | Red
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val is_good : t -> bool
+(** Green and yellow processes are good (Aguilera et al.). *)
+
+type history = {
+  crashes : Sim.Sim_time.t list;  (** crash instants, ascending. *)
+  recoveries : Sim.Sim_time.t list;  (** recovery instants, ascending. *)
+  up_at_end : bool;  (** alive at the horizon. *)
+}
+
+val classify : ?stability_window:Sim.Sim_time.span -> horizon:Sim.Sim_time.t -> history -> t
+(** [classify ~horizon h] is the class of a node with history [h] observed
+    up to [horizon]. [stability_window] (default zero) requires the final
+    up-period to be at least that long for a crashed node to count as
+    yellow rather than red. *)

@@ -1,0 +1,513 @@
+module Ballot = Paxos_core.Ballot
+
+module type VALUE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (V : VALUE) = struct
+  type entry = Noop | App of V.t
+
+  type mode =
+    | Volatile
+    | Durable of { disk : Sim.Resource.t; write_time : unit -> Sim.Sim_time.span }
+
+  type status = Active | Recovering
+
+  (* Acceptor state records persisted in durable mode, in append order. *)
+  type dur_record = D_promised of Ballot.t | D_accepted of int * Ballot.t * entry
+
+  type Net.Message.payload +=
+    | Prepare of { b : Ballot.t; from_slot : int }
+    | Promise of {
+        b : Ballot.t;
+        accepted : (int * Ballot.t * entry) list;
+        chosen : (int * entry) list;
+      }
+    | Nack of { promised : Ballot.t }
+    | Accept of { b : Ballot.t; slot : int; e : entry }
+    | Accept_ok of { b : Ballot.t; slot : int }
+    | Chosen of { slot : int; e : entry }
+    | Propose_req of { v : V.t; ttl : int }
+    | Catchup_req of { from_slot : int }
+    | Catchup_reply of { entries : (int * entry) list }
+
+  type prepare_state = {
+    p_ballot : Ballot.t;
+    p_from : int;
+    mutable p_voters : int list;  (* node indexes that promised *)
+    p_reports : (int, (Ballot.t * entry) list) Hashtbl.t;  (* slot -> reported accepts *)
+  }
+
+  type leading_state = {
+    l_ballot : Ballot.t;
+    mutable l_next_slot : int;
+    l_inflight : (int, entry * int list ref) Hashtbl.t;  (* slot -> entry, voters *)
+  }
+
+  type leadership = Follower | Preparing of prepare_state | Leading of leading_state
+
+  type t = {
+    ep : Net.Endpoint.t;
+    engine : Sim.Engine.t;
+    uniform : bool;
+    group : Net.Node_id.t list;  (* sorted, includes self *)
+    others : Net.Node_id.t list;
+    self : Net.Node_id.t;
+    quorum : int;
+    mode : mode;
+    storage : dur_record Store.Stable_storage.t option;
+    fd : Failure_detector.t;
+    mutable status : status;
+    (* Acceptor: one global promise, per-slot accepted values. *)
+    mutable promised : Ballot.t option;
+    accepted : (int, Ballot.t * entry) Hashtbl.t;
+    (* Learner. *)
+    chosen : (int, entry) Hashtbl.t;
+    mutable first_unchosen : int;
+    mutable next_deliver : int;
+    mutable max_chosen_seen : int;
+    (* Proposer. *)
+    mutable leadership : leadership;
+    mutable max_round : int;
+    pending : V.t Queue.t;
+    mutable deliver_hook : slot:int -> V.t option -> unit;
+  }
+
+  let id m = m.self
+  let status m = m.status
+  let mode_is_durable m = match m.mode with Durable _ -> true | Volatile -> false
+  let on_decide m f = m.deliver_hook <- f
+  let decided_prefix m = m.next_deliver
+  let leader_hint m = match Failure_detector.trusted m.fd with [] -> None | l :: _ -> Some l
+  let is_leading m = match m.leadership with Leading _ -> true | Follower | Preparing _ -> false
+
+  let chosen_at m slot =
+    match Hashtbl.find_opt m.chosen slot with
+    | None -> None
+    | Some Noop -> Some None
+    | Some (App v) -> Some (Some v)
+
+  let persist m record k =
+    match m.storage with
+    | None -> k ()
+    | Some st ->
+      Store.Stable_storage.append st record
+        ~on_durable:(Sim.Process.guard (Net.Endpoint.process m.ep) k)
+
+  let note_ballot m (b : Ballot.t) = if b.round > m.max_round then m.max_round <- b.round
+
+  (* Acceptor state as a Paxos_core view for one slot. *)
+  let slot_acceptor m slot : entry Paxos_core.acceptor =
+    { promised = m.promised; accepted = Hashtbl.find_opt m.accepted slot }
+
+  let deliver_ready m =
+    let rec loop () =
+      match Hashtbl.find_opt m.chosen m.next_deliver with
+      | None -> ()
+      | Some e ->
+        let slot = m.next_deliver in
+        m.next_deliver <- slot + 1;
+        (m.deliver_hook ~slot (match e with Noop -> None | App v -> Some v) : unit);
+        loop ()
+    in
+    loop ()
+
+  let add_chosen m slot e =
+    if not (Hashtbl.mem m.chosen slot) then begin
+      Hashtbl.replace m.chosen slot e;
+      if slot > m.max_chosen_seen then m.max_chosen_seen <- slot;
+      while Hashtbl.mem m.chosen m.first_unchosen do
+        m.first_unchosen <- m.first_unchosen + 1
+      done;
+      deliver_ready m
+    end
+
+  let send m dst payload = Net.Endpoint.send m.ep ~dst payload
+  let broadcast m payload = Net.Endpoint.broadcast m.ep ~to_:m.group payload
+
+  (* ---- Proposer ---- *)
+
+  let send_accept m (l : leading_state) slot e =
+    Hashtbl.replace l.l_inflight slot (e, ref []);
+    broadcast m (Accept { b = l.l_ballot; slot; e });
+    (* Non-uniform delivery (ablation): the leader treats its own proposal
+       as decided immediately, without waiting for a majority. Cheaper by
+       a round trip, but an entry can be delivered (and acted upon) at a
+       single process that then fails — exactly what uniform agreement
+       rules out. *)
+    if not m.uniform then add_chosen m slot e
+
+  let assign_and_send m (l : leading_state) e =
+    let slot = l.l_next_slot in
+    l.l_next_slot <- slot + 1;
+    send_accept m l slot e
+
+  let rec flush_pending m =
+    match m.leadership with
+    | Leading l -> Queue.iter (fun v -> assign_and_send m l (App v)) m.pending; Queue.clear m.pending
+    | Follower -> begin
+        match leader_hint m with
+        | Some l when not (Net.Node_id.equal l m.self) ->
+          Queue.iter (fun v -> send m l (Propose_req { v; ttl = 8 })) m.pending;
+          Queue.clear m.pending
+        | Some _ | None -> ()
+      end
+    | Preparing _ -> ()
+
+  and start_prepare m =
+    let b = { Ballot.round = m.max_round + 1; proposer = Net.Node_id.index m.self } in
+    m.max_round <- b.round;
+    let ps = { p_ballot = b; p_from = m.first_unchosen; p_voters = []; p_reports = Hashtbl.create 16 } in
+    m.leadership <- Preparing ps;
+    broadcast m (Prepare { b; from_slot = ps.p_from })
+
+  and election_check m =
+    if m.status = Active then begin
+      match leader_hint m with
+      | Some l when Net.Node_id.equal l m.self -> begin
+          match m.leadership with
+          | Leading _ | Preparing _ -> ()
+          | Follower -> start_prepare m
+        end
+      | Some _ ->
+        (match m.leadership with
+         | Leading _ | Preparing _ -> m.leadership <- Follower
+         | Follower -> ());
+        flush_pending m
+      | None -> ()
+    end
+
+  let propose m v =
+    if m.status = Active then begin
+      match m.leadership with
+      | Leading l -> assign_and_send m l (App v)
+      | Preparing _ -> Queue.push v m.pending
+      | Follower ->
+        Queue.push v m.pending;
+        flush_pending m;
+        election_check m
+    end
+
+  (* ---- Prepare handling (acceptor side) ---- *)
+
+  let handle_prepare m src (b : Ballot.t) from_slot =
+    note_ballot m b;
+    (* Leader lease re-assertions repeat the already-promised ballot; they
+       must not cost a stable-storage write in durable mode. *)
+    let already_promised =
+      match m.promised with Some p -> Ballot.equal p b | None -> false
+    in
+    match Paxos_core.receive_prepare (slot_acceptor m (-1)) b with
+    | Paxos_core.Prepare_nack promised -> send m src (Nack { promised })
+    | Paxos_core.Promise (state, _) ->
+      m.promised <- state.Paxos_core.promised;
+      let accepted =
+        Hashtbl.fold
+          (fun slot (ab, ae) acc -> if slot >= from_slot then (slot, ab, ae) :: acc else acc)
+          m.accepted []
+      in
+      let chosen =
+        Hashtbl.fold
+          (fun slot e acc -> if slot >= from_slot then (slot, e) :: acc else acc)
+          m.chosen []
+      in
+      let reply () = send m src (Promise { b; accepted; chosen }) in
+      if already_promised then reply () else persist m (D_promised b) reply
+
+  (* ---- Promise handling (proposer side) ---- *)
+
+  let finish_prepare m (ps : prepare_state) =
+    let l =
+      { l_ballot = ps.p_ballot; l_next_slot = ps.p_from; l_inflight = Hashtbl.create 16 }
+    in
+    m.leadership <- Leading l;
+    (* Determine the highest slot any report or local state mentions. *)
+    let top = ref (m.first_unchosen - 1) in
+    Hashtbl.iter (fun slot _ -> if slot > !top then top := slot) ps.p_reports;
+    Hashtbl.iter (fun slot _ -> if slot > !top then top := slot) m.accepted;
+    Hashtbl.iter (fun slot _ -> if slot > !top then top := slot) m.chosen;
+    for slot = ps.p_from to !top do
+      match Hashtbl.find_opt m.chosen slot with
+      | Some e -> broadcast m (Chosen { slot; e })
+      | None ->
+        let reports =
+          (match Hashtbl.find_opt ps.p_reports slot with
+           | Some l -> List.map (fun (b, e) -> Some (b, e)) l
+           | None -> [])
+          @ [ Hashtbl.find_opt m.accepted slot ]
+        in
+        let e = match Paxos_core.value_to_propose reports with Some e -> e | None -> Noop in
+        send_accept m l slot e
+    done;
+    l.l_next_slot <- !top + 1;
+    flush_pending m
+
+  let handle_promise m src (b : Ballot.t) accepted chosen =
+    match m.leadership with
+    | Preparing ps when Ballot.equal ps.p_ballot b ->
+      List.iter (fun (slot, e) -> add_chosen m slot e) chosen;
+      List.iter
+        (fun (slot, ab, ae) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt ps.p_reports slot) in
+          Hashtbl.replace ps.p_reports slot ((ab, ae) :: prev))
+        accepted;
+      let voter = Net.Node_id.index src in
+      if not (List.mem voter ps.p_voters) then begin
+        ps.p_voters <- voter :: ps.p_voters;
+        if List.length ps.p_voters >= m.quorum then finish_prepare m ps
+      end
+    | Preparing _ | Leading _ | Follower -> ()
+
+  (* ---- Accept handling (acceptor side) ---- *)
+
+  let handle_accept m src (b : Ballot.t) slot e =
+    note_ballot m b;
+    match Paxos_core.receive_accept (slot_acceptor m slot) b e with
+    | Paxos_core.Accept_nack promised -> send m src (Nack { promised })
+    | Paxos_core.Accepted state ->
+      m.promised <- state.Paxos_core.promised;
+      (match state.Paxos_core.accepted with
+       | Some (ab, ae) -> Hashtbl.replace m.accepted slot (ab, ae)
+       | None -> ());
+      persist m (D_accepted (slot, b, e)) (fun () -> send m src (Accept_ok { b; slot }));
+      if not m.uniform then add_chosen m slot e
+
+  (* ---- Accept_ok handling (proposer side) ---- *)
+
+  let handle_accept_ok m src (b : Ballot.t) slot =
+    match m.leadership with
+    | Leading l when Ballot.equal l.l_ballot b -> begin
+        match Hashtbl.find_opt l.l_inflight slot with
+        | None -> ()
+        | Some (e, voters) ->
+          let voter = Net.Node_id.index src in
+          if not (List.mem voter !voters) then begin
+            voters := voter :: !voters;
+            if List.length !voters >= m.quorum then begin
+              Hashtbl.remove l.l_inflight slot;
+              add_chosen m slot e;
+              broadcast m (Chosen { slot; e })
+            end
+          end
+      end
+    | Leading _ | Preparing _ | Follower -> ()
+
+  let handle_nack m (promised : Ballot.t) =
+    note_ballot m promised;
+    let outranked (b : Ballot.t) = Ballot.compare promised b > 0 in
+    let demoted =
+      match m.leadership with
+      | Preparing ps when outranked ps.p_ballot -> true
+      | Leading l when outranked l.l_ballot -> true
+      | Preparing _ | Leading _ | Follower -> false
+    in
+    if demoted then begin
+      m.leadership <- Follower;
+      (* Retry shortly: if the detector still points at us we will prepare
+         with a higher round; otherwise the rightful leader proceeds. *)
+      ignore (Sim.Process.after (Net.Endpoint.process m.ep) (Sim.Sim_time.span_ms 5.) (fun () ->
+          election_check m))
+    end
+
+  let handle_propose_req m v ttl =
+    if m.status = Active then begin
+      match m.leadership with
+      | Leading l -> assign_and_send m l (App v)
+      | Preparing _ -> Queue.push v m.pending
+      | Follower -> begin
+          match leader_hint m with
+          | Some l when (not (Net.Node_id.equal l m.self)) && ttl > 0 ->
+            send m l (Propose_req { v; ttl = ttl - 1 })
+          | Some _ | None -> Queue.push v m.pending
+        end
+    end
+
+  let handle_chosen m src slot e =
+    add_chosen m slot e;
+    if m.first_unchosen < slot then send m src (Catchup_req { from_slot = m.first_unchosen })
+
+  let handle_catchup_req m src from_slot =
+    let entries =
+      Hashtbl.fold (fun slot e acc -> if slot >= from_slot then (slot, e) :: acc else acc) m.chosen []
+    in
+    if entries <> [] then send m src (Catchup_reply { entries })
+
+  (* ---- Crash and recovery ---- *)
+
+  let wipe_volatile m =
+    m.promised <- None;
+    Hashtbl.reset m.accepted;
+    Hashtbl.reset m.chosen;
+    m.leadership <- Follower;
+    Queue.clear m.pending;
+    m.first_unchosen <- 0;
+    m.next_deliver <- 0;
+    m.max_chosen_seen <- -1
+
+  let resume m ~slot =
+    if m.status = Recovering then begin
+      wipe_volatile m;
+      m.first_unchosen <- slot;
+      m.next_deliver <- slot;
+      m.status <- Active;
+      election_check m
+    end
+
+  let reload_durable m st =
+    List.iter
+      (function
+        | D_promised b -> begin
+            match m.promised with
+            | Some p when Ballot.compare p b >= 0 -> ()
+            | Some _ | None -> m.promised <- Some b
+          end
+        | D_accepted (slot, b, e) -> begin
+            note_ballot m b;
+            match Hashtbl.find_opt m.accepted slot with
+            | Some (prev, _) when Ballot.compare prev b >= 0 -> ()
+            | Some _ | None -> Hashtbl.replace m.accepted slot (b, e)
+          end)
+      (Store.Stable_storage.durable_records st);
+    match m.promised with Some b -> note_ballot m b | None -> ()
+
+  let handle_restart m =
+    match (m.mode, m.storage) with
+    | Volatile, _ ->
+      m.status <- Recovering
+      (* The layer above performs state transfer and calls [resume]. *)
+    | Durable { disk; write_time }, Some st ->
+      (* One timed disk read models scanning the protocol log. *)
+      m.status <- Recovering;
+      Sim.Resource.request disk ~duration:(write_time ())
+        (Sim.Process.guard (Net.Endpoint.process m.ep) (fun () ->
+             wipe_volatile m;
+             reload_durable m st;
+             m.status <- Active;
+             List.iter (fun p -> send m p (Catchup_req { from_slot = 0 })) m.others;
+             election_check m))
+    | Durable _, None -> assert false
+
+  let handle_kill m =
+    (match m.storage with Some st -> Store.Stable_storage.crash st | None -> ());
+    m.leadership <- Follower;
+    match m.mode with Volatile -> wipe_volatile m | Durable _ -> ()
+
+  (* ---- Wiring ---- *)
+
+  let handle_message m message =
+    let src = message.Net.Message.src in
+    match message.Net.Message.payload with
+    | Prepare { b; from_slot } ->
+      if m.status = Active then handle_prepare m src b from_slot;
+      true
+    | Promise { b; accepted; chosen } ->
+      if m.status = Active then handle_promise m src b accepted chosen;
+      true
+    | Nack { promised } ->
+      if m.status = Active then handle_nack m promised;
+      true
+    | Accept { b; slot; e } ->
+      if m.status = Active then handle_accept m src b slot e;
+      true
+    | Accept_ok { b; slot } ->
+      if m.status = Active then handle_accept_ok m src b slot;
+      true
+    | Chosen { slot; e } ->
+      if m.status = Active then handle_chosen m src slot e;
+      true
+    | Propose_req { v; ttl } ->
+      handle_propose_req m v ttl;
+      true
+    | Catchup_req { from_slot } ->
+      if m.status = Active then handle_catchup_req m src from_slot;
+      true
+    | Catchup_reply { entries } ->
+      if m.status = Active then List.iter (fun (slot, e) -> add_chosen m slot e) entries;
+      true
+    | _ -> false
+
+  let housekeeping_interval = Sim.Sim_time.span_ms 100.
+
+  let arm_housekeeping m =
+    Sim.Process.periodic (Net.Endpoint.process m.ep) ~every:housekeeping_interval (fun () ->
+        if m.status = Active then begin
+          election_check m;
+          flush_pending m;
+          (* A prepare round whose messages were lost (peers down at the
+             time) would otherwise hang forever: retry with a fresh ballot
+             while the detector still points at us. An established leader
+             re-asserts its ballot instead — if a higher ballot was chosen
+             while we were cut off, the Nacks depose us and trigger a fresh
+             election that also recovers anything we missed. *)
+          (match (m.leadership, leader_hint m) with
+           | Preparing _, Some l when Net.Node_id.equal l m.self ->
+             m.leadership <- Follower;
+             start_prepare m
+           | Leading l, Some _ ->
+             broadcast m (Prepare { b = l.l_ballot; from_slot = m.first_unchosen })
+           | (Preparing _ | Leading _ | Follower), _ -> ());
+          if m.first_unchosen <= m.max_chosen_seen then begin
+            match leader_hint m with
+            | Some l when not (Net.Node_id.equal l m.self) ->
+              send m l (Catchup_req { from_slot = m.first_unchosen })
+            | Some _ | None -> ()
+          end
+        end)
+
+  let create ep ~group ~mode ?fd_config ?(uniform = true) () =
+    let self = Net.Endpoint.id ep in
+    let group = List.sort_uniq Net.Node_id.compare group in
+    if not (List.exists (Net.Node_id.equal self) group) then
+      invalid_arg "Replicated_log.create: endpoint not in group";
+    let others = List.filter (fun p -> not (Net.Node_id.equal p self)) group in
+    let engine = Net.Network.engine (Net.Endpoint.network ep) in
+    let storage =
+      match mode with
+      | Volatile -> None
+      | Durable { disk; write_time } ->
+        Some
+          (Store.Stable_storage.create engine
+             ~name:(Net.Node_id.label self ^ ".gclog")
+             ~disk ~write_time ())
+    in
+    let fd = Failure_detector.create ep ~peers:group ?config:fd_config () in
+    let m =
+      {
+        ep;
+        engine;
+        uniform;
+        group;
+        others;
+        self;
+        quorum = View.quorum (List.length group);
+        mode;
+        storage;
+        fd;
+        status = Active;
+        promised = None;
+        accepted = Hashtbl.create 64;
+        chosen = Hashtbl.create 64;
+        first_unchosen = 0;
+        next_deliver = 0;
+        max_chosen_seen = -1;
+        leadership = Follower;
+        max_round = 0;
+        pending = Queue.create ();
+        deliver_hook = (fun ~slot:_ _ -> ());
+      }
+    in
+    Net.Endpoint.add_handler ep (handle_message m);
+    Failure_detector.on_change fd (fun () -> election_check m);
+    let process = Net.Endpoint.process ep in
+    Sim.Process.on_kill process (fun () -> handle_kill m);
+    Sim.Process.on_restart process (fun () ->
+        handle_restart m;
+        arm_housekeeping m);
+    arm_housekeeping m;
+    (* Defer the first election until every member of the run is built. *)
+    ignore (Sim.Process.after process (Sim.Sim_time.span_ms 1.) (fun () -> election_check m));
+    m
+end

@@ -1,0 +1,18 @@
+type t = { id : int; members : Net.Node_id.t list }
+
+let sort_members members = List.sort_uniq Net.Node_id.compare members
+let initial members = { id = 0; members = sort_members members }
+let next v ~members = { id = v.id + 1; members = sort_members members }
+let mem v node = List.exists (Net.Node_id.equal node) v.members
+let size v = List.length v.members
+let quorum n = (n / 2) + 1
+let is_primary v ~static_group = size v >= quorum (List.length static_group)
+
+let equal a b =
+  a.id = b.id && List.length a.members = List.length b.members
+  && List.for_all2 Net.Node_id.equal a.members b.members
+
+let pp ppf v =
+  Format.fprintf ppf "v%d{%a}" v.id
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',') Net.Node_id.pp)
+    v.members

@@ -1,0 +1,29 @@
+(** Group views (dynamic membership model).
+
+    A view is a numbered snapshot of the processes currently considered
+    members of the group. In the dynamic crash no-recovery model a new view
+    is installed whenever a process joins or leaves; a recovering process
+    rejoins under a fresh incarnation via state transfer. *)
+
+type t = { id : int; members : Net.Node_id.t list  (** sorted by index. *) }
+
+val initial : Net.Node_id.t list -> t
+(** [initial members] is view 0 over [members]. *)
+
+val next : t -> members:Net.Node_id.t list -> t
+(** [next v ~members] installs the successor view with the given
+    membership. *)
+
+val mem : t -> Net.Node_id.t -> bool
+val size : t -> int
+
+val is_primary : t -> static_group:Net.Node_id.t list -> bool
+(** [is_primary v ~static_group] is [true] when [v] contains a strict
+    majority of the full (static) group — the standard primary-partition
+    condition under which the group "does not fail" in the paper's sense. *)
+
+val quorum : int -> int
+(** [quorum n] is the majority size for a group of [n]: [n/2 + 1]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+let average_ops p =
+  float_of_int (p.Workload.Params.tx_length_min + p.Workload.Params.tx_length_max) /. 2.
+
+(* Split a transaction's accesses into expected hot and cold counts, then
+   combine per-class collision probabilities. Accesses within a class are
+   uniform over the class's items. *)
+let item_overlap_probability p =
+  let ops = average_ops p in
+  let write_p = p.Workload.Params.write_probability in
+  let reads = ops *. (1. -. write_p) and writes = ops *. write_p in
+  let hot_frac = p.Workload.Params.hot_fraction in
+  let hot_items = float_of_int (max 1 p.Workload.Params.hot_items) in
+  let cold_items = float_of_int (max 1 (p.Workload.Params.items - p.Workload.Params.hot_items)) in
+  (* Probability that none of [a] accesses in a class of [m] items hits any
+     of the [b] items the other transaction touches there. *)
+  let miss a b m = ((m -. b) /. m) ** a in
+  let hot_reads = reads *. hot_frac and cold_reads = reads *. (1. -. hot_frac) in
+  let hot_writes = writes *. hot_frac and cold_writes = writes *. (1. -. hot_frac) in
+  1. -. (miss hot_reads hot_writes hot_items *. miss cold_reads cold_writes cold_items)
+
+let lazy_conflict_rate p ~load_tps ~window_s ~n =
+  (* Poisson arrivals at [load_tps]: a transaction sees on average
+     [load_tps * window_s] concurrent peers; a fraction (1 - 1/n) of them
+     originated at another site. *)
+  let concurrent = load_tps *. window_s in
+  let cross_site = concurrent *. (1. -. (1. /. float_of_int n)) in
+  load_tps *. cross_site *. item_overlap_probability p /. 2.
+
+let binomial_tail ~n ~k ~p =
+  let rec choose n k =
+    if k = 0 || k = n then 1. else choose (n - 1) (k - 1) *. float_of_int n /. float_of_int k
+  in
+  let term i = choose n i *. (p ** float_of_int i) *. ((1. -. p) ** float_of_int (n - i)) in
+  let rec sum i acc = if i > n then acc else sum (i + 1) (acc +. term i) in
+  sum k 0.
+
+let group_failure_probability ~n ~server_unavailability =
+  binomial_tail ~n ~k:(Gcs.View.quorum n) ~p:server_unavailability

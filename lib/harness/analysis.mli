@@ -1,0 +1,26 @@
+(** Analytic models for the paper's §7 discussion.
+
+    Lazy replication risks inconsistency whenever two concurrent
+    transactions at {e different} sites conflict — the risk grows with the
+    number of servers. Group-safe replication risks losing transactions
+    only when the group fails (a majority down at once) — for per-server
+    availability above one half that probability shrinks as servers are
+    added. These closed forms quantify both trends. *)
+
+val item_overlap_probability : Workload.Params.t -> float
+(** Probability that a random transaction's read set intersects another
+    random transaction's write set, under the parameterised hot/cold item
+    access mix. *)
+
+val lazy_conflict_rate : Workload.Params.t -> load_tps:float -> window_s:float -> n:int -> float
+(** Expected cross-site conflicting pairs per second under lazy
+    update-everywhere replication: transactions originating at different
+    sites whose lifetimes overlap and whose item sets conflict. Grows with
+    [n] towards the all-pairs limit. *)
+
+val group_failure_probability : n:int -> server_unavailability:float -> float
+(** Probability that at least a majority of [n] independent servers are
+    down at once (the binomial tail), i.e. that the group fails. *)
+
+val binomial_tail : n:int -> k:int -> p:float -> float
+(** [P(X >= k)] for [X ~ Binomial(n, p)]. *)

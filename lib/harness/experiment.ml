@@ -1,0 +1,904 @@
+open Groupsafe
+
+let sec = Sim.Sim_time.span_s
+let ms = Sim.Sim_time.span_ms
+
+(* A lighter failure detector for long performance runs: the default 10 ms
+   heartbeat is pointless overhead when nothing crashes. *)
+let light_fd =
+  { Gcs.Failure_detector.heartbeat_interval = ms 50.; timeout = ms 250. }
+
+type load_point = {
+  technique : System.technique;
+  load_tps : float;
+  mean_ms : float;
+  p95_ms : float;
+  abort_rate : float;
+  throughput_tps : float;
+  completed : int;
+}
+
+let run_load_point ?(seed = 1L) ?(params = Workload.Params.table4) ?(warmup_s = 5.)
+    ?(measure_s = 60.) ?apply_write_factor technique ~load_tps =
+  let sys =
+    System.create ~seed ~params ~fd_config:light_fd ?apply_write_factor ~trace_enabled:false
+      technique
+  in
+  let engine = System.engine sys in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let generator = Workload.Generator.create params (Sim.Rng.split rng) in
+  let n = params.Workload.Params.servers in
+  let per_server = params.Workload.Params.clients_per_server in
+  let submit () =
+    let delegate = Sim.Rng.int rng n in
+    let client = (delegate * per_server) + Sim.Rng.int rng per_server in
+    System.submit sys ~delegate (Workload.Generator.next generator ~client)
+  in
+  let arrival =
+    Workload.Arrival.open_poisson engine ~rng:(Sim.Rng.split rng) ~rate_tps:load_tps submit
+  in
+  let warmup_at = Sim.Sim_time.add (Sim.Engine.now engine) (sec warmup_s) in
+  Workload.Metrics.set_warmup (System.metrics sys) warmup_at;
+  System.run_for sys (sec (warmup_s +. measure_s));
+  Workload.Arrival.stop arrival;
+  System.run_for sys (sec 3.) (* drain in-flight transactions *);
+  let m = System.metrics sys in
+  {
+    technique;
+    load_tps;
+    mean_ms = Workload.Metrics.mean_response_ms m;
+    p95_ms = Workload.Metrics.p95_response_ms m;
+    abort_rate = Workload.Metrics.abort_rate m;
+    throughput_tps = Workload.Metrics.throughput_tps m ~since:warmup_at;
+    completed = Sim.Stats.count (Workload.Metrics.responses m);
+  }
+
+(* Closed-loop variant of a load point: the paper's Table 4 client model —
+   4 clients per server, each thinking (exponential) then submitting and
+   waiting for its response. Offered load self-throttles as responses
+   lengthen; the think time sets the operating point. *)
+let run_closed_point ?(seed = 1L) ?(params = Workload.Params.table4) ?(warmup_s = 5.)
+    ?(measure_s = 60.) technique ~think_time_s =
+  let sys =
+    System.create ~seed ~params ~fd_config:light_fd ~trace_enabled:false technique
+  in
+  let engine = System.engine sys in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let generator = Workload.Generator.create params (Sim.Rng.split rng) in
+  let n = params.Workload.Params.servers in
+  let clients = n * params.Workload.Params.clients_per_server in
+  let submit ~done_ =
+    let delegate = Sim.Rng.int rng n in
+    System.submit sys ~delegate
+      ~on_response:(fun _ -> done_ ())
+      (Workload.Generator.next generator ~client:0)
+  in
+  let arrival =
+    Workload.Arrival.closed_loop engine ~rng:(Sim.Rng.split rng) ~clients
+      ~think_time:(sec think_time_s) submit
+  in
+  let warmup_at = Sim.Sim_time.add (Sim.Engine.now engine) (sec warmup_s) in
+  Workload.Metrics.set_warmup (System.metrics sys) warmup_at;
+  System.run_for sys (sec (warmup_s +. measure_s));
+  Workload.Arrival.stop arrival;
+  System.run_for sys (sec 3.);
+  let m = System.metrics sys in
+  ( Workload.Metrics.throughput_tps m ~since:warmup_at,
+    Workload.Metrics.mean_response_ms m,
+    Workload.Metrics.abort_rate m )
+
+(* ---- Figure 9 ---- *)
+
+let default_loads = [ 20.; 22.; 24.; 26.; 28.; 30.; 32.; 34.; 36.; 38.; 40. ]
+
+let fig9_techniques =
+  [
+    System.Dsm Dsm_replica.Group_safe_mode;
+    System.Lazy Lazy_replica.One_safe_mode;
+    System.Dsm Dsm_replica.Group_one_safe_mode;
+  ]
+
+(* One Fig. 9 cell, optionally averaged over several independent seeded
+   runs; the ± is the normal-approximation 95% confidence half-width. *)
+let replicated_cell ~seed ~replications ?measure_s technique ~load_tps =
+  let runs =
+    List.init replications (fun r ->
+        run_load_point
+          ~seed:(Int64.add seed (Int64.of_int (r * 7919)))
+          ?measure_s technique ~load_tps)
+  in
+  let series_of f =
+    let s = Sim.Stats.series "cell" in
+    List.iter (fun p -> Sim.Stats.add s (f p)) runs;
+    s
+  in
+  let means = series_of (fun p -> p.mean_ms) in
+  let aborts = series_of (fun p -> p.abort_rate) in
+  let tputs = series_of (fun p -> p.throughput_tps) in
+  let mean_cell =
+    if replications = 1 then Report.f1 (Sim.Stats.mean means)
+    else
+      Printf.sprintf "%s +-%s" (Report.f1 (Sim.Stats.mean means))
+        (Report.f1 (Sim.Stats.confidence95 means))
+  in
+  (mean_cell, Sim.Stats.mean aborts, Sim.Stats.mean tputs)
+
+let fig9 ?(seed = 1L) ?(loads = default_loads) ?measure_s ?(replications = 1)
+    ?(csv_path = "fig9.csv") () =
+  Report.section "Figure 9: response time vs offered load (Table 4 system)";
+  Report.note "paper shape: group-safe best below ~38 tps, then crossed by lazy;";
+  Report.note "group-1-safe clearly worst and degrading fastest; group-safe abort";
+  Report.note "rate roughly constant slightly below 7%.";
+  if replications > 1 then
+    Report.note
+      (Printf.sprintf "%d independent runs per point; +- is the 95%% confidence half-width."
+         replications);
+  let header =
+    [
+      "load(tps)"; "group-safe(ms)"; "lazy 1-safe(ms)"; "group-1-safe(ms)"; "gs abort"; "gs tput";
+    ]
+  in
+  let rows =
+    List.map
+      (fun load_tps ->
+        let cell technique = replicated_cell ~seed ~replications ?measure_s technique ~load_tps in
+        let gs, gs_abort, gs_tput = cell (List.nth fig9_techniques 0) in
+        let lazy1, _, _ = cell (List.nth fig9_techniques 1) in
+        let g1s, _, _ = cell (List.nth fig9_techniques 2) in
+        [
+          Printf.sprintf "%.0f" load_tps;
+          gs;
+          lazy1;
+          g1s;
+          Report.pct gs_abort;
+          Report.f1 gs_tput;
+        ])
+      loads
+  in
+  Report.table ~header rows;
+  Report.csv ~path:csv_path ~header rows;
+  Report.note (Printf.sprintf "raw series written to %s" csv_path)
+
+(* ---- Table 1 ---- *)
+
+let closed_loop ?(seed = 1L) () =
+  Report.section "Figure 9, closed-loop client model (Table 4: 4 clients per server)";
+  Report.note "each of the 36 clients thinks, submits, and waits for its response:";
+  Report.note "offered load self-throttles, so each think time yields an achieved";
+  Report.note "(throughput, response) operating point per technique.";
+  let think_times = [ 1.6; 1.2; 0.9; 0.7; 0.5; 0.35 ] in
+  let header =
+    [ "think (s)"; "group-safe tps / ms"; "lazy 1-safe tps / ms"; "group-1-safe tps / ms" ]
+  in
+  let cell technique think_time_s =
+    let tput, resp, _ = run_closed_point ~seed ~measure_s:40. technique ~think_time_s in
+    Printf.sprintf "%4.1f / %s" tput (Report.f1 resp)
+  in
+  let rows =
+    List.map
+      (fun tt ->
+        [
+          Printf.sprintf "%.2f" tt;
+          cell (System.Dsm Dsm_replica.Group_safe_mode) tt;
+          cell (System.Lazy Lazy_replica.One_safe_mode) tt;
+          cell (System.Dsm Dsm_replica.Group_one_safe_mode) tt;
+        ])
+      think_times
+  in
+  Report.table ~header rows;
+  Report.note "same shape as the open-loop sweep: group-safe reaches any given";
+  Report.note "throughput at the lowest response time until the ordered apply";
+  Report.note "pipeline saturates; group-1-safe saturates first (its clients' cycle";
+  Report.note "time is dominated by waiting, capping the throughput it can reach)."
+
+let table1 () =
+  Report.section "Table 1: safety levels by (delivered x logged) guarantees";
+  let deliv = [ (Safety.Delivered_one, "delivered on 1"); (Safety.Delivered_all, "delivered on all") ] in
+  let logged =
+    [
+      (Safety.Logged_none, "logged nowhere");
+      (Safety.Logged_one, "logged on 1");
+      (Safety.Logged_all, "logged on all");
+    ]
+  in
+  let rows =
+    List.map
+      (fun (d, dl) ->
+        dl
+        :: List.map
+             (fun (l, _) ->
+               match Safety.classify ~delivered:d ~logged:l with
+               | Some level -> Safety.to_string level
+               | None -> "(impossible)")
+             logged)
+      deliv
+  in
+  Report.table ~header:("" :: List.map snd logged) rows;
+  List.iter
+    (fun level ->
+      Report.note (Printf.sprintf "%-13s %s" (Safety.to_string level) (Safety.description level)))
+    Safety.all
+
+(* ---- Crash scenarios (Tables 2 and 3) ---- *)
+
+let scenario_params =
+  {
+    Workload.Params.table4 with
+    Workload.Params.servers = 3;
+    items = 500;
+    hot_fraction = 0.;
+    hot_items = 0;
+  }
+
+let write_only_tx = Db.Transaction.make ~id:0 ~client:0 [ Db.Op.Write (10, 1); Db.Op.Write (11, 1) ]
+
+(* One acknowledged transaction against a crash schedule.
+   [pre] runs right after submission (schedule early crashes there),
+   [at_ack] at the client acknowledgement, [later] after 2 s. Returns
+   whether the client was acknowledged and the checker report after
+   quiescence. *)
+let scenario ?(seed = 1L) technique ~pre ~at_ack ~later =
+  let sys = System.create ~seed ~params:scenario_params technique in
+  let acked = ref false in
+  System.submit sys ~delegate:0
+    ~on_response:(fun o ->
+      if o = Db.Testable_tx.Committed then acked := true;
+      at_ack sys)
+    write_only_tx;
+  pre sys;
+  System.run_for sys (sec 2.);
+  later sys;
+  System.run_for sys (sec 6.);
+  (!acked, Safety_checker.analyse sys)
+
+let crash_all sys =
+  for i = 0 to System.n_servers sys - 1 do
+    System.crash sys i
+  done
+
+let nop (_ : System.t) = ()
+
+let verdict (acked, report) =
+  if not acked then "no ack"
+  else if report.Safety_checker.lost = [] then "no loss"
+  else "LOST"
+
+let technique_of_level = function
+  | Safety.Zero_safe -> Some (System.Lazy Lazy_replica.Zero_safe_mode)
+  | Safety.One_safe -> Some (System.Lazy Lazy_replica.One_safe_mode)
+  | Safety.Group_safe -> Some (System.Dsm Dsm_replica.Group_safe_mode)
+  | Safety.Group_one_safe -> Some (System.Dsm Dsm_replica.Group_one_safe_mode)
+  | Safety.Two_safe -> Some (System.Dsm Dsm_replica.Two_safe_mode)
+  | Safety.Very_safe -> Some (System.Dsm Dsm_replica.Very_safe_mode)
+
+(* Worst-case schedules per crash budget. The delegate is server 0. *)
+let no_crash_cell ?seed technique = scenario ?seed technique ~pre:nop ~at_ack:nop ~later:nop
+
+let minority_cell ?seed technique =
+  (* The single worst crash: the delegate dies at the acknowledgement and
+     never returns. *)
+  scenario ?seed technique ~pre:nop ~at_ack:(fun sys -> System.crash sys 0) ~later:nop
+
+let group_failure_cell ?seed technique =
+  (* Everyone down. For group-1-safe the remotes must die while their own
+     flushes are still in flight (only the delegate's log is guaranteed at
+     the acknowledgement); the delegate then dies at the acknowledgement
+     and stays down while the others reform. *)
+  match technique with
+  | System.Dsm Dsm_replica.Group_one_safe_mode ->
+    scenario ?seed technique
+      ~pre:(fun sys ->
+        Crash_injector.crash_at sys ~after:(ms 2.) 1;
+        Crash_injector.crash_at sys ~after:(ms 2.) 2)
+      ~at_ack:(fun sys -> System.crash sys 0)
+      ~later:(fun sys ->
+        System.recover sys 1;
+        System.recover sys 2)
+  | System.Dsm _ | System.Lazy _ | System.Two_pc ->
+    scenario ?seed technique ~pre:nop ~at_ack:crash_all
+      ~later:(fun sys ->
+        System.recover sys 1;
+        System.recover sys 2)
+
+let table2 ?seed () =
+  Report.section "Table 2: tolerated crashes per safety level (empirical)";
+  Report.note "each cell: one acknowledged transaction vs the worst-case crash";
+  Report.note "schedule for that crash budget (3 servers, delegate = S0).";
+  let levels =
+    [ Safety.Zero_safe; One_safe; Group_safe; Group_one_safe; Two_safe; Very_safe ]
+  in
+  let expected level = function
+    | `None -> "no loss"
+    | `Minority -> begin
+        match Safety.crash_tolerance level with
+        | Safety.Tolerates_none -> "loss possible"
+        | Safety.Tolerates_minority | Safety.Tolerates_all -> "no loss"
+      end
+    | `All -> begin
+        match Safety.crash_tolerance level with
+        | Safety.Tolerates_all -> "no loss"
+        | Safety.Tolerates_none | Safety.Tolerates_minority -> "loss possible"
+      end
+  in
+  let rows =
+    List.filter_map
+      (fun level ->
+        match technique_of_level level with
+        | None -> None
+        | Some technique ->
+          let none = verdict (no_crash_cell ?seed technique) in
+          let minority = verdict (minority_cell ?seed technique) in
+          let all = verdict (group_failure_cell ?seed technique) in
+          Some
+            [
+              Safety.to_string level;
+              Printf.sprintf "%s (paper: %s)" none (expected level `None);
+              Printf.sprintf "%s (paper: %s)" minority (expected level `Minority);
+              Printf.sprintf "%s (paper: %s)" all (expected level `All);
+            ])
+      levels
+  in
+  Report.table ~header:[ "level"; "0 crashes"; "minority crash"; "all n crash" ] rows;
+  Report.note "every observed LOST falls inside the paper's 'loss possible'; every";
+  Report.note "'no loss' guarantee holds.";
+  (* The flip side of the trade-off (§2.1): the safer the level, the less
+     available. With one server already down before the client submits,
+     very-safe cannot acknowledge until that server recovers. *)
+  let availability level =
+    match technique_of_level level with
+    | None -> None
+    | Some technique ->
+      let sys = System.create ~params:scenario_params technique in
+      System.crash sys 2;
+      System.run_for sys (sec 1.) (* let detectors settle *);
+      let acked_at = ref None in
+      System.submit sys ~delegate:0
+        ~on_response:(fun _ -> acked_at := Some (System.now sys))
+        write_only_tx;
+      System.run_for sys (sec 8.);
+      let before_recovery = !acked_at <> None in
+      System.recover sys 2;
+      System.run_for sys (sec 8.);
+      Some
+        (match (before_recovery, !acked_at) with
+        | true, _ -> "acknowledged normally"
+        | false, Some _ -> "BLOCKED until S2 recovered"
+        | false, None -> "never acknowledged")
+  in
+  Report.note "";
+  Report.note "availability with one server down at submission time:";
+  Report.table ~header:[ "level"; "commit availability" ]
+    (List.filter_map
+       (fun level ->
+         Option.map (fun v -> [ Safety.to_string level; v ]) (availability level))
+       levels);
+  Report.note "very-safe trades away availability: a single crash blocks commits";
+  Report.note "until the crashed server is back (paper: 'not very practical')."
+
+let table3 ?seed () =
+  Report.section "Table 3: group-safe vs group-1-safe loss conditions (empirical)";
+  let techniques =
+    [
+      (Safety.Group_safe, System.Dsm Dsm_replica.Group_safe_mode);
+      (Safety.Group_one_safe, System.Dsm Dsm_replica.Group_one_safe_mode);
+    ]
+  in
+  (* Middle column: the group fails (majority down, flushes in flight) but
+     the delegate survives; the recovering majority finds the live delegate
+     and reforms from its state. *)
+  let group_fails_sd_alive technique =
+    scenario ?seed technique
+      ~pre:(fun sys ->
+        Crash_injector.crash_at sys ~after:(ms 2.) 1;
+        Crash_injector.crash_at sys ~after:(ms 2.) 2)
+      ~at_ack:nop
+      ~later:(fun sys ->
+        System.recover sys 1;
+        System.recover sys 2)
+  in
+  let rows =
+    List.map
+      (fun (level, technique) ->
+        [
+          Safety.to_string level;
+          verdict (minority_cell ?seed technique);
+          verdict (group_fails_sd_alive technique);
+          verdict (group_failure_cell ?seed technique);
+        ])
+      techniques
+  in
+  Report.table
+    ~header:[ "level"; "group survives"; "group fails, Sd alive"; "group fails, Sd crashes" ]
+    rows;
+  Report.note "paper: group-safe loses whenever the group fails ('possible loss' in";
+  Report.note "both right columns); under crash-only schedules the live delegate";
+  Report.note "always seeds recovery, so the middle cell shows no loss here — the";
+  Report.note "loss needs recovery to bypass the live delegate (e.g. a partition).";
+  Report.note "group-1-safe is guaranteed safe in the middle column and loses only";
+  Report.note "when the delegate is gone too (right column).";
+  (* The distinguishing sub-scenario: same right-column schedule, but the
+     delegate recovers first and seeds the reformed group from its own log:
+     group-1-safe keeps the transaction, group-safe cannot. *)
+  let delegate_recovers_first technique =
+    scenario ?seed technique
+      ~pre:(fun sys ->
+        Crash_injector.crash_at sys ~after:(ms 2.) 1;
+        Crash_injector.crash_at sys ~after:(ms 2.) 2)
+      ~at_ack:(fun sys -> System.crash sys 0)
+      ~later:(fun sys ->
+        System.recover sys 0;
+        Crash_injector.recover_at sys ~after:(ms 100.) 1)
+  in
+  let sub =
+    List.map
+      (fun (level, technique) ->
+        [ Safety.to_string level; verdict (delegate_recovers_first technique) ])
+      techniques
+  in
+  Report.note "";
+  Report.note "sub-scenario: all crash, the delegate recovers first and seeds the group:";
+  Report.table ~header:[ "level"; "outcome" ] sub;
+  Report.note "the delegate's log is exactly what group-1-safety adds."
+
+let table4 () =
+  Report.section "Table 4: simulator parameters";
+  Report.table ~header:[ "parameter"; "value" ]
+    (List.map (fun (k, v) -> [ k; v ]) (Workload.Params.rows Workload.Params.table4))
+
+(* ---- Fig. 5 / Fig. 7 narratives ---- *)
+
+let interesting_kinds =
+  [ "submit"; "broadcast"; "respond"; "crash"; "recover"; "cold_start"; "state_transfer";
+    "recovered_local"; "deliver"; "logged" ]
+
+let print_trace_highlights sys =
+  let entries =
+    List.filter
+      (fun e -> List.mem e.Sim.Trace.kind interesting_kinds)
+      (Sim.Trace.entries (System.trace sys))
+  in
+  List.iter (fun e -> Format.printf "  %a@." Sim.Trace.pp_entry e) entries
+
+let fig5_schedule ?(seed = 1L) technique =
+  let sys = System.create ~seed ~params:scenario_params technique in
+  let acked = ref false in
+  System.submit sys ~delegate:0
+    ~on_response:(fun o ->
+      if o = Db.Testable_tx.Committed then acked := true;
+      (* Let the ordering protocol's decision reach every replica — Fig. 5
+         has m delivered on all servers — but crash before any of the
+         asynchronous log flushes (>= 4 ms) can complete. *)
+      Crash_injector.after sys (ms 1.5) (fun () -> crash_all sys))
+    write_only_tx;
+  System.run_for sys (sec 2.);
+  for i = 0 to 2 do
+    System.recover sys i
+  done;
+  System.run_for sys (sec 6.);
+  (sys, !acked, Safety_checker.analyse sys)
+
+let fig5 ?seed () =
+  Report.section "Fig. 5: classical atomic broadcast is not 2-safe (group-safe run)";
+  let sys, acked, report = fig5_schedule ?seed (System.Dsm Dsm_replica.Group_safe_mode) in
+  print_trace_highlights sys;
+  Report.note (Printf.sprintf "client acknowledged: %b" acked);
+  Report.note
+    (Printf.sprintf "transactions lost after whole-group crash: %d (group failed: %b)"
+       (List.length report.Safety_checker.lost)
+       report.Safety_checker.group_failed);
+  Report.note "the message was delivered everywhere, processed nowhere durably, and";
+  Report.note "no component kept it: the acknowledged transaction is gone."
+
+let fig7 ?seed () =
+  Report.section "Fig. 7: end-to-end atomic broadcast recovers the transaction (2-safe run)";
+  let sys, acked, report = fig5_schedule ?seed (System.Dsm Dsm_replica.Two_safe_mode) in
+  print_trace_highlights sys;
+  Report.note (Printf.sprintf "client acknowledged: %b" acked);
+  Report.note
+    (Printf.sprintf "transactions lost after whole-group crash: %d" (List.length report.Safety_checker.lost));
+  Report.note "unacknowledged deliveries were replayed after recovery and committed";
+  Report.note "exactly once (testable transactions absorb the duplicates)."
+
+(* ---- §6 latency decomposition ---- *)
+
+let measure_latencies ?(seed = 1L) ?uniform () =
+  let params = Workload.Params.table4 in
+  let sys =
+    System.create ~seed ~params ~fd_config:light_fd ?uniform ~trace_enabled:true
+      (System.Dsm Dsm_replica.Group_safe_mode)
+  in
+  let engine = System.engine sys in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let generator = Workload.Generator.create params (Sim.Rng.split rng) in
+  let submit () =
+    let delegate = Sim.Rng.int rng params.Workload.Params.servers in
+    System.submit sys ~delegate (Workload.Generator.next generator ~client:0)
+  in
+  let arrival = Workload.Arrival.open_poisson engine ~rng:(Sim.Rng.split rng) ~rate_tps:20. submit in
+  System.run_for sys (sec 20.);
+  Workload.Arrival.stop arrival;
+  System.run_for sys (sec 3.);
+  (* Mine the trace: broadcast -> first same-source deliver = abcast
+     latency at the delegate; decide -> logged per server = log write
+     latency (includes group-commit queueing). *)
+  let broadcasts = Hashtbl.create 512 and decides = Hashtbl.create 2048 in
+  let abcast = Sim.Stats.series "abcast_ms" and logw = Sim.Stats.series "log_ms" in
+  List.iter
+    (fun e ->
+      match (e.Sim.Trace.kind, Sim.Trace.attr e "tx") with
+      | "broadcast", Some tx -> Hashtbl.replace broadcasts (e.Sim.Trace.source, tx) e.Sim.Trace.time
+      | "deliver", Some tx -> begin
+          match Hashtbl.find_opt broadcasts (e.Sim.Trace.source, tx) with
+          | Some t0 ->
+            Sim.Stats.add abcast (Sim.Sim_time.span_to_ms (Sim.Sim_time.diff e.Sim.Trace.time t0));
+            Hashtbl.remove broadcasts (e.Sim.Trace.source, tx)
+          | None -> ()
+        end
+      | "decide", Some tx -> Hashtbl.replace decides (e.Sim.Trace.source, tx) e.Sim.Trace.time
+      | "logged", Some tx -> begin
+          match Hashtbl.find_opt decides (e.Sim.Trace.source, tx) with
+          | Some t0 ->
+            Sim.Stats.add logw (Sim.Sim_time.span_to_ms (Sim.Sim_time.diff e.Sim.Trace.time t0));
+            Hashtbl.remove decides (e.Sim.Trace.source, tx)
+          | None -> ()
+        end
+      | _ -> ())
+    (Sim.Trace.entries (System.trace sys));
+  (abcast, logw)
+
+let latency ?seed () =
+  Report.section "Latency decomposition (paper quotes: disk write ~8 ms, abcast ~1 ms)";
+  let abcast, logw = measure_latencies ?seed () in
+  Report.table ~header:[ "quantity"; "mean (ms)"; "p95 (ms)"; "samples" ]
+    [
+      [
+        "atomic broadcast (send -> deliver at delegate)";
+        Report.f2 (Sim.Stats.mean abcast);
+        Report.f2 (Sim.Stats.percentile abcast 95.);
+        string_of_int (Sim.Stats.count abcast);
+      ];
+      [
+        "log write (decide -> durable, incl. group commit)";
+        Report.f2 (Sim.Stats.mean logw);
+        Report.f2 (Sim.Stats.percentile logw 95.);
+        string_of_int (Sim.Stats.count logw);
+      ];
+    ];
+  Report.note "moving the log write off the commit path and relying on the group is";
+  Report.note "worth the difference between these two numbers per transaction."
+
+(* ---- §7 scaling analysis ---- *)
+
+let section7 () =
+  Report.section "Section 7: lazy inconsistency risk grows with n, group-safe risk shrinks";
+  Report.note "per-server load held constant (10/3 tps per server, = 30 tps at n = 9),";
+  Report.note "so the trend isolates what adding sites does.";
+  let params = Workload.Params.table4 in
+  let per_server_tps = 10. /. 3. in
+  let header =
+    [ "servers"; "lazy conflicts/s (analytic)"; "P(group failure), server down 1%" ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        [
+          string_of_int n;
+          Printf.sprintf "%.3f"
+            (Analysis.lazy_conflict_rate params
+               ~load_tps:(per_server_tps *. float_of_int n)
+               ~window_s:0.12 ~n);
+          Printf.sprintf "%.2e" (Analysis.group_failure_probability ~n ~server_unavailability:0.01);
+        ])
+      [ 3; 5; 7; 9; 11; 15 ]
+  in
+  Report.table ~header rows;
+  Report.note "opposite monotonicity: adding servers makes lazy replication riskier";
+  Report.note "and group-safe replication safer (paper §7).";
+  (* Empirical side: count the actual hazard as it happens — remote
+     writesets applied while a concurrent local update of the same item had
+     already committed (neither site saw the other). *)
+  let measured_s = 60. in
+  let conflicts n =
+    let params = { params with Workload.Params.servers = n } in
+    let sys =
+      System.create ~params ~fd_config:light_fd ~trace_enabled:false
+        (System.Lazy Lazy_replica.One_safe_mode)
+    in
+    let engine = System.engine sys in
+    let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+    let generator = Workload.Generator.create params (Sim.Rng.split rng) in
+    let submit () =
+      let delegate = Sim.Rng.int rng n in
+      System.submit sys ~delegate (Workload.Generator.next generator ~client:0)
+    in
+    let arrival =
+      Workload.Arrival.open_poisson engine ~rng:(Sim.Rng.split rng)
+        ~rate_tps:(10. /. 3. *. float_of_int n)
+        submit
+    in
+    System.run_for sys (sec measured_s);
+    Workload.Arrival.stop arrival;
+    System.run_for sys (sec 3.);
+    let total = ref 0 and divergent = (Safety_checker.analyse sys).Safety_checker.divergent_items in
+    for s = 0 to n - 1 do
+      match System.lazy_replica sys s with
+      | Some r -> total := !total + Lazy_replica.cross_site_conflicts r
+      | None -> ()
+    done;
+    (float_of_int !total /. measured_s, divergent)
+  in
+  Report.note "";
+  Report.note
+    (Printf.sprintf
+       "empirical: cross-site concurrent conflicts under lazy, %.0f s, 10/3 tps per server"
+       measured_s);
+  Report.table ~header:[ "servers"; "conflicts/s (measured)"; "divergent items at the end" ]
+    (List.map
+       (fun n ->
+         let rate, divergent = conflicts n in
+         [ string_of_int n; Printf.sprintf "%.3f" rate; string_of_int divergent ])
+       [ 3; 6; 9 ]);
+  Report.note "group-communication techniques keep both at zero by construction."
+
+(* ---- Ablations ---- *)
+
+let ablation_group_commit ?(seed = 1L) () =
+  Report.section "Ablation: group commit (batched log flushes) for group-1-safe";
+  let run gc =
+    let params = { Workload.Params.table4 with Workload.Params.group_commit = gc } in
+    run_load_point ~seed ~params (System.Dsm Dsm_replica.Group_one_safe_mode) ~load_tps:30.
+  in
+  let on = run true and off = run false in
+  Report.table ~header:[ "group commit"; "mean (ms)"; "p95 (ms)"; "throughput" ]
+    [
+      [ "on"; Report.f1 on.mean_ms; Report.f1 on.p95_ms; Report.f1 on.throughput_tps ];
+      [ "off"; Report.f1 off.mean_ms; Report.f1 off.p95_ms; Report.f1 off.throughput_tps ];
+    ];
+  Report.note "without batching every decision record is its own flush and the log";
+  Report.note "disk becomes the bottleneck."
+
+let ablation_apply_factor ?(seed = 1L) () =
+  Report.section "Ablation: ordered-apply coalescing factor (group-safe saturation)";
+  let header = [ "factor"; "30 tps (ms)"; "36 tps (ms)"; "40 tps (ms)" ] in
+  let rows =
+    List.map
+      (fun factor ->
+        let p load =
+          run_load_point ~seed ~apply_write_factor:factor
+            (System.Dsm Dsm_replica.Group_safe_mode) ~load_tps:load
+        in
+        [
+          Printf.sprintf "%.2f" factor;
+          Report.f1 (p 30.).mean_ms;
+          Report.f1 (p 36.).mean_ms;
+          Report.f1 (p 40.).mean_ms;
+        ])
+      [ 0.5; 0.65; 1.0 ]
+  in
+  Report.table ~header rows;
+  Report.note "total order forces sequential writeset application; how much of the";
+  Report.note "write-back scheduling freedom survives decides where the pipeline";
+  Report.note "saturates (DESIGN.md, decision 3)."
+
+let scaleout ?(seed = 1L) () =
+  Report.section "Scale-out: response time vs number of servers (constant per-server load)";
+  Report.note "full replication applies every writeset on every server: added servers";
+  Report.note "buy read capacity and availability, not write capacity (paper §7 frames";
+  Report.note "what they buy in safety).";
+  let per_server_tps = 10. /. 3. in
+  let header = [ "servers"; "group-safe (ms)"; "lazy 1-safe (ms)"; "total load (tps)" ] in
+  let rows =
+    List.map
+      (fun n ->
+        let params = { Workload.Params.table4 with Workload.Params.servers = n } in
+        let load_tps = per_server_tps *. float_of_int n in
+        let run technique = run_load_point ~seed ~params ~measure_s:30. technique ~load_tps in
+        [
+          string_of_int n;
+          Report.f1 (run (System.Dsm Dsm_replica.Group_safe_mode)).mean_ms;
+          Report.f1 (run (System.Lazy Lazy_replica.One_safe_mode)).mean_ms;
+          Printf.sprintf "%.0f" load_tps;
+        ])
+      [ 3; 5; 7; 9; 12 ]
+  in
+  Report.table ~header rows
+
+let recovery ?(seed = 1L) () =
+  Report.section "Recovery: catch-up after an outage (state transfer vs log replay)";
+  Report.note "group-safe recovers by application state transfer from a live member;";
+  Report.note "2-safe recovers from its own durable log plus replay of what it missed.";
+  let measure technique downtime_s =
+    let params =
+      { Workload.Params.table4 with Workload.Params.servers = 3; items = 2000 }
+    in
+    let sys = System.create ~seed ~params ~fd_config:light_fd ~trace_enabled:false technique in
+    let engine = System.engine sys in
+    let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+    let generator = Workload.Generator.create params (Sim.Rng.split rng) in
+    let last_tx = ref (-1) in
+    let submit () =
+      let delegate = Sim.Rng.int rng 3 in
+      let tx = Workload.Generator.next generator ~client:0 in
+      System.submit sys ~delegate
+        ~on_response:(fun o ->
+          if o = Db.Testable_tx.Committed then last_tx := max !last_tx tx.Db.Transaction.id)
+        tx
+    in
+    let arrival = Workload.Arrival.open_poisson engine ~rng:(Sim.Rng.split rng) ~rate_tps:15. submit in
+    System.run_for sys (sec 5.);
+    System.crash sys 2;
+    System.run_for sys (sec downtime_s);
+    let target = !last_tx in
+    let restart_at = System.now sys in
+    System.recover sys 2;
+    (* Poll until the replica is serving again and holds the last
+       transaction committed before its restart. *)
+    let caught_up = ref None in
+    let attempts = ref 0 in
+    while !caught_up = None && !attempts < 600 do
+      incr attempts;
+      System.run_for sys (ms 50.);
+      if System.serving sys 2 && (target < 0 || System.committed_on sys ~server:2 target) then
+        caught_up := Some (Sim.Sim_time.span_to_ms (Sim.Sim_time.diff (System.now sys) restart_at))
+    done;
+    Workload.Arrival.stop arrival;
+    match !caught_up with Some x -> Report.f1 x | None -> ">30000"
+  in
+  let header = [ "downtime (s)"; "group-safe catch-up (ms)"; "2-safe catch-up (ms)" ] in
+  let rows =
+    List.map
+      (fun d ->
+        [
+          Printf.sprintf "%.0f" d;
+          measure (System.Dsm Dsm_replica.Group_safe_mode) d;
+          measure (System.Dsm Dsm_replica.Two_safe_mode) d;
+        ])
+      [ 1.; 5.; 15. ]
+  in
+  Report.table ~header rows;
+  Report.note "state transfer ships the current state in one step, so group-safe";
+  Report.note "catch-up is outage-length independent; log replay re-processes the";
+  Report.note "missed writesets one by one, so 2-safe catch-up grows with downtime.";
+  Report.note "(the paper's §4 end-to-end broadcast mandates log-based recovery.)"
+
+let eager_comparison ?(seed = 1L) () =
+  Report.section "Eager 2PC baseline vs group communication (paper, introduction)";
+  Report.note "the traditional alternative: eager update-everywhere over two-phase";
+  Report.note "commit — '2-safe, slow and deadlock prone'. Same Table 4 system.";
+  let loads = [ 10.; 15.; 20. ] in
+  let row technique name =
+    name
+    :: List.concat_map
+         (fun load ->
+           let p = run_load_point ~seed ~measure_s:30. technique ~load_tps:load in
+           [ Report.f1 p.mean_ms; Report.pct p.abort_rate ])
+         loads
+  in
+  let header =
+    "technique"
+    :: List.concat_map
+         (fun l -> [ Printf.sprintf "%.0f tps (ms)" l; "aborts" ])
+         loads
+  in
+  Report.table ~header
+    [
+      row (System.Dsm Dsm_replica.Group_safe_mode) "group-safe (abcast)";
+      row (System.Dsm Dsm_replica.Two_safe_mode) "2-safe (e2e abcast)";
+      row System.Two_pc "eager 2PC";
+    ];
+  Report.note "2PC pays a disk-forced prepare round on every server inside the";
+  Report.note "response path, and its aborts are distributed deadlocks resolved by";
+  Report.note "timeout — the group-communication techniques abort only on";
+  Report.note "certification conflicts and never block."
+
+let ablation_buffer ?(seed = 1L) () =
+  Report.section "Ablation: buffer hit ratio (read phase sensitivity)";
+  Report.note "the delegate's read phase dominates every technique's base response;";
+  Report.note "Table 4 fixes the hit ratio at 20%.";
+  let header = [ "hit ratio"; "group-safe (ms)"; "lazy 1-safe (ms)" ] in
+  let rows =
+    List.map
+      (fun ratio ->
+        let params = { Workload.Params.table4 with Workload.Params.buffer_hit_ratio = ratio } in
+        let run technique = run_load_point ~seed ~params ~measure_s:30. technique ~load_tps:28. in
+        [
+          Printf.sprintf "%.0f%%" (100. *. ratio);
+          Report.f1 (run (System.Dsm Dsm_replica.Group_safe_mode)).mean_ms;
+          Report.f1 (run (System.Lazy Lazy_replica.One_safe_mode)).mean_ms;
+        ])
+      [ 0.0; 0.2; 0.5; 0.8 ]
+  in
+  Report.table ~header rows;
+  Report.note "a warmer buffer compresses everyone's response; the constant gap in";
+  Report.note "group-safe's favour is the disk write it moved off the commit path."
+
+let ablation_loss ?(seed = 1L) () =
+  Report.section "Ablation: message loss (ordering-protocol robustness)";
+  Report.note "lost protocol messages are repaired by retransmission and catch-up:";
+  Report.note "the cost shows up as tail latency, never as lost transactions.";
+  let header = [ "loss"; "gs mean (ms)"; "gs p95 (ms)"; "throughput (tps)" ] in
+  let rows =
+    List.map
+      (fun drop ->
+        let params = { Workload.Params.table4 with Workload.Params.drop_probability = drop } in
+        let p =
+          run_load_point ~seed ~params ~measure_s:30.
+            (System.Dsm Dsm_replica.Group_safe_mode) ~load_tps:24.
+        in
+        [
+          Printf.sprintf "%.1f%%" (100. *. drop);
+          Report.f1 p.mean_ms;
+          Report.f1 p.p95_ms;
+          Report.f1 p.throughput_tps;
+        ])
+      [ 0.0; 0.001; 0.01 ]
+  in
+  Report.table ~header rows
+
+let ablation_uniformity ?(seed = 1L) () =
+  Report.section "Ablation: uniform vs non-uniform delivery (DESIGN.md, decision 1)";
+  let uniform_ab, _ = measure_latencies ~seed () in
+  let optimistic_ab, _ = measure_latencies ~seed ~uniform:false () in
+  Report.table ~header:[ "delivery"; "abcast mean (ms)"; "p95 (ms)" ]
+    [
+      [ "uniform (majority-stable)"; Report.f2 (Sim.Stats.mean uniform_ab);
+        Report.f2 (Sim.Stats.percentile uniform_ab 95.) ];
+      [ "non-uniform (optimistic)"; Report.f2 (Sim.Stats.mean optimistic_ab);
+        Report.f2 (Sim.Stats.percentile optimistic_ab 95.) ];
+    ];
+  (* What the saved round trip costs: in a minority partition, an
+     optimistic leader acknowledges a transaction no other server will ever
+     learn — group-safety's Table 2 cell breaks with a single crash. *)
+  let run_partitioned ~uniform =
+    let sys =
+      System.create ~seed ~params:scenario_params ~uniform
+        (System.Dsm Dsm_replica.Group_safe_mode)
+    in
+    (* S0 establishes leadership with everyone reachable, then gets cut
+       off. An established optimistic leader keeps assigning and delivering
+       in its own partition; a uniform one stalls at the missing quorum. *)
+    System.run_for sys (sec 1.);
+    System.partition sys [ [ 0 ]; [ 1; 2 ] ];
+    System.run_for sys (ms 100.);
+    let acked = ref false in
+    System.submit sys ~delegate:0
+      ~on_response:(fun o ->
+        if o = Db.Testable_tx.Committed then acked := true;
+        System.crash sys 0)
+      write_only_tx;
+    System.run_for sys (sec 2.);
+    System.heal sys;
+    System.run_for sys (sec 5.);
+    let report = Safety_checker.analyse sys in
+    if not !acked then "not acknowledged (stays safe)"
+    else if report.Safety_checker.lost = [] then "acknowledged, survived"
+    else "acknowledged, then LOST with one crash (guarantee broken)"
+  in
+  Report.table ~header:[ "delivery"; "isolated delegate + single crash" ]
+    [
+      [ "uniform"; run_partitioned ~uniform:true ];
+      [ "non-uniform"; run_partitioned ~uniform:false ];
+    ];
+  Report.note "uniform agreement is what lets the group carry durability: without";
+  Report.note "it, group-safety costs one crash, not a group failure."
+
+let all ?(seed = 1L) ?(fast = false) () =
+  table4 ();
+  table1 ();
+  table2 ~seed ();
+  table3 ~seed ();
+  fig5 ~seed ();
+  fig7 ~seed ();
+  latency ~seed ();
+  (if fast then fig9 ~seed ~loads:[ 20.; 30.; 40. ] ~measure_s:20. ()
+   else fig9 ~seed ());
+  if not fast then closed_loop ~seed ();
+  section7 ();
+  scaleout ~seed ();
+  recovery ~seed ();
+  eager_comparison ~seed ();
+  ablation_group_commit ~seed ();
+  ablation_apply_factor ~seed ();
+  ablation_buffer ~seed ();
+  ablation_loss ~seed ();
+  ablation_uniformity ~seed ()

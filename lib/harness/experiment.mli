@@ -1,0 +1,139 @@
+(** Experiment drivers: one entry point per table and figure of the paper
+    (see DESIGN.md's experiment index), plus the ablations.
+
+    Every driver prints a self-contained report to stdout and is
+    deterministic for a given seed. [fig9] also writes a CSV next to the
+    working directory for plotting. *)
+
+type load_point = {
+  technique : Groupsafe.System.technique;
+  load_tps : float;
+  mean_ms : float;  (** mean client response time. *)
+  p95_ms : float;
+  abort_rate : float;  (** certification aborts / decided. *)
+  throughput_tps : float;  (** committed per second, post-warm-up. *)
+  completed : int;  (** responses measured. *)
+}
+
+val run_load_point :
+  ?seed:int64 ->
+  ?params:Workload.Params.t ->
+  ?warmup_s:float ->
+  ?measure_s:float ->
+  ?apply_write_factor:float ->
+  Groupsafe.System.technique ->
+  load_tps:float ->
+  load_point
+(** One simulated run: open Poisson arrivals at [load_tps] over the
+    Table 4 system, [warmup_s] (default 5) discarded, [measure_s]
+    (default 60) measured. *)
+
+val default_loads : float list
+(** The paper's X axis: 20..40 tps in steps of 2. *)
+
+val fig9 :
+  ?seed:int64 ->
+  ?loads:float list ->
+  ?measure_s:float ->
+  ?replications:int ->
+  ?csv_path:string ->
+  unit ->
+  unit
+(** Figure 9: response time vs offered load (default 20..40 tps in steps
+    of 2) for group-safe, group-1-safe and lazy 1-safe replication, plus
+    the group-safe abort rate the paper quotes (§6). With
+    [replications > 1] each point averages that many independently seeded
+    runs and reports a 95% confidence half-width. *)
+
+val run_closed_point :
+  ?seed:int64 ->
+  ?params:Workload.Params.t ->
+  ?warmup_s:float ->
+  ?measure_s:float ->
+  Groupsafe.System.technique ->
+  think_time_s:float ->
+  float * float * float
+(** One closed-loop run with the Table 4 client population (4 clients per
+    server, exponential think time). Returns (achieved throughput tps,
+    mean response ms, abort rate). *)
+
+val closed_loop : ?seed:int64 -> unit -> unit
+(** The Fig. 9 comparison under the paper's closed-loop client model: a
+    think-time sweep yields (throughput, response) operating points per
+    technique. *)
+
+val table1 : unit -> unit
+(** Table 1: the delivered × logged safety lattice, from {!Groupsafe.Safety}. *)
+
+val table2 : ?seed:int64 -> unit -> unit
+(** Table 2, empirically: for each safety level, worst-case crash schedules
+    with zero, a minority, and all servers crashing; reports observed loss
+    against the level's advertised tolerance. *)
+
+val table3 : ?seed:int64 -> unit -> unit
+(** Table 3, empirically: group-safe vs group-1-safe under {no group
+    failure} × {group fails, delegate survives} × {group fails, delegate
+    crashes}. *)
+
+val table4 : unit -> unit
+(** Table 4: the simulator parameters in use. *)
+
+val fig5 : ?seed:int64 -> unit -> unit
+(** The Fig. 5 scenario end to end on classical atomic broadcast
+    (group-safe technique): the acknowledged transaction is lost when the
+    whole group crashes. Prints the trace highlights and the checker
+    verdict. *)
+
+val fig7 : ?seed:int64 -> unit -> unit
+(** The Fig. 7 scenario: same schedule on end-to-end atomic broadcast
+    (2-safe technique); the message is replayed and nothing is lost. *)
+
+val latency : ?seed:int64 -> unit -> unit
+(** §6's two numbers: mean atomic-broadcast latency vs mean disk (log)
+    write latency under the Fig. 9 settings — the gap that makes
+    group-safety pay on a LAN. *)
+
+val section7 : unit -> unit
+(** §7: analytic scaling of lazy's inconsistency risk vs group-safe's
+    loss risk as servers are added, plus an empirical lazy divergence
+    measurement. *)
+
+val scaleout : ?seed:int64 -> unit -> unit
+(** Response time as servers are added at constant per-server load: what
+    full replication does and does not buy (companion to §7). *)
+
+val recovery : ?seed:int64 -> unit -> unit
+(** Catch-up time after an outage: state-transfer recovery (classical
+    broadcast) vs log replay (end-to-end broadcast), across outage
+    lengths. *)
+
+val eager_comparison : ?seed:int64 -> unit -> unit
+(** The introduction's comparison point: eager update-everywhere over 2PC
+    against the group-communication techniques — response time and abort
+    (deadlock) behaviour under the Table 4 workload. *)
+
+val ablation_group_commit : ?seed:int64 -> unit -> unit
+(** DESIGN ablation 2: group commit on/off for the flush-bound
+    group-1-safe technique. *)
+
+val ablation_apply_factor : ?seed:int64 -> unit -> unit
+(** DESIGN ablation 3: how the ordered-apply coalescing factor moves the
+    group-safe saturation point. *)
+
+val ablation_buffer : ?seed:int64 -> unit -> unit
+(** Buffer hit-ratio sweep: how the delegate's read phase scales every
+    technique's base response (Table 4 fixes 20%). *)
+
+val ablation_loss : ?seed:int64 -> unit -> unit
+(** Network message-loss sweep: retransmission and catch-up convert losses
+    into tail latency, not lost transactions. *)
+
+val ablation_uniformity : ?seed:int64 -> unit -> unit
+(** DESIGN ablation 1: non-uniform (optimistic) delivery saves most of the
+    broadcast latency but lets an isolated delegate acknowledge a
+    transaction nobody else will learn — group-safety then breaks with a
+    single crash. *)
+
+val all : ?seed:int64 -> ?fast:bool -> unit -> unit
+(** Run everything in paper order. [fast] (default false) shrinks the
+    Fig. 9 sweep for quick smoke runs. *)

@@ -1,0 +1,34 @@
+let section title =
+  let rule = String.make (max 8 (String.length title)) '=' in
+  Printf.printf "\n%s\n%s\n" title rule
+
+let note s = Printf.printf "  %s\n" s
+
+let table ~header rows =
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then invalid_arg "Report.table: ragged row")
+    rows;
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell))
+    rows;
+  let print_row cells =
+    List.iteri (fun i cell -> Printf.printf "%-*s  " widths.(i) cell) cells;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') (Array.to_list widths));
+  List.iter print_row rows
+
+let csv ~path ~header rows =
+  let oc = open_out path in
+  let write_row cells = output_string oc (String.concat "," cells ^ "\n") in
+  write_row header;
+  List.iter write_row rows;
+  close_out oc
+
+let f1 x = if Float.is_nan x then "-" else Printf.sprintf "%.1f" x
+let f2 x = if Float.is_nan x then "-" else Printf.sprintf "%.2f" x
+let pct x = if Float.is_nan x then "-" else Printf.sprintf "%.1f%%" (100. *. x)

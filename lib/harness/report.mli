@@ -1,0 +1,27 @@
+(** Plain-text report formatting.
+
+    Every experiment prints through these helpers so the regenerated tables
+    and figures share one look: a title rule, aligned columns, and an
+    optional CSV dump for plotting. *)
+
+val section : string -> unit
+(** Prints a titled rule to stdout. *)
+
+val note : string -> unit
+(** Prints an indented remark. *)
+
+val table : header:string list -> string list list -> unit
+(** [table ~header rows] prints an aligned table; every row must have the
+    same arity as the header. @raise Invalid_argument otherwise. *)
+
+val csv : path:string -> header:string list -> string list list -> unit
+(** Writes the same data as comma-separated values. *)
+
+val f1 : float -> string
+(** One decimal, or ["-"] for NaN. *)
+
+val f2 : float -> string
+(** Two decimals, or ["-"] for NaN. *)
+
+val pct : float -> string
+(** Percentage with one decimal from a ratio, e.g. [0.0712] -> ["7.1%"]. *)

@@ -1,0 +1,25 @@
+type t = {
+  network : Network.t;
+  node : Node_id.t;
+  process : Sim.Process.t;
+  mutable handlers : (Message.t -> bool) list;
+}
+
+let attach network ~id ~process ?cpu () =
+  let ep = { network; node = id; process; handlers = [] } in
+  let dispatch message =
+    let rec try_handlers = function
+      | [] -> ()
+      | h :: rest -> if not (h message) then try_handlers rest
+    in
+    try_handlers ep.handlers
+  in
+  Network.register network ~id ~process ?cpu dispatch;
+  ep
+
+let id ep = ep.node
+let process ep = ep.process
+let network ep = ep.network
+let add_handler ep h = ep.handlers <- ep.handlers @ [ h ]
+let send ep ~dst payload = Network.send ep.network ~src:ep.node ~dst payload
+let broadcast ep ~to_ payload = Network.broadcast ep.network ~src:ep.node ~to_ payload

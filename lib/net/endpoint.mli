@@ -1,0 +1,28 @@
+(** Per-node message dispatch.
+
+    A node hosts several protocol layers (failure detector, ordering
+    protocol, replication logic), each with its own payload constructors.
+    An endpoint registers the node with the network once and routes each
+    incoming message to the first layer whose handler recognises it. *)
+
+type t
+
+val attach :
+  Network.t -> id:Node_id.t -> process:Sim.Process.t -> ?cpu:Sim.Resource.t -> unit -> t
+(** [attach net ~id ~process ?cpu ()] registers the node and returns its
+    endpoint. @raise Invalid_argument if [id] is already registered. *)
+
+val id : t -> Node_id.t
+val process : t -> Sim.Process.t
+val network : t -> Network.t
+
+val add_handler : t -> (Message.t -> bool) -> unit
+(** [add_handler ep h] appends a layer handler. [h] returns [true] when it
+    consumed the message; later handlers then do not see it. Unrecognised
+    messages are dropped silently. *)
+
+val send : t -> dst:Node_id.t -> Message.payload -> unit
+(** Send from this node. *)
+
+val broadcast : t -> to_:Node_id.t list -> Message.payload -> unit
+(** Broadcast from this node. *)

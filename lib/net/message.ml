@@ -1,0 +1,6 @@
+type payload = ..
+
+type t = { src : Node_id.t; dst : Node_id.t; sent_at : Sim.Sim_time.t; payload : payload }
+
+let pp ppf m =
+  Format.fprintf ppf "%a->%a@%a" Node_id.pp m.src Node_id.pp m.dst Sim.Sim_time.pp m.sent_at

@@ -1,0 +1,18 @@
+(** Network messages.
+
+    The payload type is extensible: each protocol layer (failure detector,
+    consensus, replication, …) declares its own constructors, so the
+    simulated network can carry them all without knowing about any. *)
+
+type payload = ..
+(** Protocol payloads; extended by each protocol module. *)
+
+type t = {
+  src : Node_id.t;  (** sender. *)
+  dst : Node_id.t;  (** receiver. *)
+  sent_at : Sim.Sim_time.t;  (** send instant. *)
+  payload : payload;
+}
+
+val pp : Format.formatter -> t -> unit
+(** Prints source, destination and send time (payloads are opaque). *)

@@ -1,0 +1,122 @@
+type config = {
+  transit : Sim.Sim_time.span;
+  cpu_per_op : Sim.Sim_time.span;
+  drop_probability : float;
+}
+
+let lan_config =
+  { transit = Sim.Sim_time.span_ms 0.07; cpu_per_op = Sim.Sim_time.span_ms 0.07; drop_probability = 0. }
+
+type registration = {
+  process : Sim.Process.t;
+  cpu : Sim.Resource.t option;
+  handler : Message.t -> unit;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  config : config;
+  rng : Sim.Rng.t;
+  nodes : (int, registration) Hashtbl.t;
+  (* Partition as a map from node index to group number; unlisted nodes all
+     share the implicit group [-1]. *)
+  mutable groups : (int, int) Hashtbl.t option;
+  blocked_links : (int * int, unit) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create engine config =
+  {
+    engine;
+    config;
+    rng = Sim.Rng.split (Sim.Engine.rng engine);
+    nodes = Hashtbl.create 32;
+    groups = None;
+    blocked_links = Hashtbl.create 8;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let engine net = net.engine
+
+let register net ~id ~process ?cpu handler =
+  let index = Node_id.index id in
+  if Hashtbl.mem net.nodes index then
+    invalid_arg (Format.asprintf "Network.register: %a already registered" Node_id.pp id);
+  Hashtbl.replace net.nodes index { process; cpu; handler }
+
+let group_of net index =
+  match net.groups with
+  | None -> 0
+  | Some tbl -> ( match Hashtbl.find_opt tbl index with Some g -> g | None -> -1)
+
+let link_key src dst =
+  let a = Node_id.index src and b = Node_id.index dst in
+  (min a b, max a b)
+
+let reachable net src dst =
+  group_of net (Node_id.index src) = group_of net (Node_id.index dst)
+  && not (Hashtbl.mem net.blocked_links (link_key src dst))
+
+let partition net groups =
+  let tbl = Hashtbl.create 16 in
+  List.iteri (fun g nodes -> List.iter (fun n -> Hashtbl.replace tbl (Node_id.index n) g) nodes) groups;
+  net.groups <- Some tbl
+
+let heal net = net.groups <- None
+let block_link net a b = Hashtbl.replace net.blocked_links (link_key a b) ()
+let unblock_link net a b = Hashtbl.remove net.blocked_links (link_key a b)
+
+(* Delivery at the receiver: check the receiver is up and reachable at the
+   delivery instant, charge receive CPU if configured, then hand over. *)
+let deliver net message =
+  let dst = Node_id.index message.Message.dst in
+  match Hashtbl.find_opt net.nodes dst with
+  | None -> net.dropped <- net.dropped + 1
+  | Some reg ->
+    if (not (Sim.Process.alive reg.process)) || not (reachable net message.src message.dst) then
+      net.dropped <- net.dropped + 1
+    else begin
+      let hand_over =
+        Sim.Process.guard reg.process (fun () ->
+            net.delivered <- net.delivered + 1;
+            reg.handler message)
+      in
+      match reg.cpu with
+      | None -> hand_over ()
+      | Some cpu -> Sim.Resource.request cpu ~duration:net.config.cpu_per_op hand_over
+    end
+
+let transmit net ~src ~dst payload =
+  net.sent <- net.sent + 1;
+  if Sim.Rng.bool net.rng net.config.drop_probability then net.dropped <- net.dropped + 1
+  else begin
+    let message = { Message.src; dst; sent_at = Sim.Engine.now net.engine; payload } in
+    ignore (Sim.Engine.schedule net.engine ~delay:net.config.transit (fun () -> deliver net message))
+  end
+
+(* Sends are charged to the sender's CPU (one charge per send or per
+   broadcast) and silently vanish when the sender is already down. *)
+let with_sender_cpu net ~src action =
+  match Hashtbl.find_opt net.nodes (Node_id.index src) with
+  | None -> action ()
+  | Some reg ->
+    if Sim.Process.alive reg.process then begin
+      match reg.cpu with
+      | None -> action ()
+      | Some cpu ->
+        Sim.Resource.request cpu ~duration:net.config.cpu_per_op (Sim.Process.guard reg.process action)
+    end
+
+let send net ~src ~dst payload = with_sender_cpu net ~src (fun () -> transmit net ~src ~dst payload)
+
+let broadcast net ~src ~to_ payload =
+  with_sender_cpu net ~src (fun () ->
+      List.iter (fun dst -> transmit net ~src ~dst payload) to_)
+
+let messages_sent net = net.sent
+let messages_delivered net = net.delivered
+let messages_dropped net = net.dropped

@@ -1,0 +1,20 @@
+module Id = struct
+  type t = { index : int; label : string }
+
+  let compare a b = Int.compare a.index b.index
+end
+
+include Id
+
+let make ~index ~label =
+  if index < 0 then invalid_arg "Node_id.make: negative index";
+  { index; label }
+
+let index t = t.index
+let label t = t.label
+let equal a b = Int.equal a.index b.index
+let hash t = t.index
+let pp ppf t = Format.pp_print_string ppf t.label
+
+module Set = Set.Make (Id)
+module Map = Map.Make (Id)

@@ -1,0 +1,21 @@
+(** Identities of simulated network nodes.
+
+    A node id pairs a dense integer index (used for array indexing and
+    ordering) with a human-readable label such as ["S1"]. Equality and
+    ordering are by index only. *)
+
+type t
+
+val make : index:int -> label:string -> t
+(** [make ~index ~label] is the node id with the given index and label.
+    @raise Invalid_argument if [index < 0]. *)
+
+val index : t -> int
+val label : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,56 @@
+type event = { mutable cancelled : bool; action : unit -> unit }
+type handle = event
+
+type t = {
+  mutable clock : Sim_time.t;
+  queue : event Event_queue.t;
+  root_rng : Rng.t;
+  mutable executed : int;
+}
+
+let create ?(seed = 1L) () =
+  { clock = Sim_time.zero; queue = Event_queue.create (); root_rng = Rng.create seed; executed = 0 }
+
+let now e = e.clock
+let rng e = e.root_rng
+
+let schedule_at e ~time f =
+  if Sim_time.(time < e.clock) then invalid_arg "Engine.schedule_at: time in the past";
+  let event = { cancelled = false; action = f } in
+  Event_queue.add e.queue ~time event;
+  event
+
+let schedule e ~delay f = schedule_at e ~time:(Sim_time.add e.clock delay) f
+let cancel h = h.cancelled <- true
+let pending e = Event_queue.length e.queue
+
+let execute e time event =
+  e.clock <- time;
+  if not event.cancelled then begin
+    e.executed <- e.executed + 1;
+    event.action ()
+  end
+
+let step e =
+  match Event_queue.pop e.queue with
+  | None -> false
+  | Some (time, event) ->
+    execute e time event;
+    true
+
+let run ?until e =
+  match until with
+  | None -> while step e do () done
+  | Some limit ->
+    let rec loop () =
+      match Event_queue.peek_time e.queue with
+      | Some time when Sim_time.(time <= limit) ->
+        (match Event_queue.pop e.queue with
+         | Some (t, event) -> execute e t event
+         | None -> ());
+        loop ()
+      | Some _ | None -> e.clock <- Sim_time.max e.clock limit
+    in
+    loop ()
+
+let events_executed e = e.executed

@@ -1,0 +1,52 @@
+(** Discrete-event simulation engine.
+
+    An engine owns the virtual clock, the pending-event queue and the root
+    random generator of one simulation run. Components schedule closures at
+    future instants; [run] executes them in timestamp order, advancing the
+    clock. Everything is single-threaded and deterministic for a given
+    seed. *)
+
+type t
+(** One simulation run. *)
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] is a fresh engine at time {!Sim_time.zero}.
+    [seed] defaults to [1L]. *)
+
+val now : t -> Sim_time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root generator. Components should {!Rng.split} it at setup
+    time rather than share it, so that adding a component does not perturb
+    the draws of the others. *)
+
+val schedule : t -> delay:Sim_time.span -> (unit -> unit) -> handle
+(** [schedule e ~delay f] runs [f] at [now e + delay]. Events scheduled at
+    the same instant run in scheduling order. *)
+
+val schedule_at : t -> time:Sim_time.t -> (unit -> unit) -> handle
+(** [schedule_at e ~time f] runs [f] at [time].
+    @raise Invalid_argument if [time] is in the past. *)
+
+val cancel : handle -> unit
+(** [cancel h] prevents the event from running; a no-op if it already ran
+    or was cancelled. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    discarded). *)
+
+val run : ?until:Sim_time.t -> t -> unit
+(** [run ?until e] executes events in order. With [until], stops once the
+    clock would pass it (the clock then reads [until]); without, runs to
+    queue exhaustion. *)
+
+val step : t -> bool
+(** [step e] executes the single earliest event. [false] if none remained. *)
+
+val events_executed : t -> int
+(** Total number of events executed so far. *)

@@ -1,0 +1,28 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap keyed by [(time, sequence)]: events at equal instants
+    pop in insertion order, which keeps simulations deterministic. *)
+
+type 'a t
+(** A queue of events carrying values of type ['a]. *)
+
+val create : unit -> 'a t
+(** A fresh empty queue. *)
+
+val length : 'a t -> int
+(** Number of queued events. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:Sim_time.t -> 'a -> unit
+(** [add q ~time v] enqueues [v] to fire at [time]. *)
+
+val peek_time : 'a t -> Sim_time.t option
+(** [peek_time q] is the instant of the earliest event, if any. *)
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** [pop q] removes and returns the earliest event: at equal instants the
+    one enqueued first. *)
+
+val clear : 'a t -> unit
+(** Removes every event. *)

@@ -1,0 +1,45 @@
+(** Queueing resources with a fixed number of identical servers.
+
+    Models CPUs and disks: a resource with [servers = k] processes up to [k]
+    jobs at once; excess jobs wait FCFS. Completion callbacks fire on the
+    engine at the job's finish instant. Utilisation and waiting statistics
+    are accumulated for reporting. *)
+
+type t
+(** A multi-server FCFS resource. *)
+
+val create : Engine.t -> name:string -> servers:int -> t
+(** [create e ~name ~servers] is an idle resource with [servers] identical
+    servers. @raise Invalid_argument if [servers <= 0]. *)
+
+val name : t -> string
+
+val servers : t -> int
+
+val request : t -> duration:Sim_time.span -> (unit -> unit) -> unit
+(** [request r ~duration k] submits a job needing [duration] of service and
+    calls [k] when it completes. The callback should be {!Process.guard}ed
+    by its owner if the owner can crash. *)
+
+val queue_length : t -> int
+(** Jobs currently waiting (excluding those in service). *)
+
+val in_service : t -> int
+(** Jobs currently being served. *)
+
+val reset : t -> unit
+(** [reset r] discards all queued and in-service jobs without running their
+    callbacks, and leaves statistics untouched. Used when the owning node
+    crashes. *)
+
+val busy_time : t -> Sim_time.span
+(** Total server-busy time accumulated (summed over servers). *)
+
+val jobs_completed : t -> int
+
+val total_wait : t -> Sim_time.span
+(** Total time completed jobs spent waiting before service. *)
+
+val utilisation : t -> since:Sim_time.t -> float
+(** [utilisation r ~since] is mean busy fraction per server over
+    [[since, now]]; [0.] if the window is empty. *)

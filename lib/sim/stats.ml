@@ -1,0 +1,130 @@
+type series = {
+  s_name : string;
+  mutable data : float array;
+  mutable size : int;
+  (* Welford accumulators, kept alongside the raw samples so that mean and
+     variance stay O(1) even for very long runs. *)
+  mutable w_mean : float;
+  mutable w_m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable sorted : float array option; (* cache, invalidated on add *)
+}
+
+let series name =
+  {
+    s_name = name;
+    data = [||];
+    size = 0;
+    w_mean = 0.;
+    w_m2 = 0.;
+    lo = nan;
+    hi = nan;
+    sorted = None;
+  }
+
+let series_name s = s.s_name
+
+let add s x =
+  if s.size = Array.length s.data then begin
+    let capacity = Stdlib.max 64 (2 * Array.length s.data) in
+    let data = Array.make capacity 0. in
+    Array.blit s.data 0 data 0 s.size;
+    s.data <- data
+  end;
+  s.data.(s.size) <- x;
+  s.size <- s.size + 1;
+  let delta = x -. s.w_mean in
+  s.w_mean <- s.w_mean +. (delta /. float_of_int s.size);
+  s.w_m2 <- s.w_m2 +. (delta *. (x -. s.w_mean));
+  if s.size = 1 then begin
+    s.lo <- x;
+    s.hi <- x
+  end
+  else begin
+    if x < s.lo then s.lo <- x;
+    if x > s.hi then s.hi <- x
+  end;
+  s.sorted <- None
+
+let count s = s.size
+let mean s = if s.size = 0 then nan else s.w_mean
+let variance s = if s.size < 2 then nan else s.w_m2 /. float_of_int (s.size - 1)
+let stddev s = sqrt (variance s)
+let min_value s = s.lo
+let max_value s = s.hi
+
+let sorted_samples s =
+  match s.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.sub s.data 0 s.size in
+    Array.sort Float.compare a;
+    s.sorted <- Some a;
+    a
+
+let percentile s p =
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: out of range";
+  if s.size = 0 then nan
+  else begin
+    let a = sorted_samples s in
+    let rank = p /. 100. *. float_of_int (s.size - 1) in
+    let lo_idx = int_of_float (Float.of_int (int_of_float rank)) in
+    let hi_idx = Stdlib.min (lo_idx + 1) (s.size - 1) in
+    let frac = rank -. float_of_int lo_idx in
+    a.(lo_idx) +. (frac *. (a.(hi_idx) -. a.(lo_idx)))
+  end
+
+let median s = percentile s 50.
+
+let confidence95 s =
+  if s.size < 2 then nan else 1.96 *. stddev s /. sqrt (float_of_int s.size)
+
+let samples s = Array.sub s.data 0 s.size
+
+let histogram s ~bins =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if s.size = 0 then []
+  else begin
+    let lo = s.lo and hi = s.hi in
+    let width = (hi -. lo) /. float_of_int bins in
+    if width <= 0. then [ (lo, hi, s.size) ]
+    else begin
+      let counts = Array.make bins 0 in
+      Array.iter
+        (fun x ->
+          let b = Stdlib.min (bins - 1) (int_of_float ((x -. lo) /. width)) in
+          counts.(b) <- counts.(b) + 1)
+        (Array.sub s.data 0 s.size);
+      List.init bins (fun b ->
+          (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+    end
+  end
+
+let merge name ss =
+  let out = series name in
+  List.iter (fun s -> Array.iter (add out) (samples s)) ss;
+  out
+
+let clear s =
+  s.size <- 0;
+  s.w_mean <- 0.;
+  s.w_m2 <- 0.;
+  s.lo <- nan;
+  s.hi <- nan;
+  s.sorted <- None
+
+type counter = { c_name : string; mutable n : int }
+
+let counter name = { c_name = name; n = 0 }
+let incr c = c.n <- c.n + 1
+let incr_by c k = c.n <- c.n + k
+let value c = c.n
+let counter_name c = c.c_name
+let reset c = c.n <- 0
+
+let pp_series ppf s =
+  if s.size = 0 then Format.fprintf ppf "%s: (empty)" s.s_name
+  else
+    Format.fprintf ppf "%s: n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f" s.s_name s.size (mean s)
+      (median s) (percentile s 95.) (max_value s)

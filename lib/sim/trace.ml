@@ -1,0 +1,30 @@
+type entry = {
+  time : Sim_time.t;
+  source : string;
+  kind : string;
+  attrs : (string * string) list;
+}
+
+type t = { engine : Engine.t; mutable enabled : bool; mutable rev_entries : entry list }
+
+let create ?(enabled = true) engine = { engine; enabled; rev_entries = [] }
+let enabled tr = tr.enabled
+let set_enabled tr flag = tr.enabled <- flag
+
+let record tr ~source ~kind attrs =
+  if tr.enabled then
+    tr.rev_entries <- { time = Engine.now tr.engine; source; kind; attrs } :: tr.rev_entries
+
+let entries tr = List.rev tr.rev_entries
+let find_all tr ~kind = List.filter (fun e -> String.equal e.kind kind) (entries tr)
+let attr e key = List.assoc_opt key e.attrs
+let length tr = List.length tr.rev_entries
+
+let pp_entry ppf e =
+  let pp_attr ppf (k, v) = Format.fprintf ppf " %s=%s" k v in
+  Format.fprintf ppf "[%a] %-6s %s%a" Sim_time.pp e.time e.source e.kind
+    (Format.pp_print_list ~pp_sep:(fun _ () -> ()) pp_attr)
+    e.attrs
+
+let dump ppf tr =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries tr)

@@ -1,0 +1,44 @@
+(** Structured execution traces.
+
+    A trace records what happened during a run — one entry per interesting
+    event, with the virtual timestamp, the subsystem/node that emitted it, a
+    short kind tag and free-form attributes. Safety checkers and tests replay
+    traces; debugging dumps them. Recording can be disabled wholesale to keep
+    long performance runs cheap. *)
+
+type entry = {
+  time : Sim_time.t;
+  source : string;  (** emitting node or component, e.g. ["S2"]. *)
+  kind : string;  (** event tag, e.g. ["commit"] or ["crash"]. *)
+  attrs : (string * string) list;  (** additional key/value details. *)
+}
+
+type t
+(** A trace under construction. *)
+
+val create : ?enabled:bool -> Engine.t -> t
+(** [create e] is an empty trace stamped by [e]'s clock. [enabled] defaults
+    to [true]; a disabled trace drops every entry. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> source:string -> kind:string -> (string * string) list -> unit
+(** [record tr ~source ~kind attrs] appends an entry at the current virtual
+    time (if recording is enabled). *)
+
+val entries : t -> entry list
+(** All recorded entries, oldest first. *)
+
+val find_all : t -> kind:string -> entry list
+(** Entries with the given kind, oldest first. *)
+
+val attr : entry -> string -> string option
+(** [attr e key] is the value of attribute [key], if present. *)
+
+val length : t -> int
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : Format.formatter -> t -> unit
+(** Prints every entry, one per line. *)

@@ -1,0 +1,78 @@
+type model = Probabilistic of float | Lru of int
+
+(* The LRU cache pairs a hash table with a recency counter per page; on
+   eviction we scan for the minimum. Capacity is small enough in our
+   experiments (thousands of pages) that the O(n) eviction never shows up,
+   and the representation stays simple. *)
+type lru = { capacity : int; table : (int, int) Hashtbl.t; mutable tick : int }
+
+type state = P of float | L of lru
+
+type t = { rng : Sim.Rng.t; state : state; mutable hits : int; mutable misses : int }
+
+let create rng model =
+  let state =
+    match model with
+    | Probabilistic ratio ->
+      if ratio < 0. || ratio > 1. then invalid_arg "Buffer_pool.create: ratio out of range";
+      P ratio
+    | Lru capacity ->
+      if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+      L { capacity; table = Hashtbl.create (2 * capacity); tick = 0 }
+  in
+  { rng; state; hits = 0; misses = 0 }
+
+let touch lru page =
+  lru.tick <- lru.tick + 1;
+  Hashtbl.replace lru.table page lru.tick
+
+let evict_if_full lru =
+  if Hashtbl.length lru.table > lru.capacity then begin
+    let victim = ref (-1) and oldest = ref max_int in
+    Hashtbl.iter
+      (fun page tick ->
+        if tick < !oldest then begin
+          oldest := tick;
+          victim := page
+        end)
+      lru.table;
+    if !victim >= 0 then Hashtbl.remove lru.table !victim
+  end
+
+let install lru page =
+  touch lru page;
+  evict_if_full lru
+
+let read pool ~page =
+  let hit =
+    match pool.state with
+    | P ratio -> Sim.Rng.bool pool.rng ratio
+    | L lru ->
+      if Hashtbl.mem lru.table page then begin
+        touch lru page;
+        true
+      end
+      else begin
+        install lru page;
+        false
+      end
+  in
+  if hit then pool.hits <- pool.hits + 1 else pool.misses <- pool.misses + 1;
+  hit
+
+let write pool ~page =
+  match pool.state with
+  | P _ -> ()
+  | L lru -> install lru page
+
+let invalidate pool =
+  match pool.state with
+  | P _ -> ()
+  | L lru -> Hashtbl.reset lru.table
+
+let hits pool = pool.hits
+let misses pool = pool.misses
+
+let hit_ratio pool =
+  let total = pool.hits + pool.misses in
+  if total = 0 then nan else float_of_int pool.hits /. float_of_int total

@@ -1,0 +1,32 @@
+type 'a t = {
+  engine : Sim.Engine.t;
+  name : string;
+  disk : Sim.Resource.t;
+  write_time : unit -> Sim.Sim_time.span;
+  mutable durable : 'a;
+  mutable epoch : int;
+  (* Sequence numbers keep overlapping writes (a multi-server disk can
+     complete them out of order) from regressing the durable value. *)
+  mutable next_seq : int;
+  mutable applied_seq : int;
+}
+
+let create engine ~name ~disk ~write_time ~initial =
+  { engine; name; disk; write_time; durable = initial; epoch = 0; next_seq = 0; applied_seq = -1 }
+
+let write c v ~on_durable =
+  let epoch = c.epoch in
+  let seq = c.next_seq in
+  c.next_seq <- c.next_seq + 1;
+  Sim.Resource.request c.disk ~duration:(c.write_time ()) (fun () ->
+      if c.epoch = epoch then begin
+        if seq > c.applied_seq then begin
+          c.applied_seq <- seq;
+          c.durable <- v
+        end;
+        on_durable ()
+      end)
+
+let write_quiet c v = write c v ~on_durable:(fun () -> ())
+let read c = c.durable
+let crash c = c.epoch <- c.epoch + 1

@@ -1,0 +1,31 @@
+(** A single durable value with timed overwrites.
+
+    Models a small on-disk cell — a delivery cursor, an epoch number — that
+    a protocol overwrites in place. The durable value only changes when the
+    disk write completes; a crash in between leaves the previous value. *)
+
+type 'a t
+
+val create :
+  Sim.Engine.t ->
+  name:string ->
+  disk:Sim.Resource.t ->
+  write_time:(unit -> Sim.Sim_time.span) ->
+  initial:'a ->
+  'a t
+(** [create e ~name ~disk ~write_time ~initial] is a cell durably holding
+    [initial] (the initial value needs no write). *)
+
+val write : 'a t -> 'a -> on_durable:(unit -> unit) -> unit
+(** [write c v ~on_durable] makes [v] the durable value after one disk
+    write, then calls [on_durable]. Concurrent writes are applied in
+    submission order. *)
+
+val write_quiet : 'a t -> 'a -> unit
+(** {!write} without a completion callback. *)
+
+val read : 'a t -> 'a
+(** The current durable value (what a recovery would find). *)
+
+val crash : 'a t -> unit
+(** Discards in-flight writes; the durable value stays as last completed. *)

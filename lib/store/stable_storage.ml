@@ -1,0 +1,89 @@
+type config = { group_commit : bool }
+
+let default_config = { group_commit = true }
+
+type 'a pending = { record : 'a; on_durable : unit -> unit }
+
+type 'a t = {
+  engine : Sim.Engine.t;
+  name : string;
+  disk : Sim.Resource.t;
+  write_time : unit -> Sim.Sim_time.span;
+  config : config;
+  mutable durable_rev : 'a list;
+  mutable durable_n : int;
+  pending : 'a pending Queue.t;
+  mutable flushing : bool;
+  (* Crash bumps the epoch so the completion of a lost flush is ignored. *)
+  mutable epoch : int;
+  mutable flushes : int;
+}
+
+let create engine ~name ~disk ~write_time ?(config = default_config) () =
+  {
+    engine;
+    name;
+    disk;
+    write_time;
+    config;
+    durable_rev = [];
+    durable_n = 0;
+    pending = Queue.create ();
+    flushing = false;
+    epoch = 0;
+    flushes = 0;
+  }
+
+let rec start_flush log =
+  if (not log.flushing) && not (Queue.is_empty log.pending) then begin
+    log.flushing <- true;
+    let batch =
+      if log.config.group_commit then begin
+        let all = List.of_seq (Queue.to_seq log.pending) in
+        Queue.clear log.pending;
+        all
+      end
+      else [ Queue.pop log.pending ]
+    in
+    let epoch = log.epoch in
+    let complete () =
+      if log.epoch = epoch then begin
+        log.flushing <- false;
+        log.flushes <- log.flushes + 1;
+        List.iter
+          (fun p ->
+            log.durable_rev <- p.record :: log.durable_rev;
+            log.durable_n <- log.durable_n + 1)
+          batch;
+        start_flush log;
+        List.iter (fun p -> p.on_durable ()) batch
+      end
+    in
+    Sim.Resource.request log.disk ~duration:(log.write_time ()) complete
+  end
+
+let append log record ~on_durable =
+  Queue.push { record; on_durable } log.pending;
+  start_flush log
+
+let append_quiet log record = append log record ~on_durable:(fun () -> ())
+let durable_records log = List.rev log.durable_rev
+let durable_count log = log.durable_n
+
+let pending_count log =
+  (* The in-flight batch was removed from [pending] but is not durable yet;
+     it is lost on crash just the same. We cannot see its size here, so we
+     report only records still queued. Checkers use [durable_records]. *)
+  Queue.length log.pending
+
+let crash log =
+  log.epoch <- log.epoch + 1;
+  log.flushing <- false;
+  Queue.clear log.pending
+
+let flush_count log = log.flushes
+
+let truncate log ~keep =
+  let kept = List.filter keep log.durable_rev in
+  log.durable_rev <- kept;
+  log.durable_n <- List.length kept

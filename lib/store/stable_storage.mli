@@ -1,0 +1,61 @@
+(** Durable append-only logs on simulated disks.
+
+    A log survives process crashes: records become durable when the disk
+    write that carries them completes, and only then. Appends are group
+    committed — records arriving while a flush is in flight ride the next
+    flush together — which is the batching optimisation the paper's
+    group-safe mode exploits. The owning node must call {!crash} from its
+    kill hook so that in-flight and pending records are discarded. *)
+
+type 'a t
+(** A durable log of records of type ['a]. *)
+
+type config = {
+  group_commit : bool;
+      (** when [false], every record gets a dedicated flush (ablation). *)
+}
+
+val default_config : config
+(** Group commit enabled. *)
+
+val create :
+  Sim.Engine.t ->
+  name:string ->
+  disk:Sim.Resource.t ->
+  write_time:(unit -> Sim.Sim_time.span) ->
+  ?config:config ->
+  unit ->
+  'a t
+(** [create e ~name ~disk ~write_time ()] is an empty log whose flushes
+    occupy [disk] for [write_time ()] each. *)
+
+val append : 'a t -> 'a -> on_durable:(unit -> unit) -> unit
+(** [append log r ~on_durable] schedules [r] for the next flush and calls
+    [on_durable] once it is on disk. The callback is dropped (never called)
+    if the node crashes first; guard it with the owner's process if it
+    touches volatile state. *)
+
+val append_quiet : 'a t -> 'a -> unit
+(** [append_quiet log r] is {!append} with no completion callback: fire and
+    forget, e.g. asynchronous background logging. *)
+
+val durable_records : 'a t -> 'a list
+(** Records on disk, oldest first. Survives crashes. This is an instant
+    inspection used by recovery code and checkers; the simulated cost of a
+    recovery read is charged separately by callers. *)
+
+val durable_count : 'a t -> int
+
+val pending_count : 'a t -> int
+(** Records accepted but not yet durable (would be lost by a crash now). *)
+
+val crash : 'a t -> unit
+(** Drops pending records and the in-flight flush (their callbacks never
+    fire). Durable records are untouched. *)
+
+val flush_count : 'a t -> int
+(** Number of disk flushes performed, for measuring batching. *)
+
+val truncate : 'a t -> keep:('a -> bool) -> unit
+(** [truncate log ~keep] instantly discards durable records not satisfying
+    [keep] (log compaction after a checkpoint). *)

@@ -1,0 +1,32 @@
+(** Transaction arrival processes.
+
+    Open (Poisson) arrivals at a target rate, or a closed loop where each
+    client submits, waits for the response, thinks, and submits again. The
+    paper's Fig. 9 drives the system with an offered load in transactions
+    per second; the open process reproduces that axis directly. *)
+
+type t
+
+val open_poisson :
+  Sim.Engine.t -> rng:Sim.Rng.t -> rate_tps:float -> (unit -> unit) -> t
+(** [open_poisson e ~rng ~rate_tps submit] calls [submit] with
+    exponentially distributed inter-arrival times of mean [1/rate_tps],
+    starting one inter-arrival from now, until {!stop}.
+    @raise Invalid_argument if [rate_tps <= 0.]. *)
+
+val closed_loop :
+  Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  clients:int ->
+  think_time:Sim.Sim_time.span ->
+  (done_:(unit -> unit) -> unit) ->
+  t
+(** [closed_loop e ~rng ~clients ~think_time submit] runs [clients]
+    independent loops: think (exponential, mean [think_time]), call
+    [submit ~done_], wait until [done_] is invoked, repeat. *)
+
+val stop : t -> unit
+(** No further arrivals are generated. *)
+
+val arrivals : t -> int
+(** Submissions made so far. *)

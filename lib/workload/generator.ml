@@ -1,0 +1,27 @@
+type t = { params : Params.t; rng : Sim.Rng.t; mutable counter : int }
+
+let create params rng = { params; rng; counter = 0 }
+
+let pick_item g =
+  let p = g.params in
+  if p.Params.hot_items > 0 && Sim.Rng.bool g.rng p.Params.hot_fraction then
+    Sim.Rng.int g.rng (min p.Params.hot_items p.Params.items)
+  else Sim.Rng.int g.rng p.Params.items
+
+let next g ~client =
+  let p = g.params in
+  let id = g.counter in
+  g.counter <- g.counter + 1;
+  let length = Sim.Rng.uniform_int g.rng p.Params.tx_length_min p.Params.tx_length_max in
+  let op _ =
+    let item = pick_item g in
+    if Sim.Rng.bool g.rng p.Params.write_probability then Db.Op.Write (item, id)
+    else Db.Op.Read item
+  in
+  let ops = List.init length op in
+  (* A transaction with no operation that reads or writes would be invalid;
+     lengths are >= 1 by construction of the parameters. *)
+  Db.Transaction.make ~id ~client ops
+
+let next_id g = g.counter
+let generated g = g.counter

@@ -1,0 +1,22 @@
+(** Transaction generator.
+
+    Draws transactions matching the workload parameters: uniform length in
+    [tx_length_min, tx_length_max], each operation a write with
+    [write_probability], item chosen from the hot set with [hot_fraction]
+    and uniformly otherwise. Write values are the transaction id, making
+    replica divergence detectable by value comparison. *)
+
+type t
+
+val create : Params.t -> Sim.Rng.t -> t
+(** [create params rng] draws from [rng]; transaction ids are assigned
+    sequentially from 0 and are unique per generator. *)
+
+val next : t -> client:int -> Db.Transaction.t
+(** The next transaction, issued by [client]. *)
+
+val next_id : t -> int
+(** The id {!next} will assign (ids are dense from 0). *)
+
+val generated : t -> int
+(** Transactions generated so far. *)

@@ -1,0 +1,250 @@
+(* Tests for the networked client layer, the very-safe mode, runtime mode
+   switching, and the uniform-delivery ablation. *)
+
+open Groupsafe
+
+let ms = Sim.Sim_time.span_ms
+let sec x = Sim.Sim_time.span_s x
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_params =
+  {
+    Workload.Params.table4 with
+    Workload.Params.servers = 3;
+    items = 200;
+    hot_fraction = 0.;
+    hot_items = 0;
+  }
+
+let make ?uniform technique = System.create ~params:small_params ?uniform technique
+
+let update_tx ~id =
+  Db.Transaction.make ~id ~client:0 [ Db.Op.Read (10 + id); Db.Op.Write (20 + id, id + 1) ]
+
+(* ---- Client ---- *)
+
+let test_client_basic_roundtrip () =
+  let sys = make (System.Dsm Dsm_replica.Group_safe_mode) in
+  let client = Client.create sys ~index:0 () in
+  let outcome = ref None in
+  Client.submit client (update_tx ~id:0) ~on_outcome:(fun o -> outcome := Some o);
+  System.run_for sys (sec 2.);
+  check_bool "committed over the network" true (!outcome = Some Db.Testable_tx.Committed);
+  check_int "completed" 1 (Client.completed client);
+  check_int "no retries needed" 0 (Client.retries client);
+  check_int "nothing in flight" 0 (Client.in_flight client)
+
+let test_client_retries_dead_delegate () =
+  let sys = make (System.Dsm Dsm_replica.Group_safe_mode) in
+  System.crash sys 0;
+  let client = Client.create sys ~index:0 ~retry_timeout:(ms 200.) () in
+  let outcome = ref None in
+  Client.submit client ~delegate:0 (update_tx ~id:0) ~on_outcome:(fun o -> outcome := Some o);
+  System.run_for sys (sec 3.);
+  check_bool "answered by another server" true (!outcome = Some Db.Testable_tx.Committed);
+  check_bool "retried at least once" true (Client.retries client >= 1)
+
+let test_client_exactly_once_after_lost_reply () =
+  (* The delegate processes the transaction but dies exactly when it sends
+     the reply; the client times out and retries at the next server, which
+     answers from its testable-transaction record instead of running the
+     transaction again. *)
+  let sys = make (System.Dsm Dsm_replica.Group_safe_mode) in
+  let client = Client.create sys ~index:0 ~retry_timeout:(ms 300.) () in
+  let outcome = ref None in
+  (* Use the response hook at the system level to crash S0 at the instant
+     it would send its reply. *)
+  let crashed = ref false in
+  System.submit sys ~delegate:0
+    ~on_response:(fun _ ->
+      if not !crashed then begin
+        crashed := true;
+        System.crash sys 0
+      end)
+    (update_tx ~id:7);
+  System.run_for sys (sec 1.);
+  check_bool "crashed at the acknowledgement" true !crashed;
+  (* The client never saw the answer; retry the same transaction id at the
+     next server. *)
+  Client.submit client ~delegate:1 (update_tx ~id:7) ~on_outcome:(fun o -> outcome := Some o);
+  System.run_for sys (sec 3.);
+  check_bool "client eventually answered" true (!outcome = Some Db.Testable_tx.Committed);
+  (* Exactly once: the value was installed a single time and every live
+     replica agrees. *)
+  check_bool "committed on survivors" true
+    (System.committed_on sys ~server:1 7 && System.committed_on sys ~server:2 7);
+  match System.dsm_replica sys 1 with
+  | Some r ->
+    let cert = Dsm_replica.certifier r in
+    check_int "exactly one commit certified" 1 (Db.Certifier.commits cert)
+  | None -> Alcotest.fail "expected a dsm replica"
+
+let test_client_gives_up_when_everyone_down () =
+  let sys = make (System.Dsm Dsm_replica.Group_safe_mode) in
+  for i = 0 to 2 do
+    System.crash sys i
+  done;
+  let client = Client.create sys ~index:0 ~retry_timeout:(ms 100.) ~max_attempts:3 () in
+  let outcome = ref None in
+  Client.submit client (update_tx ~id:0) ~on_outcome:(fun o -> outcome := Some o);
+  System.run_for sys (sec 2.);
+  check_bool "no outcome" true (!outcome = None);
+  check_int "gave up, nothing in flight" 0 (Client.in_flight client)
+
+(* ---- Very-safe mode ---- *)
+
+let test_very_safe_survives_total_crash () =
+  let sys = make (System.Dsm Dsm_replica.Very_safe_mode) in
+  let outcome = ref None in
+  System.submit sys ~delegate:0
+    ~on_response:(fun o ->
+      outcome := Some o;
+      for i = 0 to 2 do
+        System.crash sys i
+      done)
+    (update_tx ~id:0);
+  System.run_for sys (sec 3.);
+  for i = 0 to 2 do
+    System.recover sys i
+  done;
+  System.run_for sys (sec 5.);
+  check_bool "acknowledged" true (!outcome = Some Db.Testable_tx.Committed);
+  let report = Safety_checker.analyse sys in
+  check_int "nothing lost" 0 (List.length report.Safety_checker.lost)
+
+let test_very_safe_blocks_with_one_down () =
+  let sys = make (System.Dsm Dsm_replica.Very_safe_mode) in
+  System.crash sys 2;
+  System.run_for sys (sec 1.);
+  let acked_before_recovery = ref false and acked_after = ref None in
+  System.submit sys ~delegate:0
+    ~on_response:(fun o -> acked_after := Some o)
+    (update_tx ~id:0);
+  System.run_for sys (sec 5.);
+  acked_before_recovery := !acked_after <> None;
+  check_bool "blocked while S2 down" false !acked_before_recovery;
+  System.recover sys 2;
+  System.run_for sys (sec 10.);
+  check_bool "acknowledged once S2 logged the replay" true
+    (!acked_after = Some Db.Testable_tx.Committed)
+
+(* ---- Runtime mode switching (paper §5.2) ---- *)
+
+let test_mode_switch_changes_response_point () =
+  let sys = make (System.Dsm Dsm_replica.Group_safe_mode) in
+  (* Group-safe: the acknowledgement precedes the delegate's log flush. *)
+  System.submit sys ~delegate:0 (update_tx ~id:0);
+  System.run_for sys (sec 2.);
+  System.set_dsm_mode sys Dsm_replica.Group_one_safe_mode;
+  System.submit sys ~delegate:0 (update_tx ~id:1);
+  System.run_for sys (sec 2.);
+  let entries = Sim.Trace.entries (System.trace sys) in
+  let time_of kind tx =
+    List.find_map
+      (fun e ->
+        if
+          String.equal e.Sim.Trace.kind kind
+          && Sim.Trace.attr e "tx" = Some (string_of_int tx)
+          && String.equal e.Sim.Trace.source "S0"
+        then Some e.Sim.Trace.time
+        else None)
+      entries
+  in
+  let respond0 = Option.get (time_of "respond" 0) and logged0 = Option.get (time_of "logged" 0) in
+  let respond1 = Option.get (time_of "respond" 1) and logged1 = Option.get (time_of "logged" 1) in
+  check_bool "group-safe answers before its log flush" true Sim.Sim_time.(respond0 < logged0);
+  check_bool "group-1-safe answers after its log flush" true Sim.Sim_time.(respond1 >= logged1)
+
+let test_mode_switch_rejects_cross_family () =
+  let sys = make (System.Dsm Dsm_replica.Group_safe_mode) in
+  check_bool "raises" true
+    (try
+       System.set_dsm_mode sys Dsm_replica.Two_safe_mode;
+       false
+     with Invalid_argument _ -> true)
+
+let test_mode_switch_relaxation_releases_waiters () =
+  (* Very-safe blocks while a server is down; relaxing to 2-safe at runtime
+     releases the waiting acknowledgement. *)
+  let sys = make (System.Dsm Dsm_replica.Very_safe_mode) in
+  System.crash sys 2;
+  System.run_for sys (sec 1.);
+  let outcome = ref None in
+  System.submit sys ~delegate:0 ~on_response:(fun o -> outcome := Some o) (update_tx ~id:0);
+  System.run_for sys (sec 5.);
+  check_bool "blocked under very-safe" true (!outcome = None);
+  System.set_dsm_mode sys Dsm_replica.Two_safe_mode;
+  System.run_for sys (sec 1.);
+  check_bool "released under 2-safe" true (!outcome = Some Db.Testable_tx.Committed)
+
+(* ---- Uniform-delivery ablation ---- *)
+
+let test_non_uniform_still_agrees_without_faults () =
+  let sys = make ~uniform:false (System.Dsm Dsm_replica.Group_safe_mode) in
+  let outcomes = List.init 4 (fun i ->
+      let o = ref None in
+      System.submit sys ~delegate:(i mod 3) ~on_response:(fun x -> o := Some x) (update_tx ~id:i);
+      o)
+  in
+  System.run_for sys (sec 3.);
+  List.iter (fun o -> check_bool "committed" true (!o = Some Db.Testable_tx.Committed)) outcomes;
+  let v0 = System.values_of sys ~server:0 in
+  for s = 1 to 2 do
+    check_bool "replicas agree" true (System.values_of sys ~server:s = v0)
+  done
+
+let test_non_uniform_breaks_group_safety_in_partition () =
+  let run ~uniform =
+    let sys = make ~uniform (System.Dsm Dsm_replica.Group_safe_mode) in
+    System.run_for sys (sec 1.) (* S0 leads *);
+    System.partition sys [ [ 0 ]; [ 1; 2 ] ];
+    System.run_for sys (ms 100.);
+    let acked = ref false in
+    System.submit sys ~delegate:0
+      ~on_response:(fun o ->
+        if o = Db.Testable_tx.Committed then acked := true;
+        System.crash sys 0)
+      (Db.Transaction.make ~id:0 ~client:0 [ Db.Op.Write (10, 1) ]);
+    System.run_for sys (sec 2.);
+    System.heal sys;
+    System.run_for sys (sec 5.);
+    (!acked, List.length (Safety_checker.analyse sys).Safety_checker.lost)
+  in
+  let acked_nu, lost_nu = run ~uniform:false in
+  check_bool "optimistic leader acknowledged in its minority partition" true acked_nu;
+  check_int "and the transaction is gone after one crash" 1 lost_nu;
+  let _, lost_u = run ~uniform:true in
+  check_int "uniform delivery never loses it" 0 lost_u
+
+let () =
+  Alcotest.run "client_and_extensions"
+    [
+      ( "client",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_client_basic_roundtrip;
+          Alcotest.test_case "retries dead delegate" `Quick test_client_retries_dead_delegate;
+          Alcotest.test_case "exactly-once after lost reply" `Quick
+            test_client_exactly_once_after_lost_reply;
+          Alcotest.test_case "gives up when all down" `Quick test_client_gives_up_when_everyone_down;
+        ] );
+      ( "very_safe",
+        [
+          Alcotest.test_case "survives total crash" `Quick test_very_safe_survives_total_crash;
+          Alcotest.test_case "blocks with one down" `Quick test_very_safe_blocks_with_one_down;
+        ] );
+      ( "mode_switching",
+        [
+          Alcotest.test_case "changes response point" `Quick test_mode_switch_changes_response_point;
+          Alcotest.test_case "rejects cross family" `Quick test_mode_switch_rejects_cross_family;
+          Alcotest.test_case "relaxation releases waiters" `Quick
+            test_mode_switch_relaxation_releases_waiters;
+        ] );
+      ( "uniformity",
+        [
+          Alcotest.test_case "non-uniform agrees without faults" `Quick
+            test_non_uniform_still_agrees_without_faults;
+          Alcotest.test_case "non-uniform breaks group-safety" `Quick
+            test_non_uniform_breaks_group_safety_in_partition;
+        ] );
+    ]

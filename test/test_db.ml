@@ -1,0 +1,418 @@
+(* Tests for the local database component: transactions, locking,
+   certification, testable transactions and the timed engine. *)
+
+let ms = Sim.Sim_time.span_ms
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Op / Transaction ---- *)
+
+let test_op_basics () =
+  check_int "read item" 3 (Db.Op.item (Db.Op.Read 3));
+  check_int "write item" 4 (Db.Op.item (Db.Op.Write (4, 9)));
+  check_bool "is_write" true (Db.Op.is_write (Db.Op.Write (1, 1)));
+  check_bool "read is not write" false (Db.Op.is_write (Db.Op.Read 1))
+
+let test_transaction_sets () =
+  let tx =
+    Db.Transaction.make ~id:1 ~client:0
+      [ Db.Op.Read 5; Db.Op.Write (3, 10); Db.Op.Read 3; Db.Op.Write (5, 20); Db.Op.Write (3, 11) ]
+  in
+  Alcotest.(check (list int)) "read set sorted" [ 3; 5 ] (Db.Transaction.read_set tx);
+  Alcotest.(check (list int)) "write set sorted" [ 3; 5 ] (Db.Transaction.write_set tx);
+  Alcotest.(check (list (pair int int)))
+    "last write wins, program order" [ (3, 11); (5, 20) ] (Db.Transaction.writes tx);
+  check_bool "update" true (Db.Transaction.is_update tx);
+  check_int "ops" 5 (Db.Transaction.op_count tx)
+
+let test_transaction_read_only () =
+  let tx = Db.Transaction.make ~id:2 ~client:0 [ Db.Op.Read 1; Db.Op.Read 2 ] in
+  check_bool "not an update" false (Db.Transaction.is_update tx);
+  let ws = Db.Transaction.to_writeset tx in
+  Alcotest.(check (list int)) "reads in writeset" [ 1; 2 ] ws.Db.Transaction.read_items;
+  Alcotest.(check (list (pair int int))) "no writes" [] ws.Db.Transaction.write_values
+
+let test_transaction_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Transaction.make: no operations") (fun () ->
+      ignore (Db.Transaction.make ~id:1 ~client:0 []))
+
+(* ---- Lock_table ---- *)
+
+let test_locks_shared_compatible () =
+  let lt = Db.Lock_table.create () in
+  let granted = ref [] in
+  let acq tx mode =
+    Db.Lock_table.acquire lt ~tx ~item:1 ~mode ~granted:(fun () -> granted := tx :: !granted)
+  in
+  check_bool "t1 shared ok" true (acq 1 Db.Lock_table.Shared = `Ok);
+  check_bool "t2 shared ok" true (acq 2 Db.Lock_table.Shared = `Ok);
+  Alcotest.(check (list int)) "both granted" [ 2; 1 ] !granted
+
+let test_locks_exclusive_blocks () =
+  let lt = Db.Lock_table.create () in
+  let order = ref [] in
+  ignore
+    (Db.Lock_table.acquire lt ~tx:1 ~item:1 ~mode:Db.Lock_table.Exclusive ~granted:(fun () ->
+         order := 1 :: !order));
+  ignore
+    (Db.Lock_table.acquire lt ~tx:2 ~item:1 ~mode:Db.Lock_table.Exclusive ~granted:(fun () ->
+         order := 2 :: !order));
+  Alcotest.(check (list int)) "only t1 granted" [ 1 ] !order;
+  check_int "one waiting" 1 (Db.Lock_table.waiting lt);
+  Db.Lock_table.release_all lt ~tx:1;
+  Alcotest.(check (list int)) "t2 granted on release" [ 2; 1 ] !order;
+  check_int "no waiters" 0 (Db.Lock_table.waiting lt)
+
+let test_locks_upgrade_sole_holder () =
+  let lt = Db.Lock_table.create () in
+  let upgraded = ref false in
+  ignore (Db.Lock_table.acquire lt ~tx:1 ~item:1 ~mode:Db.Lock_table.Shared ~granted:(fun () -> ()));
+  ignore
+    (Db.Lock_table.acquire lt ~tx:1 ~item:1 ~mode:Db.Lock_table.Exclusive ~granted:(fun () ->
+         upgraded := true));
+  check_bool "upgrade granted in place" true !upgraded
+
+let test_locks_deadlock_detected () =
+  let lt = Db.Lock_table.create () in
+  ignore (Db.Lock_table.acquire lt ~tx:1 ~item:1 ~mode:Db.Lock_table.Exclusive ~granted:(fun () -> ()));
+  ignore (Db.Lock_table.acquire lt ~tx:2 ~item:2 ~mode:Db.Lock_table.Exclusive ~granted:(fun () -> ()));
+  (* t1 waits for item 2 (held by t2); then t2 requesting item 1 closes the
+     cycle. *)
+  check_bool "t1 queues" true
+    (Db.Lock_table.acquire lt ~tx:1 ~item:2 ~mode:Db.Lock_table.Exclusive ~granted:(fun () -> ())
+     = `Ok);
+  check_bool "t2 gets deadlock" true
+    (Db.Lock_table.acquire lt ~tx:2 ~item:1 ~mode:Db.Lock_table.Exclusive ~granted:(fun () -> ())
+     = `Deadlock);
+  check_int "counted" 1 (Db.Lock_table.deadlocks_detected lt);
+  (* Victim aborts: t1's queued request must then be granted. *)
+  let t1_got_2 = ref false in
+  ignore t1_got_2;
+  Db.Lock_table.release_all lt ~tx:2;
+  check_bool "t1 now holds item 2" true (Db.Lock_table.holds lt ~tx:1 ~item:2)
+
+let test_locks_fifo_ordering () =
+  let lt = Db.Lock_table.create () in
+  let order = ref [] in
+  let acq tx =
+    ignore
+      (Db.Lock_table.acquire lt ~tx ~item:9 ~mode:Db.Lock_table.Exclusive ~granted:(fun () ->
+           order := tx :: !order))
+  in
+  acq 1;
+  acq 2;
+  acq 3;
+  Db.Lock_table.release_all lt ~tx:1;
+  Db.Lock_table.release_all lt ~tx:2;
+  Db.Lock_table.release_all lt ~tx:3;
+  Alcotest.(check (list int)) "fifo grants" [ 3; 2; 1 ] !order
+
+(* ---- Certifier ---- *)
+
+let ws ~id ~reads ~writes =
+  {
+    Db.Transaction.tx_id = id;
+    ws_client = 0;
+    read_items = reads;
+    write_values = List.map (fun i -> (i, id)) writes;
+  }
+
+let test_certifier_no_conflict_commits () =
+  let c = Db.Certifier.create () in
+  let start = Db.Certifier.current_version c in
+  check_bool "commits" true
+    (Db.Certifier.decision_equal Db.Certifier.Commit
+       (Db.Certifier.certify c ~start ~ws:(ws ~id:1 ~reads:[ 1; 2 ] ~writes:[ 3 ])));
+  check_int "version bumped" 1 (Db.Certifier.current_version c);
+  check_int "commits counted" 1 (Db.Certifier.commits c)
+
+let test_certifier_stale_read_aborts () =
+  let c = Db.Certifier.create () in
+  let t2_start = Db.Certifier.current_version c in
+  (* t1 commits a write of item 7 after t2's snapshot. *)
+  ignore (Db.Certifier.certify c ~start:0 ~ws:(ws ~id:1 ~reads:[] ~writes:[ 7 ]));
+  check_bool "t2 aborts" true
+    (Db.Certifier.decision_equal Db.Certifier.Abort
+       (Db.Certifier.certify c ~start:t2_start ~ws:(ws ~id:2 ~reads:[ 7 ] ~writes:[ 9 ])));
+  check_int "aborts counted" 1 (Db.Certifier.aborts c);
+  (* The aborted writeset must not have recorded its writes. *)
+  Alcotest.(check (option int)) "no write recorded" None (Db.Certifier.last_writer c 9)
+
+let test_certifier_write_write_no_abort () =
+  (* Pure write-write overlaps do not abort under backward validation of
+     reads (writes are applied in delivery order on every server). *)
+  let c = Db.Certifier.create () in
+  ignore (Db.Certifier.certify c ~start:0 ~ws:(ws ~id:1 ~reads:[] ~writes:[ 5 ]));
+  check_bool "blind write commits" true
+    (Db.Certifier.decision_equal Db.Certifier.Commit
+       (Db.Certifier.certify c ~start:0 ~ws:(ws ~id:2 ~reads:[] ~writes:[ 5 ])))
+
+let test_certifier_determinism_across_replicas () =
+  (* Two replicas certifying the same sequence reach the same decisions. *)
+  let sequence =
+    [ (0, ws ~id:1 ~reads:[ 1 ] ~writes:[ 2 ]); (0, ws ~id:2 ~reads:[ 2 ] ~writes:[ 3 ]);
+      (1, ws ~id:3 ~reads:[ 3 ] ~writes:[ 1 ]); (0, ws ~id:4 ~reads:[ 9 ] ~writes:[ 9 ]) ]
+  in
+  let run () =
+    let c = Db.Certifier.create () in
+    List.map (fun (start, w) -> Db.Certifier.certify c ~start ~ws:w) sequence
+  in
+  let a = run () and b = run () in
+  check_bool "same decisions" true (List.for_all2 Db.Certifier.decision_equal a b)
+
+let prop_certifier_admits_only_serialisable_histories =
+  (* Drive the certifier with random writesets and snapshots, then validate
+     its commit log independently: a committed transaction must not have
+     read any item written by a transaction that committed after its
+     snapshot. This is the definition of backward validation, checked from
+     the outside. *)
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (triple (int_range 0 8) (* snapshot lag *)
+           (list_size (int_range 0 4) (int_range 0 20)) (* reads *)
+           (list_size (int_range 0 4) (int_range 0 20)) (* writes *)))
+  in
+  QCheck2.Test.make ~name:"certifier admits only serialisable histories" ~count:200 gen
+    (fun specs ->
+      let c = Db.Certifier.create () in
+      (* committed log: (version, write items) *)
+      let log = ref [] in
+      let ok = ref true in
+      List.iteri
+        (fun i (lag, reads, write_items) ->
+          let reads = List.sort_uniq compare reads in
+          let write_items = List.sort_uniq compare write_items in
+          let start = max 0 (Db.Certifier.current_version c - lag) in
+          let ws =
+            {
+              Db.Transaction.tx_id = i;
+              ws_client = 0;
+              read_items = reads;
+              write_values = List.map (fun it -> (it, i)) write_items;
+            }
+          in
+          match Db.Certifier.certify c ~start ~ws with
+          | Db.Certifier.Commit ->
+            let version = Db.Certifier.current_version c in
+            (* Independent validation against the commit log. *)
+            let stale =
+              List.exists
+                (fun (v, written) ->
+                  v > start && v < version && List.exists (fun r -> List.mem r written) reads)
+                !log
+            in
+            if stale then ok := false;
+            log := (version, write_items) :: !log
+          | Db.Certifier.Abort ->
+            (* An abort must be justified: some committed writer after the
+               snapshot intersects the read set. *)
+            let justified =
+              List.exists
+                (fun (v, written) ->
+                  v > start && List.exists (fun r -> List.mem r written) reads)
+                !log
+            in
+            if not justified then ok := false)
+        specs;
+      !ok)
+
+let prop_lock_table_exclusion =
+  (* Random acquire/release schedules: at no point may an exclusive holder
+     coexist with any other holder on the same item, and when every
+     transaction has released, nothing is left waiting. *)
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 80)
+        (triple (int_range 0 5) (* tx *) (int_range 0 3) (* item *) bool (* exclusive? *)))
+  in
+  QCheck2.Test.make ~name:"lock table mutual exclusion and drainage" ~count:200 gen
+    (fun ops ->
+      let lt = Db.Lock_table.create () in
+      (* holders.(item) = list of (tx, exclusive) granted and not released *)
+      let holders = Array.make 4 [] in
+      let ok = ref true in
+      let txs = List.sort_uniq compare (List.map (fun (t, _, _) -> t) ops) in
+      List.iter
+        (fun (tx, item, exclusive) ->
+          let mode = if exclusive then Db.Lock_table.Exclusive else Db.Lock_table.Shared in
+          let granted () =
+            let others = List.filter (fun (t, _) -> t <> tx) holders.(item) in
+            if exclusive && others <> [] then ok := false;
+            if (not exclusive) && List.exists snd others then ok := false;
+            holders.(item) <- (tx, exclusive) :: List.remove_assoc tx holders.(item)
+          in
+          match Db.Lock_table.acquire lt ~tx ~item ~mode ~granted with
+          | `Ok -> ()
+          | `Deadlock -> begin
+            (* The victim gives up everything, like a real abort. Update
+               the model first: release_all grants waiters synchronously. *)
+            Array.iteri
+              (fun i hs -> holders.(i) <- List.filter (fun (t, _) -> t <> tx) hs)
+              holders;
+            Db.Lock_table.release_all lt ~tx
+          end)
+        ops;
+      (* Everyone finishes: all queues must drain. *)
+      List.iter
+        (fun tx ->
+          Array.iteri (fun i hs -> holders.(i) <- List.filter (fun (t, _) -> t <> tx) hs) holders;
+          Db.Lock_table.release_all lt ~tx)
+        txs;
+      !ok && Db.Lock_table.waiting lt = 0)
+
+(* ---- Testable transactions ---- *)
+
+let test_testable_dedup () =
+  let t = Db.Testable_tx.create () in
+  check_bool "fresh" false (Db.Testable_tx.already_processed t 1);
+  Db.Testable_tx.record t 1 Db.Testable_tx.Committed;
+  check_bool "processed" true (Db.Testable_tx.already_processed t 1);
+  Db.Testable_tx.record t 1 Db.Testable_tx.Committed (* idempotent *);
+  check_int "count" 1 (Db.Testable_tx.count t);
+  Alcotest.check_raises "conflicting outcome"
+    (Invalid_argument "Testable_tx.record: conflicting outcome for T1") (fun () ->
+      Db.Testable_tx.record t 1 Db.Testable_tx.Aborted)
+
+(* ---- Db_engine ---- *)
+
+type server = {
+  engine : Sim.Engine.t;
+  process : Sim.Process.t;
+  db : Db.Db_engine.t;
+}
+
+let make_server ?(config = Db.Db_engine.table4_config) () =
+  let engine = Sim.Engine.create () in
+  let process = Sim.Process.create engine ~name:"S0" in
+  let cpus = Sim.Resource.create engine ~name:"cpu" ~servers:2 in
+  let disks = Sim.Resource.create engine ~name:"disk" ~servers:2 in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let db = Db.Db_engine.create engine ~process ~cpus ~disks ~rng config in
+  { engine; process; db }
+
+let always_miss =
+  { Db.Db_engine.table4_config with buffer = Store.Buffer_pool.Probabilistic 0. }
+
+let always_hit =
+  { Db.Db_engine.table4_config with buffer = Store.Buffer_pool.Probabilistic 1. }
+
+let test_engine_read_hit_is_free () =
+  let s = make_server ~config:always_hit () in
+  let got = ref (-1) in
+  Db.Db_engine.read s.db ~item:5 ~k:(fun v -> got := v);
+  check_int "immediate" 0 !got;
+  check_int "no time passed" 0 (Sim.Sim_time.to_us (Sim.Engine.now s.engine))
+
+let test_engine_read_miss_costs_io () =
+  let s = make_server ~config:always_miss () in
+  let done_at = ref 0 in
+  Db.Db_engine.read s.db ~item:5 ~k:(fun _ ->
+      done_at := Sim.Sim_time.to_us (Sim.Engine.now s.engine));
+  Sim.Engine.run s.engine;
+  (* 0.4ms CPU + 4..12ms disk *)
+  check_bool "took cpu+disk time" true (!done_at >= 4_400 && !done_at <= 12_400)
+
+let test_engine_install_and_value () =
+  let s = make_server () in
+  Db.Db_engine.install_writes s.db [ (3, 30); (4, 40) ];
+  check_int "installed" 30 (Db.Db_engine.value s.db 3);
+  check_int "installed" 40 (Db.Db_engine.value s.db 4)
+
+let test_engine_log_commit_durable () =
+  let s = make_server () in
+  let durable = ref false in
+  Db.Db_engine.log_commit s.db ~tx:7 ~decision:Db.Certifier.Commit ~writes:[ (1, 10) ]
+    ~k:(fun () -> durable := true);
+  check_bool "not yet" false !durable;
+  Sim.Engine.run s.engine;
+  check_bool "durable" true !durable;
+  check_int "one commit on disk" 1 (Db.Db_engine.durable_commits s.db)
+
+let test_engine_recover_replays_wal () =
+  let s = make_server () in
+  Db.Db_engine.install_writes s.db [ (1, 10); (2, 20) ];
+  Db.Db_engine.log_commit_quiet s.db ~tx:1 ~decision:Db.Certifier.Commit ~writes:[ (1, 10) ];
+  Db.Db_engine.log_commit_quiet s.db ~tx:2 ~decision:Db.Certifier.Commit ~writes:[ (2, 20) ];
+  Sim.Engine.run s.engine (* both records durable *);
+  (* Unlogged in-memory write that must vanish. *)
+  Db.Db_engine.install_writes s.db [ (3, 30) ];
+  Sim.Process.kill s.process;
+  Sim.Process.restart s.process;
+  let recovered = ref false in
+  Db.Db_engine.recover s.db ~k:(fun () -> recovered := true);
+  Sim.Engine.run s.engine;
+  check_bool "recovered" true !recovered;
+  check_int "logged write survives" 10 (Db.Db_engine.value s.db 1);
+  check_int "logged write survives" 20 (Db.Db_engine.value s.db 2);
+  check_int "unlogged write lost" 0 (Db.Db_engine.value s.db 3);
+  check_bool "testable rebuilt" true (Db.Testable_tx.already_processed (Db.Db_engine.testable s.db) 1)
+
+let test_engine_crash_loses_pending_log () =
+  let s = make_server () in
+  Db.Db_engine.log_commit_quiet s.db ~tx:1 ~decision:Db.Certifier.Commit ~writes:[ (1, 10) ];
+  (* Crash before the flush completes. *)
+  ignore (Sim.Engine.schedule s.engine ~delay:(ms 1.) (fun () -> Sim.Process.kill s.process));
+  Sim.Engine.run s.engine;
+  check_int "nothing durable" 0 (Db.Db_engine.durable_commits s.db)
+
+let test_engine_write_io_parallel_and_async () =
+  let s = make_server () in
+  let sync_done = ref 0 and async_done = ref 0 in
+  Db.Db_engine.write_io s.db ~count:4 ~factor:1.0 ~k:(fun () ->
+      sync_done := Sim.Sim_time.to_us (Sim.Engine.now s.engine));
+  Sim.Engine.run s.engine;
+  let e2 = make_server () in
+  Db.Db_engine.write_io e2.db ~count:4 ~factor:(Db.Db_engine.async_factor e2.db) ~k:(fun () ->
+      async_done := Sim.Sim_time.to_us (Sim.Engine.now e2.engine));
+  Sim.Engine.run e2.engine;
+  check_bool "sync writes took time" true (!sync_done > 0);
+  check_bool "async factor speeds writes" true (!async_done < !sync_done)
+
+let test_engine_snapshot_roundtrip () =
+  let s = make_server () in
+  Db.Db_engine.install_writes s.db [ (1, 11); (2, 22) ];
+  let snap = Db.Db_engine.values_snapshot s.db in
+  let s2 = make_server () in
+  Db.Db_engine.install_snapshot s2.db snap;
+  check_int "transferred" 11 (Db.Db_engine.value s2.db 1);
+  check_int "transferred" 22 (Db.Db_engine.value s2.db 2)
+
+let () =
+  Alcotest.run "db"
+    [
+      ( "transaction",
+        [
+          Alcotest.test_case "op basics" `Quick test_op_basics;
+          Alcotest.test_case "read/write sets" `Quick test_transaction_sets;
+          Alcotest.test_case "read-only" `Quick test_transaction_read_only;
+          Alcotest.test_case "empty rejected" `Quick test_transaction_empty_rejected;
+        ] );
+      ( "lock_table",
+        [
+          Alcotest.test_case "shared compatible" `Quick test_locks_shared_compatible;
+          Alcotest.test_case "exclusive blocks" `Quick test_locks_exclusive_blocks;
+          Alcotest.test_case "upgrade in place" `Quick test_locks_upgrade_sole_holder;
+          Alcotest.test_case "deadlock detected" `Quick test_locks_deadlock_detected;
+          Alcotest.test_case "fifo ordering" `Quick test_locks_fifo_ordering;
+        ] );
+      ( "certifier",
+        Alcotest.test_case "no conflict commits" `Quick test_certifier_no_conflict_commits
+        :: Alcotest.test_case "stale read aborts" `Quick test_certifier_stale_read_aborts
+        :: Alcotest.test_case "blind writes commit" `Quick test_certifier_write_write_no_abort
+        :: Alcotest.test_case "deterministic" `Quick test_certifier_determinism_across_replicas
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_certifier_admits_only_serialisable_histories; prop_lock_table_exclusion ] );
+      ("testable_tx", [ Alcotest.test_case "dedup" `Quick test_testable_dedup ]);
+      ( "db_engine",
+        [
+          Alcotest.test_case "hit is free" `Quick test_engine_read_hit_is_free;
+          Alcotest.test_case "miss costs io" `Quick test_engine_read_miss_costs_io;
+          Alcotest.test_case "install and value" `Quick test_engine_install_and_value;
+          Alcotest.test_case "log commit durable" `Quick test_engine_log_commit_durable;
+          Alcotest.test_case "recover replays wal" `Quick test_engine_recover_replays_wal;
+          Alcotest.test_case "crash loses pending log" `Quick test_engine_crash_loses_pending_log;
+          Alcotest.test_case "write io sync vs async" `Quick test_engine_write_io_parallel_and_async;
+          Alcotest.test_case "snapshot roundtrip" `Quick test_engine_snapshot_roundtrip;
+        ] );
+    ]

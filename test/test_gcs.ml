@@ -1,0 +1,688 @@
+(* Tests for the group-communication stack: failure detector, Paxos core,
+   replicated log, and both atomic-broadcast primitives — including the
+   paper's Fig. 5 (classical broadcast loses unprocessed messages on a
+   group failure) and Fig. 7 (end-to-end broadcast replays them). *)
+
+open Gcs
+
+let ms = Sim.Sim_time.span_ms
+let sec x = Sim.Sim_time.span_s x
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_for engine span =
+  Sim.Engine.run ~until:(Sim.Sim_time.add (Sim.Engine.now engine) span) engine
+
+(* ---- Process classes ---- *)
+
+let test_process_classes () =
+  let t = Sim.Sim_time.of_us in
+  let horizon = t 1_000_000 in
+  let classify = Process_class.classify ~horizon in
+  check_bool "green" true
+    (Process_class.equal Process_class.Green
+       (classify { crashes = []; recoveries = []; up_at_end = true }));
+  check_bool "yellow" true
+    (Process_class.equal Process_class.Yellow
+       (classify { crashes = [ t 10 ]; recoveries = [ t 20 ]; up_at_end = true }));
+  check_bool "red when down at end" true
+    (Process_class.equal Process_class.Red
+       (classify { crashes = [ t 10 ]; recoveries = []; up_at_end = false }));
+  check_bool "red when unstable near horizon" true
+    (Process_class.equal Process_class.Red
+       (Process_class.classify ~stability_window:(ms 200.) ~horizon
+          { crashes = [ t 900_000 ]; recoveries = [ t 950_000 ]; up_at_end = true }));
+  check_bool "good" true (Process_class.is_good Process_class.Yellow);
+  check_bool "not good" false (Process_class.is_good Process_class.Red)
+
+(* ---- Paxos core ---- *)
+
+let ballot round proposer = { Paxos_core.Ballot.round; proposer }
+
+let test_paxos_promise_then_nack_lower () =
+  let a = Paxos_core.acceptor_empty in
+  match Paxos_core.receive_prepare a (ballot 2 1) with
+  | Paxos_core.Prepare_nack _ -> Alcotest.fail "first prepare must be promised"
+  | Paxos_core.Promise (a, prev) ->
+    check_bool "no prior accept" true (prev = None);
+    (match Paxos_core.receive_prepare a (ballot 1 9) with
+     | Paxos_core.Prepare_nack b -> check_bool "nack reports promised" true (b = ballot 2 1)
+     | Paxos_core.Promise _ -> Alcotest.fail "lower ballot must be nacked")
+
+let test_paxos_accept_respects_promise () =
+  let a = Paxos_core.acceptor_empty in
+  match Paxos_core.receive_prepare a (ballot 3 0) with
+  | Paxos_core.Prepare_nack _ -> Alcotest.fail "promise expected"
+  | Paxos_core.Promise (a, _) ->
+    (match Paxos_core.receive_accept a (ballot 2 5) "v" with
+     | Paxos_core.Accept_nack _ -> ()
+     | Paxos_core.Accepted _ -> Alcotest.fail "lower accept must be nacked");
+    (match Paxos_core.receive_accept a (ballot 3 0) "v" with
+     | Paxos_core.Accepted a' ->
+       check_bool "value recorded" true (a'.Paxos_core.accepted = Some (ballot 3 0, "v"))
+     | Paxos_core.Accept_nack _ -> Alcotest.fail "equal ballot must be accepted")
+
+let test_paxos_value_selection () =
+  Alcotest.(check (option string))
+    "free when no accepts" None
+    (Paxos_core.value_to_propose [ None; None ]);
+  Alcotest.(check (option string))
+    "highest ballot wins" (Some "b")
+    (Paxos_core.value_to_propose
+       [ Some (ballot 1 0, "a"); None; Some (ballot 2 1, "b"); Some (ballot 1 2, "c") ])
+
+let prop_paxos_promise_monotone =
+  QCheck2.Test.make ~name:"promised ballot never decreases" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 30) (pair (int_range 0 10) (int_range 0 5)))
+    (fun ballots ->
+      let highest = ref None in
+      let acceptor = ref Paxos_core.acceptor_empty in
+      List.for_all
+        (fun (round, proposer) ->
+          let b = ballot round proposer in
+          let expect_promise =
+            match !highest with
+            | None -> true
+            | Some h -> Paxos_core.Ballot.compare b h >= 0
+          in
+          match Paxos_core.receive_prepare !acceptor b with
+          | Paxos_core.Promise (a, _) ->
+            acceptor := a;
+            highest := Some b;
+            expect_promise
+          | Paxos_core.Prepare_nack _ -> not expect_promise)
+        ballots)
+
+(* ---- Cluster fixture ---- *)
+
+module V = struct
+  type t = int
+
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+type cluster = {
+  engine : Sim.Engine.t;
+  network : Net.Network.t;
+  ids : Net.Node_id.t array;
+  processes : Sim.Process.t array;
+  endpoints : Net.Endpoint.t array;
+  disks : Sim.Resource.t array;
+}
+
+let make_cluster ?(config = Net.Network.lan_config) n =
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine config in
+  let ids = Array.init n (fun i -> Net.Node_id.make ~index:i ~label:(Printf.sprintf "S%d" i)) in
+  let processes =
+    Array.init n (fun i -> Sim.Process.create engine ~name:(Net.Node_id.label ids.(i)))
+  in
+  let endpoints =
+    Array.init n (fun i -> Net.Endpoint.attach network ~id:ids.(i) ~process:processes.(i) ())
+  in
+  let disks = Array.init n (fun _ -> Sim.Resource.create engine ~name:"disk" ~servers:1) in
+  { engine; network; ids; processes; endpoints; disks }
+
+let group c = Array.to_list c.ids
+
+(* ---- Failure detector ---- *)
+
+let test_fd_suspects_and_recovers () =
+  let c = make_cluster 3 in
+  let fds = Array.map (fun ep -> Failure_detector.create ep ~peers:(group c) ()) c.endpoints in
+  run_for c.engine (ms 200.);
+  check_bool "initially trusts all" true (Net.Node_id.Set.is_empty (Failure_detector.suspected fds.(0)));
+  Sim.Process.kill c.processes.(2);
+  run_for c.engine (ms 200.);
+  check_bool "suspects crashed" true (Failure_detector.suspects fds.(0) c.ids.(2));
+  check_int "trusted shrinks" 2 (List.length (Failure_detector.trusted fds.(0)));
+  Sim.Process.restart c.processes.(2);
+  run_for c.engine (ms 200.);
+  check_bool "unsuspects recovered" false (Failure_detector.suspects fds.(0) c.ids.(2))
+
+let test_fd_change_hook () =
+  let c = make_cluster 2 in
+  let fd = Failure_detector.create c.endpoints.(0) ~peers:(group c) () in
+  let changes = ref 0 in
+  Failure_detector.on_change fd (fun () -> incr changes);
+  Sim.Process.kill c.processes.(1);
+  run_for c.engine (ms 200.);
+  check_bool "hook fired" true (!changes >= 1)
+
+(* ---- Replicated log ---- *)
+
+module Log = Replicated_log.Make (V)
+
+let make_log_cluster ?(durable = false) n =
+  let c = make_cluster n in
+  let decided = Array.init n (fun _ -> ref []) in
+  let members =
+    Array.init n (fun i ->
+        let mode =
+          if durable then
+            Log.Durable { disk = c.disks.(i); write_time = (fun () -> ms 8.) }
+          else Log.Volatile
+        in
+        let m = Log.create c.endpoints.(i) ~group:(group c) ~mode () in
+        Log.on_decide m (fun ~slot:_ v ->
+            match v with Some x -> decided.(i) := x :: !(decided.(i)) | None -> ());
+        m)
+  in
+  (c, members, decided)
+
+let decided_list decided i = List.rev !(decided.(i))
+
+let test_log_orders_and_agrees () =
+  let c, members, decided = make_log_cluster 3 in
+  run_for c.engine (ms 100.) (* let a leader establish *);
+  Log.propose members.(0) 10;
+  Log.propose members.(1) 20;
+  Log.propose members.(2) 30;
+  run_for c.engine (sec 1.);
+  let l0 = decided_list decided 0 in
+  check_int "all three decided" 3 (List.length l0);
+  for i = 1 to 2 do
+    Alcotest.(check (list int)) "same order everywhere" l0 (decided_list decided i)
+  done;
+  check_bool "leader exists" true (Array.exists Log.is_leading members)
+
+let test_log_single_leader () =
+  let c, members, _ = make_log_cluster 5 in
+  run_for c.engine (sec 1.);
+  let leaders = Array.to_list members |> List.filter Log.is_leading in
+  check_int "exactly one leader" 1 (List.length leaders)
+
+let test_log_survives_leader_crash () =
+  let c, members, decided = make_log_cluster 3 in
+  run_for c.engine (ms 100.);
+  Log.propose members.(1) 1;
+  run_for c.engine (sec 1.);
+  (* Node 0 (lowest index) is the stable leader; kill it. *)
+  check_bool "node 0 leads" true (Log.is_leading members.(0));
+  Sim.Process.kill c.processes.(0);
+  run_for c.engine (sec 1.) (* failover *);
+  Log.propose members.(1) 2;
+  Log.propose members.(2) 3;
+  run_for c.engine (sec 2.);
+  let l1 = decided_list decided 1 and l2 = decided_list decided 2 in
+  Alcotest.(check (list int)) "survivors agree" l1 l2;
+  check_bool "new values decided" true (List.mem 2 l1 && List.mem 3 l1);
+  check_bool "pre-crash value kept" true (List.mem 1 l1)
+
+let test_log_durable_survives_total_crash () =
+  let c, members, decided = make_log_cluster ~durable:true 3 in
+  run_for c.engine (ms 100.);
+  Log.propose members.(0) 42;
+  Log.propose members.(1) 43;
+  run_for c.engine (sec 2.);
+  check_int "decided before crash" 2 (List.length !(decided.(2)));
+  (* Crash everyone, then restart everyone: durable acceptor state must let
+     the group re-learn both entries. *)
+  Array.iter Sim.Process.kill c.processes;
+  Array.iter (fun d -> decided.(0) == d |> ignore) decided;
+  Array.iter (fun r -> r := []) decided;
+  run_for c.engine (ms 100.);
+  Array.iter Sim.Process.restart c.processes;
+  run_for c.engine (sec 3.);
+  for i = 0 to 2 do
+    let l = decided_list decided i in
+    check_int (Printf.sprintf "member %d re-learned" i) 2 (List.length l);
+    check_bool "values preserved" true (List.mem 42 l && List.mem 43 l)
+  done
+
+let prop_log_agreement_under_minority_crashes =
+  (* Random proposals and a random minority of crashes: all surviving
+     members must agree on a common prefix (one decided list is a prefix of
+     the other). *)
+  let gen =
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 12) (int_range 0 1000)) (int_range 0 1))
+  in
+  QCheck2.Test.make ~name:"log agreement under minority crashes" ~count:15 gen
+    (fun (values, crash_count) ->
+      let c, members, decided = make_log_cluster 3 in
+      run_for c.engine (ms 100.);
+      List.iteri
+        (fun i v ->
+          let proposer = i mod 3 in
+          ignore
+            (Sim.Engine.schedule c.engine ~delay:(ms (float_of_int (i * 7)))
+               (fun () -> Log.propose members.(proposer) v)))
+        values;
+      if crash_count = 1 then
+        ignore
+          (Sim.Engine.schedule c.engine ~delay:(ms 40.) (fun () ->
+               Sim.Process.kill c.processes.(2)));
+      run_for c.engine (sec 3.);
+      let l0 = decided_list decided 0 and l1 = decided_list decided 1 in
+      let rec is_prefix a b =
+        match (a, b) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs, y :: ys -> x = y && is_prefix xs ys
+      in
+      is_prefix l0 l1 || is_prefix l1 l0)
+
+(* ---- Classical atomic broadcast ---- *)
+
+module Snapshot = struct
+  type t = int list (* delivered values, newest first *)
+end
+
+module Abcast = Atomic_broadcast.Make (V) (Snapshot)
+
+type ab_node = {
+  ab : Abcast.t;
+  state : int list ref;  (** volatile application state *)
+  durable_db : int list ref;  (** what the app's own disk holds *)
+}
+
+let make_abcast_cluster n =
+  let c = make_cluster n in
+  let nodes =
+    Array.init n (fun i ->
+        let state = ref [] and durable_db = ref [] in
+        let ab =
+          Abcast.create c.endpoints.(i) ~group:(group c)
+            ~deliver:(fun v -> state := v :: !state)
+            ~get_snapshot:(fun () -> !state)
+            ~install_snapshot:(fun s -> state := s)
+            ~cold_start:(fun () -> state := !durable_db)
+            ()
+        in
+        { ab; state; durable_db })
+  in
+  (c, nodes)
+
+let test_abcast_total_order () =
+  let c, nodes = make_abcast_cluster 3 in
+  run_for c.engine (ms 100.);
+  Abcast.broadcast nodes.(0).ab 1;
+  Abcast.broadcast nodes.(1).ab 2;
+  Abcast.broadcast nodes.(2).ab 3;
+  run_for c.engine (sec 1.);
+  let l0 = List.rev !(nodes.(0).state) in
+  check_int "three delivered" 3 (List.length l0);
+  for i = 1 to 2 do
+    Alcotest.(check (list int)) "same order" l0 (List.rev !(nodes.(i).state))
+  done
+
+let test_abcast_no_duplicates_despite_retransmit () =
+  let c, nodes = make_abcast_cluster 3 in
+  run_for c.engine (ms 100.);
+  Abcast.broadcast nodes.(1).ab 7;
+  (* Run long enough for several retransmission periods. *)
+  run_for c.engine (sec 1.);
+  check_int "delivered exactly once" 1 (List.length !(nodes.(0).state))
+
+let test_abcast_state_transfer_on_single_recovery () =
+  let c, nodes = make_abcast_cluster 3 in
+  run_for c.engine (ms 100.);
+  Abcast.broadcast nodes.(0).ab 1;
+  run_for c.engine (sec 1.);
+  Sim.Process.kill c.processes.(2);
+  Abcast.broadcast nodes.(0).ab 2;
+  run_for c.engine (sec 1.);
+  Sim.Process.restart c.processes.(2);
+  run_for c.engine (sec 1.);
+  check_bool "recovered node caught up via state transfer" true
+    (List.mem 2 !(nodes.(2).state) && List.mem 1 !(nodes.(2).state));
+  check_bool "not a cold start" false (Abcast.cold_started nodes.(2).ab);
+  Abcast.broadcast nodes.(1).ab 3;
+  run_for c.engine (sec 1.);
+  check_bool "rejoined member receives new messages" true (List.mem 3 !(nodes.(2).state))
+
+let test_abcast_fig5_group_failure_loses_messages () =
+  (* The paper's Fig. 5: the message is delivered everywhere, no one has
+     processed it durably, then every server crashes. On recovery the group
+     cold starts from the applications' own durable state: the message is
+     gone. *)
+  let c, nodes = make_abcast_cluster 3 in
+  run_for c.engine (ms 100.);
+  Abcast.broadcast nodes.(0).ab 99;
+  run_for c.engine (sec 1.);
+  Array.iter (fun n -> check_bool "delivered" true (List.mem 99 !(n.state))) nodes;
+  (* No application flushed the message to its own disk (durable_db = []).
+     Crash everyone. *)
+  Array.iter Sim.Process.kill c.processes;
+  run_for c.engine (ms 100.);
+  Array.iter Sim.Process.restart c.processes;
+  run_for c.engine (sec 3.);
+  Array.iteri
+    (fun i n ->
+      check_bool (Printf.sprintf "node %d cold started" i) true (Abcast.cold_started n.ab);
+      Alcotest.(check (list int)) "message lost" [] !(n.state))
+    nodes;
+  (* The reformed group still works. *)
+  Abcast.broadcast nodes.(1).ab 5;
+  run_for c.engine (sec 1.);
+  Array.iter (fun n -> check_bool "group functional again" true (List.mem 5 !(n.state))) nodes
+
+let test_abcast_majority_cold_start_while_one_down () =
+  (* S2 and S3 recover while Sd stays down: they form a majority and reform
+     the group without waiting for Sd. *)
+  let c, nodes = make_abcast_cluster 3 in
+  run_for c.engine (ms 100.);
+  Abcast.broadcast nodes.(0).ab 1;
+  run_for c.engine (sec 1.);
+  Array.iter Sim.Process.kill c.processes;
+  run_for c.engine (ms 100.);
+  Sim.Process.restart c.processes.(1);
+  Sim.Process.restart c.processes.(2);
+  run_for c.engine (sec 2.);
+  check_bool "S2 reformed" false (Abcast.recovering nodes.(1).ab);
+  check_bool "S3 reformed" false (Abcast.recovering nodes.(2).ab);
+  Abcast.broadcast nodes.(1).ab 2;
+  run_for c.engine (sec 1.);
+  check_bool "majority group makes progress" true (List.mem 2 !(nodes.(2).state))
+
+(* ---- End-to-end atomic broadcast ---- *)
+
+module E2e = E2e_broadcast.Make (V)
+
+type e2e_node = {
+  e2e : E2e.t;
+  log_state : (E2e.token * int) list ref;  (** deliveries awaiting ack *)
+  processed : int list ref;  (** successfully processed messages *)
+}
+
+(* [auto_ack] immediately acknowledges every delivery; otherwise the test
+   acks explicitly. *)
+let make_e2e_cluster ?(auto_ack = true) n =
+  let c = make_cluster n in
+  let nodes =
+    Array.init n (fun i ->
+        let log_state = ref [] and processed = ref [] in
+        let rec node = lazy begin
+          let e2e =
+            E2e.create c.endpoints.(i) ~group:(group c) ~disk:c.disks.(i)
+              ~write_time:(fun () -> ms 8.)
+              ~deliver:(fun token v ->
+                if auto_ack then begin
+                  processed := v :: !processed;
+                  E2e.ack (Lazy.force node).e2e token
+                end
+                else log_state := (token, v) :: !log_state)
+              ()
+          in
+          { e2e; log_state; processed }
+        end in
+        Lazy.force node)
+  in
+  (c, nodes)
+
+let test_e2e_deliver_and_ack () =
+  let c, nodes = make_e2e_cluster 3 in
+  run_for c.engine (ms 100.);
+  E2e.broadcast nodes.(0).e2e 11;
+  run_for c.engine (sec 2.);
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check (list int)) (Printf.sprintf "node %d processed" i) [ 11 ] !(n.processed);
+      check_int "cursor advanced" 1 (E2e.acked_slot n.e2e))
+    nodes
+
+let test_e2e_replays_unacked_after_total_crash () =
+  (* Fig. 7: deliveries that were never acknowledged are replayed after
+     recovery, even when every member crashed. *)
+  let c, nodes = make_e2e_cluster ~auto_ack:false 3 in
+  run_for c.engine (ms 100.);
+  E2e.broadcast nodes.(0).e2e 77;
+  run_for c.engine (sec 2.);
+  Array.iter (fun n -> check_int "delivered, unacked" 1 (List.length !(n.log_state))) nodes;
+  Array.iter Sim.Process.kill c.processes;
+  Array.iter (fun n -> n.log_state := []) nodes;
+  run_for c.engine (ms 100.);
+  Array.iter Sim.Process.restart c.processes;
+  run_for c.engine (sec 5.);
+  Array.iteri
+    (fun i n ->
+      check_int (Printf.sprintf "node %d redelivered" i) 1 (List.length !(n.log_state));
+      check_bool "same message" true (List.exists (fun (_, v) -> v = 77) !(n.log_state)))
+    nodes
+
+let test_e2e_no_replay_after_ack_durable () =
+  let c, nodes = make_e2e_cluster 3 in
+  run_for c.engine (ms 100.);
+  E2e.broadcast nodes.(0).e2e 5;
+  run_for c.engine (sec 2.) (* processed, acked, cursor durable *);
+  Array.iter (fun n -> check_int "cursor at 1" 1 (E2e.acked_slot n.e2e)) nodes;
+  Array.iter Sim.Process.kill c.processes;
+  Array.iter (fun n -> n.processed := []) nodes;
+  run_for c.engine (ms 100.);
+  Array.iter Sim.Process.restart c.processes;
+  run_for c.engine (sec 5.);
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "node %d not redelivered" i)
+        [] !(n.processed))
+    nodes
+
+let test_e2e_total_order_multiple () =
+  let c, nodes = make_e2e_cluster 3 in
+  run_for c.engine (ms 100.);
+  for v = 1 to 5 do
+    E2e.broadcast nodes.(v mod 3).e2e v
+  done;
+  run_for c.engine (sec 3.);
+  let l0 = List.rev !(nodes.(0).processed) in
+  check_int "all five" 5 (List.length l0);
+  for i = 1 to 2 do
+    Alcotest.(check (list int)) "same order" l0 (List.rev !(nodes.(i).processed))
+  done
+
+let test_abcast_views_follow_membership () =
+  let c, nodes = make_abcast_cluster 3 in
+  let views = Array.init 3 (fun _ -> ref []) in
+  Array.iteri
+    (fun i n -> Abcast.on_view_change n.ab (fun v -> views.(i) := v :: !(views.(i))))
+    nodes;
+  run_for c.engine (ms 200.);
+  check_int "initial view is everyone" 3 (View.size (Abcast.current_view nodes.(0).ab));
+  check_int "initial view id" 0 (Abcast.current_view nodes.(0).ab).View.id;
+  (* Crash S2: the survivors must install a view without it. *)
+  Sim.Process.kill c.processes.(2);
+  run_for c.engine (sec 1.);
+  for i = 0 to 1 do
+    let v = Abcast.current_view nodes.(i).ab in
+    check_int (Printf.sprintf "S%d sees 2 members" i) 2 (View.size v);
+    check_bool "crashed member excluded" false (View.mem v c.ids.(2))
+  done;
+  check_bool "still primary" true
+    (View.is_primary (Abcast.current_view nodes.(0).ab) ~static_group:(group c));
+  (* Recover S2: after state transfer it proposes itself back in. *)
+  Sim.Process.restart c.processes.(2);
+  run_for c.engine (sec 2.);
+  for i = 0 to 2 do
+    let v = Abcast.current_view nodes.(i).ab in
+    check_int (Printf.sprintf "S%d back to 3 members" i) 3 (View.size v)
+  done;
+  (* Every member installed the same view sequence (ids and memberships),
+     modulo the prefix the rejoiner adopted via state transfer. *)
+  let seq i = List.rev_map (fun v -> (v.View.id, List.map Net.Node_id.index v.View.members)) !(views.(i)) in
+  Alcotest.(check (list (pair int (list int)))) "same view sequence on survivors" (seq 0) (seq 1)
+
+let test_abcast_view_change_ordered_with_messages () =
+  (* A view change and application messages share the total order: both
+     survivors see the view change at the same position in their delivery
+     streams. *)
+  let c, nodes = make_abcast_cluster 3 in
+  let streams = Array.init 3 (fun _ -> ref []) in
+  Array.iteri
+    (fun i n ->
+      Abcast.on_view_change n.ab (fun v -> streams.(i) := `View v.View.id :: !(streams.(i))))
+    nodes;
+  (* Also tag message deliveries into the same stream via the state list:
+     we reuse the deliver callback's effect by sampling after the run. *)
+  run_for c.engine (ms 200.);
+  Abcast.broadcast nodes.(0).ab 1;
+  run_for c.engine (ms 300.);
+  Sim.Process.kill c.processes.(2);
+  run_for c.engine (sec 1.);
+  Abcast.broadcast nodes.(1).ab 2;
+  run_for c.engine (sec 1.);
+  let stream i = List.rev !(streams.(i)) in
+  Alcotest.(check bool) "survivors agree on view positions" true (stream 0 = stream 1);
+  check_bool "both messages delivered" true
+    (List.mem 1 !(nodes.(0).state) && List.mem 2 !(nodes.(0).state))
+
+let test_log_minority_partition_stalls_then_heals () =
+  (* Quorum safety and liveness around a partition: the isolated member
+     makes no progress; the majority side continues; after healing the
+     isolated member catches up with the same sequence. *)
+  let c, members, decided = make_log_cluster 3 in
+  run_for c.engine (ms 200.);
+  Log.propose members.(0) 1;
+  run_for c.engine (sec 1.);
+  Net.Network.partition c.network [ [ c.ids.(0) ]; [ c.ids.(1); c.ids.(2) ] ];
+  run_for c.engine (sec 1.) (* majority side elects S1 *);
+  Log.propose members.(1) 2;
+  Log.propose members.(2) 3;
+  run_for c.engine (sec 2.);
+  let l0_during = decided_list decided 0 in
+  check_bool "isolated member stalls" true (not (List.mem 2 l0_during));
+  check_bool "majority progresses" true
+    (List.mem 2 (decided_list decided 1) && List.mem 3 (decided_list decided 1));
+  Net.Network.heal c.network;
+  run_for c.engine (sec 2.);
+  Alcotest.(check (list int)) "isolated member catches up to the same order"
+    (decided_list decided 1) (decided_list decided 0)
+
+let test_log_non_uniform_agrees_without_faults () =
+  let c = make_cluster 3 in
+  let decided = Array.init 3 (fun _ -> ref []) in
+  let members =
+    Array.init 3 (fun i ->
+        let m = Log.create c.endpoints.(i) ~group:(group c) ~mode:Log.Volatile ~uniform:false () in
+        Log.on_decide m (fun ~slot:_ v ->
+            match v with Some x -> decided.(i) := x :: !(decided.(i)) | None -> ());
+        m)
+  in
+  run_for c.engine (ms 200.);
+  Log.propose members.(0) 7;
+  Log.propose members.(1) 8;
+  run_for c.engine (sec 2.);
+  let l0 = decided_list decided 0 in
+  check_int "both decided" 2 (List.length l0);
+  for i = 1 to 2 do
+    Alcotest.(check (list int)) "same optimistic order" l0 (decided_list decided i)
+  done
+
+let prop_e2e_agreement_under_crash_storms =
+  (* Random broadcasts against random crash/recovery churn of any severity
+     (including whole-group outages). After everyone is back and the dust
+     settles, the deduplicated processed streams must be identical on all
+     members: same values, same order — uniform total order with
+     end-to-end replay. *)
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 10) (pair (int_range 0 2) (int_range 0 500)))
+        (* (sender, send time ms) *)
+        (list_size (int_range 0 4) (triple (int_range 0 2) (int_range 0 400) (int_range 50 300))))
+    (* (victim, crash time ms, outage ms) *)
+  in
+  QCheck2.Test.make ~name:"e2e broadcast agreement under crash storms" ~count:20 gen
+    (fun (sends, crashes) ->
+      let c, nodes = make_e2e_cluster 3 in
+      List.iteri
+        (fun i (sender, at) ->
+          ignore
+            (Sim.Engine.schedule c.engine
+               ~delay:(ms (float_of_int at))
+               (fun () ->
+                 if Sim.Process.alive c.processes.(sender) then
+                   E2e.broadcast nodes.(sender).e2e (1000 + i))))
+        sends;
+      List.iter
+        (fun (victim, at, outage) ->
+          ignore
+            (Sim.Engine.schedule c.engine
+               ~delay:(ms (float_of_int at))
+               (fun () -> Sim.Process.kill c.processes.(victim)));
+          ignore
+            (Sim.Engine.schedule c.engine
+               ~delay:(ms (float_of_int (at + outage)))
+               (fun () -> Sim.Process.restart c.processes.(victim))))
+        crashes;
+      run_for c.engine (sec 2.);
+      Array.iter (fun p -> if not (Sim.Process.alive p) then Sim.Process.restart p) c.processes;
+      run_for c.engine (sec 10.);
+      let dedup l =
+        List.rev
+          (List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) [] (List.rev l))
+      in
+      let stream i = dedup (List.rev !(nodes.(i).processed)) in
+      let s0 = stream 0 in
+      stream 1 = s0 && stream 2 = s0)
+
+(* ---- View ---- *)
+
+let test_view_basics () =
+  let n i = Net.Node_id.make ~index:i ~label:(Printf.sprintf "S%d" i) in
+  let all = [ n 0; n 1; n 2; n 3; n 4 ] in
+  let v0 = View.initial all in
+  check_int "view id" 0 v0.View.id;
+  check_int "size" 5 (View.size v0);
+  check_bool "member" true (View.mem v0 (n 3));
+  let v1 = View.next v0 ~members:[ n 0; n 1; n 2 ] in
+  check_int "next id" 1 v1.View.id;
+  check_bool "majority is primary" true (View.is_primary v1 ~static_group:all);
+  let v2 = View.next v1 ~members:[ n 0; n 1 ] in
+  check_bool "minority is not primary" false (View.is_primary v2 ~static_group:all);
+  check_int "quorum of 5" 3 (View.quorum 5);
+  check_int "quorum of 4" 3 (View.quorum 4)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "gcs"
+    [
+      ("process_class", [ Alcotest.test_case "classification" `Quick test_process_classes ]);
+      ( "paxos_core",
+        Alcotest.test_case "promise then nack lower" `Quick test_paxos_promise_then_nack_lower
+        :: Alcotest.test_case "accept respects promise" `Quick test_paxos_accept_respects_promise
+        :: Alcotest.test_case "value selection" `Quick test_paxos_value_selection
+        :: qsuite [ prop_paxos_promise_monotone ] );
+      ( "failure_detector",
+        [
+          Alcotest.test_case "suspects and recovers" `Quick test_fd_suspects_and_recovers;
+          Alcotest.test_case "change hook" `Quick test_fd_change_hook;
+        ] );
+      ( "replicated_log",
+        Alcotest.test_case "orders and agrees" `Quick test_log_orders_and_agrees
+        :: Alcotest.test_case "single leader" `Quick test_log_single_leader
+        :: Alcotest.test_case "survives leader crash" `Quick test_log_survives_leader_crash
+        :: Alcotest.test_case "durable survives total crash" `Quick
+             test_log_durable_survives_total_crash
+        :: Alcotest.test_case "minority partition stalls then heals" `Quick
+             test_log_minority_partition_stalls_then_heals
+        :: Alcotest.test_case "non-uniform agrees without faults" `Quick
+             test_log_non_uniform_agrees_without_faults
+        :: qsuite [ prop_log_agreement_under_minority_crashes ] );
+      ( "atomic_broadcast",
+        [
+          Alcotest.test_case "total order" `Quick test_abcast_total_order;
+          Alcotest.test_case "no duplicates" `Quick test_abcast_no_duplicates_despite_retransmit;
+          Alcotest.test_case "state transfer" `Quick test_abcast_state_transfer_on_single_recovery;
+          Alcotest.test_case "fig5: group failure loses messages" `Quick
+            test_abcast_fig5_group_failure_loses_messages;
+          Alcotest.test_case "majority cold start" `Quick
+            test_abcast_majority_cold_start_while_one_down;
+          Alcotest.test_case "views follow membership" `Quick test_abcast_views_follow_membership;
+          Alcotest.test_case "views ordered with messages" `Quick
+            test_abcast_view_change_ordered_with_messages;
+        ] );
+      ( "e2e_broadcast",
+        [
+          Alcotest.test_case "deliver and ack" `Quick test_e2e_deliver_and_ack;
+          Alcotest.test_case "fig7: replay after total crash" `Quick
+            test_e2e_replays_unacked_after_total_crash;
+          Alcotest.test_case "no replay once acked" `Quick test_e2e_no_replay_after_ack_durable;
+          Alcotest.test_case "total order" `Quick test_e2e_total_order_multiple;
+          QCheck_alcotest.to_alcotest prop_e2e_agreement_under_crash_storms;
+        ] );
+      ("view", [ Alcotest.test_case "basics" `Quick test_view_basics ]);
+    ]

@@ -1,0 +1,211 @@
+(* Tests for the simulated network: latency, dispatch, crash and partition
+   semantics. *)
+
+open Net
+
+let ms = Sim.Sim_time.span_ms
+let node i = Node_id.make ~index:i ~label:(Printf.sprintf "N%d" i)
+
+type Message.payload += Ping of int
+
+(* A small fixture: [n] nodes on one network, each recording received
+   payloads as (src_index, value) pairs. *)
+type fixture = {
+  engine : Sim.Engine.t;
+  network : Network.t;
+  ids : Node_id.t array;
+  processes : Sim.Process.t array;
+  endpoints : Endpoint.t array;
+  received : (int * int) list ref array;
+}
+
+let make_fixture ?(config = Network.lan_config) ?(cpus = false) n =
+  let engine = Sim.Engine.create () in
+  let network = Network.create engine config in
+  let ids = Array.init n node in
+  let processes = Array.init n (fun i -> Sim.Process.create engine ~name:(Node_id.label ids.(i))) in
+  let received = Array.init n (fun _ -> ref []) in
+  let endpoints =
+    Array.init n (fun i ->
+        let cpu =
+          if cpus then Some (Sim.Resource.create engine ~name:"cpu" ~servers:1) else None
+        in
+        let ep = Endpoint.attach network ~id:ids.(i) ~process:processes.(i) ?cpu () in
+        Endpoint.add_handler ep (fun m ->
+            match m.Message.payload with
+            | Ping v ->
+              received.(i) := (Node_id.index m.Message.src, v) :: !(received.(i));
+              true
+            | _ -> false);
+        ep)
+  in
+  { engine; network; ids; processes; endpoints; received }
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_node_id_basics () =
+  let a = node 1 and b = node 2 in
+  check_bool "equal self" true (Node_id.equal a a);
+  check_bool "distinct" false (Node_id.equal a b);
+  check_int "index" 1 (Node_id.index a);
+  Alcotest.(check string) "label" "N1" (Node_id.label a);
+  check_bool "ordering" true (Node_id.compare a b < 0)
+
+let test_send_delivers_after_transit () =
+  let f = make_fixture 2 in
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 7);
+  Sim.Engine.run f.engine;
+  Alcotest.(check (list (pair int int))) "received" [ (0, 7) ] !(f.received.(1));
+  check_int "delivery time is transit" 70 (Sim.Sim_time.to_us (Sim.Engine.now f.engine));
+  check_int "sent" 1 (Network.messages_sent f.network);
+  check_int "delivered" 1 (Network.messages_delivered f.network)
+
+let test_broadcast_reaches_all_listed () =
+  let f = make_fixture 3 in
+  Network.broadcast f.network ~src:f.ids.(0)
+    ~to_:[ f.ids.(0); f.ids.(1); f.ids.(2) ]
+    (Ping 1);
+  Sim.Engine.run f.engine;
+  Array.iteri (fun i r -> check_int (Printf.sprintf "node %d got it" i) 1 (List.length !r)) f.received
+
+let test_crashed_receiver_drops () =
+  let f = make_fixture 2 in
+  Sim.Process.kill f.processes.(1);
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 1);
+  Sim.Engine.run f.engine;
+  check_int "nothing received" 0 (List.length !(f.received.(1)));
+  check_int "dropped" 1 (Network.messages_dropped f.network)
+
+let test_crash_during_flight_drops () =
+  let f = make_fixture 2 in
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 1);
+  (* Crash before the transit delay elapses. *)
+  ignore (Sim.Engine.schedule f.engine ~delay:(Sim.Sim_time.span_us 10) (fun () ->
+      Sim.Process.kill f.processes.(1)));
+  Sim.Engine.run f.engine;
+  check_int "dropped in flight" 0 (List.length !(f.received.(1)))
+
+let test_crashed_sender_noop () =
+  let f = make_fixture 2 in
+  Sim.Process.kill f.processes.(0);
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 1);
+  Sim.Engine.run f.engine;
+  check_int "nothing sent from dead node" 0 (List.length !(f.received.(1)))
+
+let test_recovered_receiver_gets_new_messages () =
+  let f = make_fixture 2 in
+  Sim.Process.kill f.processes.(1);
+  ignore (Sim.Engine.schedule f.engine ~delay:(ms 1.) (fun () ->
+      Sim.Process.restart f.processes.(1);
+      Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 2)));
+  Sim.Engine.run f.engine;
+  Alcotest.(check (list (pair int int))) "received after restart" [ (0, 2) ] !(f.received.(1))
+
+let test_partition_blocks_and_heals () =
+  let f = make_fixture 3 in
+  Network.partition f.network [ [ f.ids.(0) ]; [ f.ids.(1); f.ids.(2) ] ];
+  check_bool "cross unreachable" false (Network.reachable f.network f.ids.(0) f.ids.(1));
+  check_bool "same side reachable" true (Network.reachable f.network f.ids.(1) f.ids.(2));
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 1);
+  Network.send f.network ~src:f.ids.(1) ~dst:f.ids.(2) (Ping 2);
+  Sim.Engine.run f.engine;
+  check_int "blocked across" 0 (List.length !(f.received.(1)));
+  check_int "delivered within" 1 (List.length !(f.received.(2)));
+  Network.heal f.network;
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 3);
+  Sim.Engine.run f.engine;
+  check_int "healed" 1 (List.length !(f.received.(1)))
+
+let test_block_link_is_bidirectional_and_specific () =
+  let f = make_fixture 3 in
+  Network.block_link f.network f.ids.(0) f.ids.(1);
+  check_bool "blocked" false (Network.reachable f.network f.ids.(0) f.ids.(1));
+  check_bool "other links fine" true (Network.reachable f.network f.ids.(0) f.ids.(2));
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 1);
+  Network.send f.network ~src:f.ids.(1) ~dst:f.ids.(0) (Ping 2);
+  Network.send f.network ~src:f.ids.(2) ~dst:f.ids.(1) (Ping 3);
+  Sim.Engine.run f.engine;
+  check_int "0->1 dropped" 0 (List.length !(f.received.(1)) - 1);
+  check_int "1->0 dropped" 0 (List.length !(f.received.(0)));
+  check_bool "2->1 delivered" true (List.mem (2, 3) !(f.received.(1)));
+  Network.unblock_link f.network f.ids.(1) f.ids.(0);
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 4);
+  Sim.Engine.run f.engine;
+  check_bool "restored" true (List.mem (0, 4) !(f.received.(1)))
+
+let test_drop_probability_one_loses_everything () =
+  let config = { Network.lan_config with drop_probability = 1. } in
+  let f = make_fixture ~config 2 in
+  for _ = 1 to 10 do
+    Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 0)
+  done;
+  Sim.Engine.run f.engine;
+  check_int "all dropped" 0 (List.length !(f.received.(1)));
+  check_int "counted" 10 (Network.messages_dropped f.network)
+
+let test_cpu_charge_delays_delivery () =
+  let f = make_fixture ~cpus:true 2 in
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 1);
+  Sim.Engine.run f.engine;
+  (* send cpu 70us + transit 70us + receive cpu 70us *)
+  check_int "three charges" 210 (Sim.Sim_time.to_us (Sim.Engine.now f.engine));
+  check_int "delivered" 1 (List.length !(f.received.(1)))
+
+type Message.payload += Other
+
+let test_endpoint_dispatch_unknown_payload () =
+  let f = make_fixture 2 in
+  (* No handler matches [Other]; nothing should blow up. *)
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) Other;
+  Sim.Engine.run f.engine;
+  check_int "ping handler untouched" 0 (List.length !(f.received.(1)))
+
+let test_endpoint_handler_priority () =
+  let f = make_fixture 2 in
+  let second = ref 0 in
+  Endpoint.add_handler f.endpoints.(1) (fun m ->
+      match m.Message.payload with
+      | Ping _ ->
+        incr second;
+        true
+      | _ -> false);
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 9);
+  Sim.Engine.run f.engine;
+  check_int "first handler consumed" 1 (List.length !(f.received.(1)));
+  check_int "second never saw it" 0 !second
+
+let test_duplicate_registration_rejected () =
+  let f = make_fixture 1 in
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Network.register: N0 already registered") (fun () ->
+      ignore (Endpoint.attach f.network ~id:f.ids.(0) ~process:f.processes.(0) ()))
+
+let () =
+  Alcotest.run "net"
+    [
+      ("node_id", [ Alcotest.test_case "basics" `Quick test_node_id_basics ]);
+      ( "delivery",
+        [
+          Alcotest.test_case "send after transit" `Quick test_send_delivers_after_transit;
+          Alcotest.test_case "broadcast" `Quick test_broadcast_reaches_all_listed;
+          Alcotest.test_case "cpu charges" `Quick test_cpu_charge_delays_delivery;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crashed receiver" `Quick test_crashed_receiver_drops;
+          Alcotest.test_case "crash during flight" `Quick test_crash_during_flight_drops;
+          Alcotest.test_case "crashed sender" `Quick test_crashed_sender_noop;
+          Alcotest.test_case "recovered receiver" `Quick test_recovered_receiver_gets_new_messages;
+          Alcotest.test_case "partition and heal" `Quick test_partition_blocks_and_heals;
+          Alcotest.test_case "single link failure" `Quick
+            test_block_link_is_bidirectional_and_specific;
+          Alcotest.test_case "full loss" `Quick test_drop_probability_one_loses_everything;
+        ] );
+      ( "endpoint",
+        [
+          Alcotest.test_case "unknown payload" `Quick test_endpoint_dispatch_unknown_payload;
+          Alcotest.test_case "handler priority" `Quick test_endpoint_handler_priority;
+          Alcotest.test_case "duplicate registration" `Quick test_duplicate_registration_rejected;
+        ] );
+    ]

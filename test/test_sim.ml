@@ -1,0 +1,415 @@
+(* Unit and property tests for the discrete-event simulation kernel. *)
+
+open Sim
+
+let ms = Sim_time.span_ms
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Sim_time ---- *)
+
+let test_time_conversions () =
+  check_int "us roundtrip" 42 (Sim_time.to_us (Sim_time.of_us 42));
+  check_int "ms to us" 2500 (Sim_time.span_to_us (ms 2.5));
+  check_int "s to us" 1_500_000 (Sim_time.span_to_us (Sim_time.span_s 1.5));
+  Alcotest.(check (float 1e-9)) "span to ms" 2.5 (Sim_time.span_to_ms (ms 2.5));
+  check_int "add" 30 (Sim_time.to_us (Sim_time.add (Sim_time.of_us 10) (Sim_time.span_us 20)));
+  check_int "diff" 20
+    (Sim_time.span_to_us (Sim_time.diff (Sim_time.of_us 30) (Sim_time.of_us 10)))
+
+let test_time_invalid () =
+  Alcotest.check_raises "negative instant" (Invalid_argument "Sim_time.of_us: negative")
+    (fun () -> ignore (Sim_time.of_us (-1)));
+  Alcotest.check_raises "negative span" (Invalid_argument "Sim_time.span_us: negative")
+    (fun () -> ignore (Sim_time.span_us (-5)));
+  Alcotest.check_raises "negative diff" (Invalid_argument "Sim_time.diff: negative span")
+    (fun () -> ignore (Sim_time.diff (Sim_time.of_us 1) (Sim_time.of_us 2)))
+
+(* ---- Event_queue ---- *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:(Sim_time.of_us 30) "c";
+  Event_queue.add q ~time:(Sim_time.of_us 10) "a";
+  Event_queue.add q ~time:(Sim_time.of_us 20) "b";
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "!" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ];
+  check_bool "empty" true (Event_queue.is_empty q)
+
+let test_queue_fifo_at_equal_times () =
+  let q = Event_queue.create () in
+  let t = Sim_time.of_us 5 in
+  List.iter (fun v -> Event_queue.add q ~time:t v) [ 1; 2; 3; 4; 5 ];
+  let rec drain acc =
+    match Event_queue.pop q with Some (_, v) -> drain (v :: acc) | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4; 5 ] (drain [])
+
+let prop_queue_pops_sorted =
+  QCheck2.Test.make ~name:"event queue pops in time order" ~count:200
+    QCheck2.Gen.(list (int_bound 10_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i t -> Event_queue.add q ~time:(Sim_time.of_us t) i) times;
+      let rec drain acc =
+        match Event_queue.pop q with Some (t, _) -> drain (t :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      List.length popped = List.length times
+      && List.for_all2 Sim_time.equal popped
+           (List.sort Sim_time.compare (List.map Sim_time.of_us times)))
+
+(* ---- Rng ---- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_copy_and_split () =
+  let a = Rng.create 3L in
+  let c = Rng.copy a in
+  Alcotest.(check int64) "copy equal" (Rng.int64 a) (Rng.int64 c);
+  let s = Rng.split a in
+  check_bool "split differs" true (Rng.int64 s <> Rng.int64 a)
+
+let prop_rng_int_bounds =
+  QCheck2.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck2.Gen.(pair (int_range 1 1000) int)
+    (fun (n, seed) ->
+      let r = Rng.create (Int64.of_int seed) in
+      let v = Rng.int r n in
+      v >= 0 && v < n)
+
+let prop_rng_uniform_int_bounds =
+  QCheck2.Test.make ~name:"Rng.uniform_int stays in inclusive range" ~count:500
+    QCheck2.Gen.(triple (int_range (-50) 50) (int_range 0 100) int)
+    (fun (a, width, seed) ->
+      let b = a + width in
+      let r = Rng.create (Int64.of_int seed) in
+      let v = Rng.uniform_int r a b in
+      v >= a && v <= b)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 11L in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:5.
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 5" true (mean > 4.8 && mean < 5.2)
+
+let test_rng_bool_probability () =
+  let r = Rng.create 13L in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool r 0.3 then incr hits
+  done;
+  let ratio = float_of_int !hits /. float_of_int n in
+  check_bool "ratio near 0.3" true (ratio > 0.28 && ratio < 0.32)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 17L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+(* ---- Engine ---- *)
+
+let test_engine_order_and_clock () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:(ms 3.) (fun () -> log := ("c", Engine.now e) :: !log));
+  ignore (Engine.schedule e ~delay:(ms 1.) (fun () -> log := ("a", Engine.now e) :: !log));
+  ignore (Engine.schedule e ~delay:(ms 2.) (fun () -> log := ("b", Engine.now e) :: !log));
+  Engine.run e;
+  let names = List.rev_map fst !log in
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] names;
+  check_int "clock at last event" 3000 (Sim_time.to_us (Engine.now e))
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:(ms 1.) (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  check_bool "cancelled" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:(ms 1.) (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:(ms 10.) (fun () -> incr fired));
+  Engine.run ~until:(Sim_time.of_us 5000) e;
+  check_int "only first fired" 1 !fired;
+  check_int "clock at limit" 5000 (Sim_time.to_us (Engine.now e));
+  Engine.run e;
+  check_int "second fires later" 2 !fired
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let hits = ref [] in
+  ignore
+    (Engine.schedule e ~delay:(ms 1.) (fun () ->
+         hits := 1 :: !hits;
+         ignore (Engine.schedule e ~delay:(ms 1.) (fun () -> hits := 2 :: !hits))));
+  Engine.run e;
+  Alcotest.(check (list int)) "nested" [ 2; 1 ] !hits;
+  check_int "events executed" 2 (Engine.events_executed e)
+
+(* ---- Process ---- *)
+
+let test_process_guard_blocks_after_kill () =
+  let e = Engine.create () in
+  let p = Process.create e ~name:"n" in
+  let fired = ref false in
+  ignore (Process.after p (ms 2.) (fun () -> fired := true));
+  ignore (Engine.schedule e ~delay:(ms 1.) (fun () -> Process.kill p));
+  Engine.run e;
+  check_bool "guarded callback suppressed" false !fired
+
+let test_process_restart_new_incarnation () =
+  let e = Engine.create () in
+  let p = Process.create e ~name:"n" in
+  check_int "initial incarnation" 0 (Process.incarnation p);
+  Process.kill p;
+  check_bool "dead" false (Process.alive p);
+  Process.restart p;
+  check_bool "alive" true (Process.alive p);
+  check_int "two bumps" 2 (Process.incarnation p);
+  (* killing twice does not bump twice *)
+  Process.kill p;
+  Process.kill p;
+  check_int "idempotent kill" 3 (Process.incarnation p)
+
+let test_process_periodic_stops_at_kill () =
+  let e = Engine.create () in
+  let p = Process.create e ~name:"n" in
+  let ticks = ref 0 in
+  Process.periodic p ~every:(ms 1.) (fun () -> incr ticks);
+  ignore (Engine.schedule e ~delay:(Sim_time.span_us 3_500) (fun () -> Process.kill p));
+  Engine.run e;
+  check_int "three ticks then dead" 3 !ticks
+
+let test_process_hooks () =
+  let e = Engine.create () in
+  let p = Process.create e ~name:"n" in
+  let events = ref [] in
+  Process.on_kill p (fun () -> events := "kill" :: !events);
+  Process.on_restart p (fun () -> events := "restart" :: !events);
+  Process.kill p;
+  Process.restart p;
+  Alcotest.(check (list string)) "hooks ran" [ "restart"; "kill" ] !events
+
+(* ---- Resource ---- *)
+
+let test_resource_single_server_serialises () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"disk" ~servers:1 in
+  let finish_times = ref [] in
+  let submit () = Resource.request r ~duration:(ms 10.) (fun () ->
+      finish_times := Sim_time.to_us (Engine.now e) :: !finish_times)
+  in
+  submit ();
+  submit ();
+  submit ();
+  Engine.run e;
+  Alcotest.(check (list int)) "sequential finishes" [ 30_000; 20_000; 10_000 ] !finish_times;
+  check_int "completed" 3 (Resource.jobs_completed r)
+
+let test_resource_two_servers_parallel () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"disk" ~servers:2 in
+  let finish_times = ref [] in
+  for _ = 1 to 4 do
+    Resource.request r ~duration:(ms 10.) (fun () ->
+        finish_times := Sim_time.to_us (Engine.now e) :: !finish_times)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "two at a time" [ 20_000; 20_000; 10_000; 10_000 ] !finish_times
+
+let test_resource_wait_accounting () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"disk" ~servers:1 in
+  Resource.request r ~duration:(ms 4.) (fun () -> ());
+  Resource.request r ~duration:(ms 4.) (fun () -> ());
+  Engine.run e;
+  check_int "first waits 0, second waits 4ms" 4000 (Sim_time.span_to_us (Resource.total_wait r));
+  check_int "busy 8ms" 8000 (Sim_time.span_to_us (Resource.busy_time r))
+
+let test_resource_reset_discards () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"disk" ~servers:1 in
+  let fired = ref 0 in
+  Resource.request r ~duration:(ms 10.) (fun () -> incr fired);
+  Resource.request r ~duration:(ms 10.) (fun () -> incr fired);
+  ignore (Engine.schedule e ~delay:(ms 1.) (fun () -> Resource.reset r));
+  Engine.run e;
+  check_int "no callbacks after reset" 0 !fired;
+  check_int "idle after reset" 0 (Resource.in_service r)
+
+let prop_resource_conservation =
+  QCheck2.Test.make ~name:"resource completes every job exactly once" ~count:100
+    QCheck2.Gen.(pair (int_range 1 4) (list_size (int_range 1 30) (int_range 1 50)))
+    (fun (servers, durations) ->
+      let e = Engine.create () in
+      let r = Resource.create e ~name:"r" ~servers in
+      let done_ = ref 0 in
+      List.iter
+        (fun d -> Resource.request r ~duration:(Sim_time.span_us d) (fun () -> incr done_))
+        durations;
+      Engine.run e;
+      !done_ = List.length durations && Resource.jobs_completed r = List.length durations)
+
+(* ---- Stats ---- *)
+
+let test_stats_basic () =
+  let s = Stats.series "lat" in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check (float 1e-9)) "mean" 3. (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.median s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.max_value s);
+  Alcotest.(check (float 1e-9)) "variance" 2.5 (Stats.variance s);
+  check_int "count" 5 (Stats.count s)
+
+let test_stats_percentile_interpolation () =
+  let s = Stats.series "p" in
+  List.iter (Stats.add s) [ 10.; 20.; 30.; 40. ];
+  Alcotest.(check (float 1e-9)) "p0" 10. (Stats.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p100" 40. (Stats.percentile s 100.);
+  Alcotest.(check (float 1e-9)) "p50 interpolated" 25. (Stats.percentile s 50.)
+
+let test_stats_empty () =
+  let s = Stats.series "e" in
+  check_bool "mean nan" true (Float.is_nan (Stats.mean s));
+  check_bool "percentile nan" true (Float.is_nan (Stats.percentile s 50.))
+
+let test_stats_merge_and_clear () =
+  let a = Stats.series "a" and b = Stats.series "b" in
+  Stats.add a 1.;
+  Stats.add b 3.;
+  let m = Stats.merge "m" [ a; b ] in
+  Alcotest.(check (float 1e-9)) "merged mean" 2. (Stats.mean m);
+  Stats.clear a;
+  check_int "cleared" 0 (Stats.count a)
+
+let prop_stats_mean_matches_naive =
+  QCheck2.Test.make ~name:"online mean matches naive mean" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 100) (float_bound_inclusive 1000.))
+    (fun xs ->
+      let s = Stats.series "q" in
+      List.iter (Stats.add s) xs;
+      let naive = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.mean s -. naive) < 1e-6 *. (1. +. Float.abs naive))
+
+let test_stats_histogram () =
+  let s = Stats.series "h" in
+  List.iter (Stats.add s) [ 0.; 1.; 2.; 3.; 4.; 5.; 5.; 5. ];
+  let h = Stats.histogram s ~bins:5 in
+  check_int "five buckets" 5 (List.length h);
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  check_int "counts conserve samples" 8 total;
+  (match List.rev h with
+   | (_, hi, c) :: _ ->
+     Alcotest.(check (float 1e-9)) "last bucket ends at max" 5. hi;
+     check_int "last bucket holds 4 and the three 5s" 4 c
+   | [] -> Alcotest.fail "no buckets");
+  Alcotest.(check (list (triple (float 1.) (float 1.) int))) "empty" []
+    (Stats.histogram (Stats.series "e") ~bins:3);
+  Alcotest.check_raises "bad bins" (Invalid_argument "Stats.histogram: bins must be positive")
+    (fun () -> ignore (Stats.histogram s ~bins:0))
+
+let test_counter () =
+  let c = Stats.counter "n" in
+  Stats.incr c;
+  Stats.incr_by c 4;
+  check_int "value" 5 (Stats.value c);
+  Stats.reset c;
+  check_int "reset" 0 (Stats.value c)
+
+(* ---- Trace ---- *)
+
+let test_trace_record_and_query () =
+  let e = Engine.create () in
+  let tr = Trace.create e in
+  ignore
+    (Engine.schedule e ~delay:(ms 1.) (fun () ->
+         Trace.record tr ~source:"S1" ~kind:"commit" [ ("tx", "7") ]));
+  Engine.run e;
+  check_int "one entry" 1 (Trace.length tr);
+  match Trace.find_all tr ~kind:"commit" with
+  | [ entry ] ->
+    Alcotest.(check (option string)) "attr" (Some "7") (Trace.attr entry "tx");
+    check_int "stamped" 1000 (Sim_time.to_us entry.Trace.time)
+  | _ -> Alcotest.fail "expected exactly one commit entry"
+
+let test_trace_disabled () =
+  let e = Engine.create () in
+  let tr = Trace.create ~enabled:false e in
+  Trace.record tr ~source:"S1" ~kind:"x" [];
+  check_int "nothing recorded" 0 (Trace.length tr)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "invalid arguments" `Quick test_time_invalid;
+        ] );
+      ( "event_queue",
+        Alcotest.test_case "ordering" `Quick test_queue_ordering
+        :: Alcotest.test_case "fifo at equal times" `Quick test_queue_fifo_at_equal_times
+        :: qsuite [ prop_queue_pops_sorted ] );
+      ( "rng",
+        Alcotest.test_case "determinism" `Quick test_rng_determinism
+        :: Alcotest.test_case "copy and split" `Quick test_rng_copy_and_split
+        :: Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean
+        :: Alcotest.test_case "bernoulli ratio" `Quick test_rng_bool_probability
+        :: Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes
+        :: qsuite [ prop_rng_int_bounds; prop_rng_uniform_int_bounds ] );
+      ( "engine",
+        [
+          Alcotest.test_case "order and clock" `Quick test_engine_order_and_clock;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_schedule;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "guard blocks after kill" `Quick test_process_guard_blocks_after_kill;
+          Alcotest.test_case "incarnations" `Quick test_process_restart_new_incarnation;
+          Alcotest.test_case "periodic stops at kill" `Quick test_process_periodic_stops_at_kill;
+          Alcotest.test_case "kill/restart hooks" `Quick test_process_hooks;
+        ] );
+      ( "resource",
+        Alcotest.test_case "single server serialises" `Quick test_resource_single_server_serialises
+        :: Alcotest.test_case "two servers in parallel" `Quick test_resource_two_servers_parallel
+        :: Alcotest.test_case "wait accounting" `Quick test_resource_wait_accounting
+        :: Alcotest.test_case "reset discards jobs" `Quick test_resource_reset_discards
+        :: qsuite [ prop_resource_conservation ] );
+      ( "stats",
+        Alcotest.test_case "basic moments" `Quick test_stats_basic
+        :: Alcotest.test_case "percentile interpolation" `Quick test_stats_percentile_interpolation
+        :: Alcotest.test_case "empty series" `Quick test_stats_empty
+        :: Alcotest.test_case "merge and clear" `Quick test_stats_merge_and_clear
+        :: Alcotest.test_case "histogram" `Quick test_stats_histogram
+        :: Alcotest.test_case "counter" `Quick test_counter
+        :: qsuite [ prop_stats_mean_matches_naive ] );
+      ( "trace",
+        [
+          Alcotest.test_case "record and query" `Quick test_trace_record_and_query;
+          Alcotest.test_case "disabled trace drops" `Quick test_trace_disabled;
+        ] );
+    ]

@@ -27,6 +27,10 @@ let fast =
   let doc = "Shrink the sweeps for a quick smoke run." in
   Arg.(value & flag & info [ "fast" ] ~doc)
 
+let budget =
+  let doc = "Schedules to explore per configuration." in
+  Arg.(value & opt int 500 & info [ "budget" ] ~docv:"N" ~doc)
+
 let simple name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ seed)
 
@@ -69,6 +73,16 @@ let cmds =
         Harness.Experiment.ablation_buffer ~seed ();
         Harness.Experiment.ablation_loss ~seed ();
         Harness.Experiment.ablation_uniformity ~seed ());
+    Cmd.v
+      (Cmd.info "explore"
+         ~doc:
+           "Explore crash/recover/delay schedules: rediscover the Fig. 5 loss, certify the safe \
+            configurations loss-free, and sweep every level for forbidden losses. Exits non-zero \
+            if any check fails.")
+      Term.(
+        const (fun seed budget ->
+            if not (Harness.Experiment.explore ~seed ~budget ()) then Stdlib.exit 1)
+        $ seed $ budget);
     Cmd.v (Cmd.info "all" ~doc:"Everything, in paper order.")
       Term.(const (fun seed fast -> Harness.Experiment.all ~seed ~fast ()) $ seed $ fast);
   ]

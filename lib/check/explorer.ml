@@ -1,0 +1,308 @@
+open Groupsafe
+
+let ms = Sim.Sim_time.span_ms
+let sec = Sim.Sim_time.span_s
+
+type predicate = Any_loss | Violation
+
+type config = {
+  technique : System.technique;
+  predicate : predicate;
+  params : Workload.Params.t;
+  fd : Gcs.Failure_detector.config;
+  txs : int;
+  spacing : Sim.Sim_time.span;
+  horizon : Sim.Sim_time.span;
+  quiescence : Sim.Sim_time.span;
+  system_seed : int64;
+  delays : bool;
+}
+
+(* Same light failure detector as the harness's long runs: 10 ms
+   heartbeats would dominate the event count of thousands of short
+   replays. *)
+let light_fd = { Gcs.Failure_detector.heartbeat_interval = ms 50.; timeout = ms 250. }
+
+let default_params =
+  {
+    Workload.Params.table4 with
+    Workload.Params.servers = 3;
+    items = 64;
+    clients_per_server = 1;
+    hot_fraction = 0.;
+    hot_items = 0;
+  }
+
+let default_config ?(predicate = Violation) technique =
+  {
+    technique;
+    predicate;
+    params = default_params;
+    fd = light_fd;
+    txs = 2;
+    spacing = ms 5.;
+    horizon = ms 60.;
+    quiescence = sec 4.;
+    system_seed = 7L;
+    delays = (match technique with System.Dsm _ -> true | System.Lazy _ | System.Two_pc -> false);
+  }
+
+type outcome = {
+  schedule : Schedule.t;
+  report : Safety_checker.report;
+  failed : bool;
+  trace : string;
+  highlights : string;
+}
+
+let span_mul s k = Sim.Sim_time.span_us (Sim.Sim_time.span_to_us s * k)
+
+let highlight_kinds =
+  [
+    "submit"; "broadcast"; "respond"; "crash"; "recover"; "amnesia"; "cold_start";
+    "state_transfer"; "recovered_local"; "deliver"; "logged";
+  ]
+
+let render_highlights sys =
+  let entries =
+    List.filter
+      (fun e -> List.mem e.Sim.Trace.kind highlight_kinds)
+      (Sim.Trace.entries (System.trace sys))
+  in
+  String.concat "\n" (List.map Sim.Trace.render_entry entries)
+
+let run ?(trace = false) config schedule =
+  let params = { config.params with Workload.Params.servers = schedule.Schedule.servers } in
+  let n = schedule.Schedule.servers in
+  (* Delivery-delay gates: a mutable hold per server, read by the gate on
+     every delivery, written by the schedule's Delay events. Only servers
+     the schedule actually delays get a gate, so delay-free schedules run
+     the production (synchronous) delivery path. *)
+  let holds = Array.make n Sim.Sim_time.span_zero in
+  let gated = Array.make n false in
+  List.iter
+    (fun e ->
+      match e.Schedule.kind with
+      | Schedule.Delay (i, _) -> gated.(i) <- true
+      | Schedule.Crash _ | Schedule.Recover _ -> ())
+    schedule.Schedule.events;
+  let delivery_delay i = if gated.(i) then Some (fun () -> holds.(i)) else None in
+  let sys =
+    System.create ~seed:config.system_seed ~params ~fd_config:config.fd ~trace_enabled:trace
+      ~delivery_delay config.technique
+  in
+  let engine = System.engine sys in
+  let at delay f = ignore (Sim.Engine.schedule engine ~delay f) in
+  (* The fixed load: write-only transactions on disjoint items, delegates
+     round-robin. A submission to a crashed delegate is skipped — the
+     client could not have reached it. *)
+  let delegate_of = Hashtbl.create 8 in
+  for i = 0 to schedule.Schedule.txs - 1 do
+    let delegate = i mod n in
+    Hashtbl.replace delegate_of i delegate;
+    let tx =
+      Db.Transaction.make ~id:i ~client:0
+        [ Db.Op.Write (2 * i, i + 1); Db.Op.Write ((2 * i) + 1, i + 1) ]
+    in
+    at
+      (span_mul schedule.Schedule.spacing i)
+      (fun () -> if System.alive sys delegate then System.submit sys ~delegate tx)
+  done;
+  List.iter
+    (fun e ->
+      at e.Schedule.at (fun () ->
+          match e.Schedule.kind with
+          | Schedule.Crash i -> System.crash sys i
+          | Schedule.Recover i -> System.recover sys i
+          | Schedule.Delay (i, d) -> holds.(i) <- d))
+    schedule.Schedule.events;
+  System.run_for sys config.horizon;
+  (* Recover everyone and let the group settle: a transaction the oracle
+     still cannot find afterwards is permanently lost, not merely down
+     with a crashed server. *)
+  for i = 0 to n - 1 do
+    System.recover sys i
+  done;
+  System.run_for sys config.quiescence;
+  let report = Safety_checker.analyse sys in
+  let delegate_crashed tx_id =
+    match Hashtbl.find_opt delegate_of tx_id with
+    | None -> false
+    | Some d -> (System.history sys d).Gcs.Process_class.crashes <> []
+  in
+  let failed =
+    match config.predicate with
+    | Any_loss -> report.Safety_checker.lost <> []
+    | Violation -> not (Safety_checker.losses_allowed report ~delegate_crashed)
+  in
+  {
+    schedule;
+    report;
+    failed;
+    trace = (if trace then Sim.Trace.render (System.trace sys) else "");
+    highlights = (if trace then render_highlights sys else "");
+  }
+
+(* ---- generation ---- *)
+
+(* Slot-major, crashes before recoveries, servers in index order: the
+   first size-n combination is "crash servers 0..n-1 at the first slot",
+   so the canonical whole-group crash (Fig. 5) is the first schedule of
+   its size the exhaustive pass tries. *)
+let universe ~slots ~servers ~recoveries =
+  List.concat_map
+    (fun slot ->
+      List.init servers (fun i -> { Schedule.at = slot; kind = Schedule.Crash i })
+      @
+      if recoveries then List.init servers (fun i -> { Schedule.at = slot; kind = Schedule.Recover i })
+      else [])
+    slots
+
+let rec combinations k items =
+  if k = 0 then Seq.return []
+  else
+    match items with
+    | [] -> Seq.empty
+    | x :: rest ->
+      Seq.append
+        (Seq.map (fun c -> x :: c) (combinations (k - 1) rest))
+        (fun () -> combinations k rest ())
+
+let exhaustive config ~slots ~max_events ~recoveries =
+  let servers = config.params.Workload.Params.servers in
+  let u = universe ~slots ~servers ~recoveries in
+  let sizes = Seq.init max_events (fun i -> i + 1) in
+  Seq.concat_map
+    (fun k ->
+      Seq.map
+        (fun events -> Schedule.make ~servers ~txs:config.txs ~spacing:config.spacing events)
+        (combinations k u))
+    sizes
+
+let random_schedule config rng ~max_events =
+  let servers = config.params.Workload.Params.servers in
+  let window_us = Sim.Sim_time.span_to_us config.horizon * 3 / 4 in
+  let n_events = 1 + Sim.Rng.int rng max_events in
+  let events =
+    List.init n_events (fun _ ->
+        let at = Sim.Sim_time.span_us (Sim.Rng.int rng (window_us + 1)) in
+        let server = Sim.Rng.int rng servers in
+        let kind =
+          match Sim.Rng.int rng (if config.delays then 5 else 4) with
+          | 0 | 1 -> Schedule.Crash server
+          | 2 | 3 -> Schedule.Recover server
+          | _ -> Schedule.Delay (server, Sim.Sim_time.span_us (100 + Sim.Rng.int rng 20_000))
+        in
+        { Schedule.at; kind })
+  in
+  Schedule.make ~servers ~txs:config.txs ~spacing:config.spacing events
+
+(* ---- search ---- *)
+
+type phase = Exhaustive | Random_storm
+
+type counterexample = {
+  original : Schedule.t;
+  found_in : phase;
+  runs_to_find : int;
+  shrunk : Schedule.t;
+  shrink_rounds : int;
+  shrink_runs : int;
+  outcome : outcome;
+}
+
+type result = {
+  config : config;
+  seed : int64;
+  budget : int;
+  runs : int;
+  counterexample : counterexample option;
+}
+
+(* Greedy fixpoint: keep the first shrink candidate that still fails,
+   restart from it, stop when none of them do. Biased by the candidate
+   order of [Schedule.shrink] towards structurally smaller schedules. *)
+let shrink_failing config schedule =
+  let shrink_runs = ref 0 in
+  let rec fix schedule rounds =
+    match
+      List.find_opt
+        (fun candidate ->
+          incr shrink_runs;
+          (run config candidate).failed)
+        (Schedule.shrink schedule)
+    with
+    | Some smaller -> fix smaller (rounds + 1)
+    | None -> (schedule, rounds)
+  in
+  let shrunk, rounds = fix schedule 0 in
+  (shrunk, rounds, !shrink_runs)
+
+let explore ?(slots = [ ms 2.; ms 30. ]) ?(max_exhaustive_events = 3) ?(max_random_events = 4)
+    ?(recoveries = true) ~seed ~budget config =
+  let rng = Sim.Rng.create seed in
+  let runs = ref 0 in
+  let found = ref None in
+  let try_one phase schedule =
+    incr runs;
+    if (run config schedule).failed then begin
+      found := Some (phase, schedule);
+      raise Exit
+    end
+  in
+  (try
+     Seq.iter
+       (fun schedule ->
+         if !runs >= budget then raise Exit;
+         try_one Exhaustive schedule)
+       (exhaustive config ~slots ~max_events:max_exhaustive_events ~recoveries);
+     while !runs < budget do
+       try_one Random_storm (random_schedule config rng ~max_events:max_random_events)
+     done
+   with Exit -> ());
+  let counterexample =
+    match !found with
+    | None -> None
+    | Some (found_in, original) ->
+      let shrunk, shrink_rounds, shrink_runs = shrink_failing config original in
+      let outcome = run ~trace:true config shrunk in
+      Some
+        { original; found_in; runs_to_find = !runs; shrunk; shrink_rounds; shrink_runs; outcome }
+  in
+  { config; seed; budget; runs = !runs; counterexample }
+
+(* ---- printing ---- *)
+
+let pp_phase ppf = function
+  | Exhaustive -> Format.pp_print_string ppf "exhaustive"
+  | Random_storm -> Format.pp_print_string ppf "random-storm"
+
+let pp_predicate ppf = function
+  | Any_loss -> Format.pp_print_string ppf "any acknowledged loss"
+  | Violation -> Format.pp_print_string ppf "loss forbidden by the advertised level"
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>%s, predicate: %a, seed %Ld, budget %d@,"
+    (System.technique_name r.config.technique)
+    pp_predicate r.config.predicate r.seed r.budget;
+  match r.counterexample with
+  | None ->
+    Format.fprintf ppf "  no counterexample in %d schedules@]" r.runs
+  | Some c ->
+    Format.fprintf ppf
+      "  counterexample after %d schedules (%a phase), shrunk %d -> %d events in %d rounds (%d \
+       re-runs)@,"
+      c.runs_to_find pp_phase c.found_in
+      (Schedule.event_count c.original)
+      (Schedule.event_count c.shrunk)
+      c.shrink_rounds c.shrink_runs;
+    Format.fprintf ppf "  @[<v>original: %a@]@," Schedule.pp c.original;
+    Format.fprintf ppf "  @[<v>shrunk:   %a@]@," Schedule.pp c.shrunk;
+    Format.fprintf ppf "  @[<v>oracle:   %a@]@," Safety_checker.pp_report c.outcome.report;
+    Format.fprintf ppf "  trace of the shrunk run (protocol events):@,";
+    List.iter
+      (fun line -> Format.fprintf ppf "    %s@," line)
+      (String.split_on_char '\n' c.outcome.highlights);
+    Format.fprintf ppf "@]"
+
+let render_result r = Format.asprintf "%a" pp_result r

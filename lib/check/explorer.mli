@@ -1,0 +1,119 @@
+(** Deterministic schedule exploration with counterexample shrinking.
+
+    The explorer replays {!Schedule.t} values against a fresh {!System.t}
+    per schedule: a fixed write-only transaction load is submitted, the
+    schedule's crash / recover / delivery-delay events fire at their
+    instants, every server is recovered at the horizon, and after a
+    quiescence period the {!Groupsafe.Safety_checker} oracle inspects the
+    outcome. "Lost" therefore means {e permanently} lost — gone even
+    though the whole group came back.
+
+    Two search predicates:
+
+    - {!Any_loss} asks "can this configuration lose an acknowledged
+      transaction at all?" — the Fig. 5 question. For classical atomic
+      broadcast (group-safe) the answer is yes (whole-group crash before
+      the asynchronous flushes), and the explorer rediscovers it; for
+      end-to-end broadcast and 2PC the answer must be no.
+    - {!Violation} asks "did a loss occur that the technique's advertised
+      level does not permit?" ({!Groupsafe.Safety_checker.losses_allowed},
+      Tables 2/3). No correct implementation fails this under any
+      schedule.
+
+    Exploration is deterministic per seed: a bounded-exhaustive pass over
+    small event windows first (so the canonical counterexamples come out
+    smallest), then seeded random storms until the budget runs out. The
+    first failing schedule is shrunk greedily — re-running candidates from
+    {!Schedule.shrink} and keeping the first that still fails, to a
+    fixpoint — and the shrunk schedule is re-run with tracing on, so the
+    counterexample carries its full {!Sim.Trace}. *)
+
+type predicate = Any_loss | Violation
+
+type config = {
+  technique : Groupsafe.System.technique;
+  predicate : predicate;
+  params : Workload.Params.t;  (** [params.servers] is the base server count. *)
+  fd : Gcs.Failure_detector.config;
+  txs : int;  (** write-only transactions on disjoint items. *)
+  spacing : Sim.Sim_time.span;  (** transaction [i] is submitted at [i * spacing]. *)
+  horizon : Sim.Sim_time.span;  (** fault window; every server is recovered here. *)
+  quiescence : Sim.Sim_time.span;  (** settle time after the final recovery. *)
+  system_seed : int64;  (** seed of each replayed system (fixed across schedules). *)
+  delays : bool;  (** allow delivery-delay events in random schedules. *)
+}
+
+val default_config : ?predicate:predicate -> Groupsafe.System.technique -> config
+(** 3 servers, a small database, a light failure detector, 2 transactions
+    5 ms apart, a 60 ms fault window and 4 s of quiescence. [predicate]
+    defaults to {!Violation}; delivery-delay events are enabled for the
+    broadcast-based (Dsm) techniques only. *)
+
+type outcome = {
+  schedule : Schedule.t;
+  report : Groupsafe.Safety_checker.report;
+  failed : bool;  (** the predicate fired on this run. *)
+  trace : string;  (** full rendered {!Sim.Trace}; [""] unless traced. *)
+  highlights : string;  (** protocol-level trace lines only. *)
+}
+
+val run : ?trace:bool -> config -> Schedule.t -> outcome
+(** Replay one schedule. Deterministic: same config and schedule, same
+    outcome, byte for byte when traced. *)
+
+type phase = Exhaustive | Random_storm
+
+type counterexample = {
+  original : Schedule.t;
+  found_in : phase;
+  runs_to_find : int;  (** schedules executed up to and including the failure. *)
+  shrunk : Schedule.t;
+  shrink_rounds : int;  (** accepted shrink steps. *)
+  shrink_runs : int;  (** candidate re-executions during shrinking. *)
+  outcome : outcome;  (** the shrunk schedule's traced outcome. *)
+}
+
+type result = {
+  config : config;
+  seed : int64;
+  budget : int;
+  runs : int;  (** schedules executed in the search phases. *)
+  counterexample : counterexample option;
+}
+
+val exhaustive :
+  config ->
+  slots:Sim.Sim_time.span list ->
+  max_events:int ->
+  recoveries:bool ->
+  Schedule.t Seq.t
+(** Every schedule whose events are a combination of at most [max_events]
+    distinct (slot, event) pairs, smallest first. The universe is, per
+    slot, a crash of each server and (when [recoveries]) a recovery of
+    each server; slots and crashes come first, so "crash everyone at the
+    first slot" is the first schedule of its size. *)
+
+val random_schedule : config -> Sim.Rng.t -> max_events:int -> Schedule.t
+
+val explore :
+  ?slots:Sim.Sim_time.span list ->
+  ?max_exhaustive_events:int ->
+  ?max_random_events:int ->
+  ?recoveries:bool ->
+  seed:int64 ->
+  budget:int ->
+  config ->
+  result
+(** Search up to [budget] schedules (exhaustive pass first, then seeded
+    random storms), stop at the first failure, shrink it, and replay the
+    shrunk schedule with tracing. Deterministic per ([seed], [budget],
+    config). Shrink re-runs are not charged against [budget]. *)
+
+val pp_phase : Format.formatter -> phase -> unit
+val pp_predicate : Format.formatter -> predicate -> unit
+
+val pp_result : Format.formatter -> result -> unit
+(** Search statistics; on failure, the original and shrunk schedules, the
+    oracle's report and the protocol-level trace of the shrunk run. *)
+
+val render_result : result -> string

@@ -1,0 +1,130 @@
+type event_kind =
+  | Crash of int
+  | Recover of int
+  | Delay of int * Sim.Sim_time.span
+
+type event = { at : Sim.Sim_time.span; kind : event_kind }
+
+type t = {
+  servers : int;
+  txs : int;
+  spacing : Sim.Sim_time.span;
+  events : event list;
+}
+
+let kind_rank = function Crash _ -> 0 | Recover _ -> 1 | Delay _ -> 2
+let kind_server = function Crash i | Recover i | Delay (i, _) -> i
+
+let compare_event a b =
+  let c = Int.compare (Sim.Sim_time.span_to_us a.at) (Sim.Sim_time.span_to_us b.at) in
+  if c <> 0 then c
+  else
+    let c = Int.compare (kind_rank a.kind) (kind_rank b.kind) in
+    if c <> 0 then c
+    else
+      let c = Int.compare (kind_server a.kind) (kind_server b.kind) in
+      if c <> 0 then c
+      else
+        match (a.kind, b.kind) with
+        | Delay (_, x), Delay (_, y) ->
+          Int.compare (Sim.Sim_time.span_to_us x) (Sim.Sim_time.span_to_us y)
+        | _ -> 0
+
+let make ~servers ~txs ~spacing events =
+  let events =
+    List.sort compare_event
+      (List.filter (fun e -> kind_server e.kind >= 0 && kind_server e.kind < servers) events)
+  in
+  { servers; txs; spacing; events }
+
+let event_count t = List.length t.events
+
+let compare a b =
+  let c = Int.compare a.servers b.servers in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.txs b.txs in
+    if c <> 0 then c
+    else
+      let c = Int.compare (Sim.Sim_time.span_to_us a.spacing) (Sim.Sim_time.span_to_us b.spacing) in
+      if c <> 0 then c
+      else
+        let rec walk xs ys =
+          match (xs, ys) with
+          | [], [] -> 0
+          | [], _ -> -1
+          | _, [] -> 1
+          | x :: xs, y :: ys ->
+            let c = compare_event x y in
+            if c <> 0 then c else walk xs ys
+        in
+        walk a.events b.events
+
+let equal a b = compare a b = 0
+
+(* ---- shrinking ---- *)
+
+let drop_nth n l = List.filteri (fun i _ -> i <> n) l
+
+let half_span s = Sim.Sim_time.span_us (Sim.Sim_time.span_to_us s / 2)
+
+let halve_times t =
+  { t with events = List.map (fun e -> { e with at = half_span e.at }) t.events }
+
+let halve_delays t =
+  {
+    t with
+    events =
+      List.map
+        (fun e ->
+          match e.kind with
+          | Delay (i, d) -> { e with kind = Delay (i, half_span d) }
+          | Crash _ | Recover _ -> e)
+        t.events;
+  }
+
+let shrink t =
+  let dedup candidates =
+    List.filter (fun c -> not (equal c t)) candidates
+  in
+  let drops =
+    List.mapi (fun i _ -> { t with events = drop_nth i t.events }) t.events
+  in
+  let fewer_txs =
+    if t.txs > 1 then [ { t with txs = 1 }; { t with txs = t.txs - 1 } ] else []
+  in
+  let fewer_servers =
+    if t.servers > 2 then
+      [ make ~servers:(t.servers - 1) ~txs:t.txs ~spacing:t.spacing t.events ]
+    else []
+  in
+  (* Deduplicate while preserving order: drops of identical events, or
+     txs/2 = txs-1, can propose the same candidate twice. *)
+  let seen = ref [] in
+  List.filter
+    (fun c ->
+      if List.exists (equal c) !seen then false
+      else begin
+        seen := c :: !seen;
+        true
+      end)
+    (dedup (drops @ fewer_txs @ fewer_servers @ [ halve_times t; halve_delays t ]))
+
+(* ---- printing ---- *)
+
+let pp_event ppf e =
+  match e.kind with
+  | Crash i -> Format.fprintf ppf "@%a crash S%d" Sim.Sim_time.pp_span e.at i
+  | Recover i -> Format.fprintf ppf "@%a recover S%d" Sim.Sim_time.pp_span e.at i
+  | Delay (i, d) ->
+    Format.fprintf ppf "@%a delay S%d deliveries by %a" Sim.Sim_time.pp_span e.at i
+      Sim.Sim_time.pp_span d
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d servers, %d tx (one every %a)" t.servers t.txs
+    Sim.Sim_time.pp_span t.spacing;
+  List.iter (fun e -> Format.fprintf ppf "@,  %a" pp_event e) t.events;
+  if t.events = [] then Format.fprintf ppf "@,  (no fault events)";
+  Format.fprintf ppf "@]"
+
+let render t = Format.asprintf "%a" pp t

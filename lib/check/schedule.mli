@@ -1,0 +1,47 @@
+(** Replayable fault schedules for the explorer.
+
+    A schedule is a pure value: a server count, a fixed transaction load
+    (write-only, disjoint items, one submission every [spacing]), and a
+    sorted list of timed fault events. Replaying the same schedule against
+    the same {!Explorer.config} always produces the same execution — the
+    schedule, the configuration and the system seed are the whole input.
+    That is what makes counterexamples shrinkable and reproducible. *)
+
+type event_kind =
+  | Crash of int  (** kill server [i]. *)
+  | Recover of int  (** restart server [i] (no-op if it is up). *)
+  | Delay of int * Sim.Sim_time.span
+      (** from this instant, hold every broadcast delivery on server [i]
+          back by the given duration (order preserved; see
+          {!Gcs.Delivery_delay}). A later [Delay] event replaces the
+          hold. No-op for techniques without a delivery gate. *)
+
+type event = { at : Sim.Sim_time.span; kind : event_kind }
+(** [at] is an offset from the start of the run ([t = 0]). *)
+
+type t = {
+  servers : int;
+  txs : int;  (** write-only transactions, submitted at [i * spacing]. *)
+  spacing : Sim.Sim_time.span;
+  events : event list;  (** sorted; see {!make}. *)
+}
+
+val make : servers:int -> txs:int -> spacing:Sim.Sim_time.span -> event list -> t
+(** Builds a schedule, sorting the events into the canonical order (by
+    time, then kind, then server) so that structurally equal schedules
+    compare equal and replay identically. Events that name a server
+    outside [0 .. servers-1] are dropped. *)
+
+val event_count : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val shrink : t -> t list
+(** Shrink candidates, most aggressive first: drop each event in turn,
+    reduce the transaction count, remove a server (dropping its events),
+    halve every event time, and halve every delivery delay. The explorer
+    greedily re-runs candidates and keeps the first that still fails, so
+    the order here biases towards structurally smaller counterexamples. *)
+
+val pp : Format.formatter -> t -> unit
+val render : t -> string

@@ -27,4 +27,14 @@ val crash_storm :
 (** Randomly crash and recover servers for [duration]: each server stays up
     an exponential [mean_up] then, if fewer than [max_down] servers are
     currently down, crashes for an exponential [mean_down]. With
-    [max_down < quorum] the group never fails. *)
+    [max_down < quorum] the group never fails.
+
+    The caller-supplied [rng] is {!Sim.Rng.split} once per server before
+    anything is scheduled, and each server draws only from its own stream.
+    A server's crash/recovery instants therefore depend on nothing but the
+    seed and its own index — not on how the servers' events interleave —
+    so a storm can be re-executed independently (e.g. while shrinking a
+    failing schedule, or with one server perturbed) without moving every
+    other server's schedule. The pre-fix behaviour drew from one shared
+    stream in event order, which made storms unreplayable under any
+    perturbation. *)

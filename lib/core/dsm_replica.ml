@@ -369,9 +369,14 @@ let submit t tx ~on_response =
 
 (* ---- Construction ---- *)
 
-let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) ?uniform ~trace ()
-    =
+let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) ?uniform
+    ?delivery_delay ~trace () =
   ignore params;
+  let delay_gate =
+    match delivery_delay with
+    | None -> Gcs.Delivery_delay.pass
+    | Some delay -> Gcs.Delivery_delay.create server.Server.process ~delay
+  in
   let t =
     {
       server;
@@ -397,7 +402,7 @@ let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) 
   (match broadcast_family mode with
    | `Classical ->
      let ab =
-       Abcast.create endpoint ~group ?fd_config ?uniform
+       Abcast.create endpoint ~group ?fd_config ?uniform ~delivery_delay:delay_gate
          ~deliver:(fun cws -> deliver t cws None)
          ~get_snapshot:(get_snapshot t) ~install_snapshot:(install_snapshot t)
          ~cold_start:(cold_start t) ()
@@ -413,7 +418,7 @@ let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) 
            Sim.Rng.uniform_span server.Server.rng
              (Db.Db_engine.config server.Server.db).Db.Db_engine.io_time_min
              (Db.Db_engine.config server.Server.db).Db.Db_engine.io_time_max)
-         ?fd_config
+         ?fd_config ~delivery_delay:delay_gate
          ~deliver:(fun token cws -> deliver t cws (Some token))
          ()
      in

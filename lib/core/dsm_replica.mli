@@ -41,6 +41,7 @@ val create :
   ?fd_config:Gcs.Failure_detector.config ->
   ?apply_write_factor:float ->
   ?uniform:bool ->
+  ?delivery_delay:(unit -> Sim.Sim_time.span) ->
   trace:Sim.Trace.t ->
   unit ->
   t
@@ -50,7 +51,11 @@ val create :
     some adjacent pages); the group-safe mode's background flushes use the
     database engine's own asynchronous factor. [uniform] (classical modes
     only, default [true]) selects uniform delivery in the ordering
-    protocol; [false] is the ablation that invalidates group-safety. *)
+    protocol; [false] is the ablation that invalidates group-safety.
+    [delivery_delay], when given, installs a deterministic
+    {!Gcs.Delivery_delay} gate between the broadcast's decide point and
+    this replica's processing pipeline — the schedule explorer's message
+    delay knob; absent, delivery is immediate as in production. *)
 
 val submit : t -> Db.Transaction.t -> on_response:(Db.Testable_tx.outcome -> unit) -> unit
 (** Run the transaction with this server as delegate. [on_response] fires

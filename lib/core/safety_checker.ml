@@ -31,14 +31,21 @@ let analyse sys =
   let live = List.filter (System.alive sys) (List.init n Fun.id) in
   let acked_committed =
     List.filter_map
-      (fun (tx, outcome, at) ->
-        match outcome with Db.Testable_tx.Committed -> Some (tx, at) | Db.Testable_tx.Aborted -> None)
+      (fun { System.tx; outcome; at; update } ->
+        match outcome with
+        | Db.Testable_tx.Committed -> Some (tx, at, update)
+        | Db.Testable_tx.Aborted -> None)
       (System.acked sys)
   in
   let lost =
     List.filter_map
-      (fun (tx, at) ->
-        let survives = List.exists (fun s -> System.committed_on sys ~server:s tx) live in
+      (fun (tx, at, update) ->
+        (* Loss is about durable effects: an acknowledged *update* that no
+           live server holds any more. A read-only transaction commits
+           without writing anything, so it trivially survives. *)
+        let survives =
+          (not update) || List.exists (fun s -> System.committed_on sys ~server:s tx) live
+        in
         if survives then None else Some { tx; acked_at = at })
       acked_committed
   in

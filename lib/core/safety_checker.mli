@@ -3,7 +3,9 @@
     After a run (including any injected crashes and recoveries), the
     checker compares what clients were told against what the system still
     holds: a transaction is {b lost} when a client was told it committed
-    yet no live server's current view has it. It also measures replica
+    yet no live server's current view has it. Read-only transactions are
+    exempt — they commit without writing anything, so there is no durable
+    effect to lose. It also measures replica
     {b divergence} (items whose values differ across serving servers —
     lazy replication's failure-free hazard, §7) and classifies each
     server's crash behaviour (green / yellow / red, Fig. 3).

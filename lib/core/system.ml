@@ -20,7 +20,22 @@ let all_techniques =
     Two_pc;
   ]
 
+let technique_of_level = function
+  | Safety.Zero_safe -> Lazy Lazy_replica.Zero_safe_mode
+  | Safety.One_safe -> Lazy Lazy_replica.One_safe_mode
+  | Safety.Group_safe -> Dsm Dsm_replica.Group_safe_mode
+  | Safety.Group_one_safe -> Dsm Dsm_replica.Group_one_safe_mode
+  | Safety.Two_safe -> Dsm Dsm_replica.Two_safe_mode
+  | Safety.Very_safe -> Dsm Dsm_replica.Very_safe_mode
+
 type replica = Dsm_r of Dsm_replica.t | Lazy_r of Lazy_replica.t | Tpc_r of Twopc_replica.t
+
+type ack = {
+  tx : Db.Transaction.id;
+  outcome : Db.Testable_tx.outcome;
+  at : Sim.Sim_time.t;
+  update : bool;
+}
 
 
 
@@ -34,7 +49,7 @@ type t = {
   servers : Server.t array;
   replicas : replica array;
   mutable submitted : int;
-  mutable acked_rev : (Db.Transaction.id * Db.Testable_tx.outcome * Sim.Sim_time.t) list;
+  mutable acked_rev : ack list;
   acked_ids : (Db.Transaction.id, unit) Hashtbl.t;
   crashes : Sim.Sim_time.t list ref array;
   recoveries : Sim.Sim_time.t list ref array;
@@ -66,7 +81,14 @@ let submit t ?on_response ~delegate tx =
     (* Retried transactions answer at most once into the books. *)
     if not (Hashtbl.mem t.acked_ids tx.Db.Transaction.id) then begin
       Hashtbl.replace t.acked_ids tx.Db.Transaction.id ();
-      t.acked_rev <- (tx.Db.Transaction.id, outcome, Sim.Engine.now t.engine) :: t.acked_rev;
+      t.acked_rev <-
+        {
+          tx = tx.Db.Transaction.id;
+          outcome;
+          at = Sim.Engine.now t.engine;
+          update = Db.Transaction.is_update tx;
+        }
+        :: t.acked_rev;
       Workload.Metrics.record_response t.metrics ~submitted:submitted_at;
       match outcome with
       | Db.Testable_tx.Committed -> Workload.Metrics.record_commit t.metrics
@@ -105,7 +127,7 @@ let attach_frontends t =
     t.servers
 
 let create ?(seed = 1L) ?(params = Workload.Params.table4) ?fd_config ?apply_write_factor
-    ?uniform ?(trace_enabled = true) technique =
+    ?uniform ?(trace_enabled = true) ?(delivery_delay = fun _ -> None) technique =
   let engine = Sim.Engine.create ~seed () in
   let net_config =
     {
@@ -121,13 +143,13 @@ let create ?(seed = 1L) ?(params = Workload.Params.table4) ?fd_config ?apply_wri
   let servers = Array.init n (fun index -> Server.create engine network params ~index) in
   let group = Array.to_list (Array.map (fun s -> s.Server.id) servers) in
   let replicas =
-    Array.map
-      (fun server ->
+    Array.mapi
+      (fun index server ->
         match technique with
         | Dsm mode ->
           Dsm_r
             (Dsm_replica.create server ~group ~mode ~params ?fd_config ?apply_write_factor
-               ?uniform ~trace ())
+               ?uniform ?delivery_delay:(delivery_delay index) ~trace ())
         | Lazy mode -> Lazy_r (Lazy_replica.create server ~group ~mode ~params ~trace ())
         | Two_pc -> Tpc_r (Twopc_replica.create server ~group ~params ~trace ()))
       servers
@@ -195,6 +217,13 @@ let history t i =
 
 let group_failed t =
   t.max_simultaneously_down >= Gcs.View.quorum (Array.length t.servers)
+
+let break_amnesiac t i =
+  let server = t.servers.(i) in
+  Sim.Trace.record t.trace ~source:(Server.label server) ~kind:"amnesia" [];
+  (* Registered after the database's own kill hook, so the WAL is first
+     crashed (pending flushes dropped), then its durable records wiped. *)
+  Sim.Process.on_kill server.Server.process (fun () -> Db.Db_engine.wipe_wal server.Server.db)
 
 let dsm_replica t i = match t.replicas.(i) with Dsm_r r -> Some r | Lazy_r _ | Tpc_r _ -> None
 let lazy_replica t i = match t.replicas.(i) with Lazy_r r -> Some r | Dsm_r _ | Tpc_r _ -> None

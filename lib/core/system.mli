@@ -18,6 +18,13 @@ val technique_name : technique -> string
 val all_techniques : technique list
 (** Every implemented technique, weakest safety first. *)
 
+val technique_of_level : Safety.level -> technique
+(** The canonical technique advertising each safety level — the uniform
+    factory the schedule explorer and the table experiments build systems
+    from: lazy replication for the 0/1-safe levels, the DSM stack for the
+    group levels, 2-safe and very-safe. (2PC also advertises 2-safe; ask
+    for it explicitly with {!Two_pc}.) *)
+
 type t
 
 val create :
@@ -27,13 +34,18 @@ val create :
   ?apply_write_factor:float ->
   ?uniform:bool ->
   ?trace_enabled:bool ->
+  ?delivery_delay:(int -> (unit -> Sim.Sim_time.span) option) ->
   technique ->
   t
 (** [create technique] builds the full system: [params.servers] servers on
     a LAN per the parameters, each running the technique's replica stack.
     [trace_enabled] (default [true]) can be switched off for long
     performance runs. [uniform] (default [true]) keeps uniform delivery in
-    the ordering protocol; [false] is the DESIGN.md ablation. *)
+    the ordering protocol; [false] is the DESIGN.md ablation.
+    [delivery_delay], given a server index, may return a deterministic
+    extra-delay thunk installed as that server's broadcast delivery gate
+    (see {!Gcs.Delivery_delay}); it only affects the DSM techniques — lazy
+    propagation and 2PC have no ordering layer to gate. *)
 
 val partition : t -> int list list -> unit
 (** Install a network partition between server groups (by index); servers
@@ -80,7 +92,16 @@ val serving : t -> int -> bool
 val submitted : t -> int
 (** Transactions submitted so far. *)
 
-val acked : t -> (Db.Transaction.id * Db.Testable_tx.outcome * Sim.Sim_time.t) list
+type ack = {
+  tx : Db.Transaction.id;
+  outcome : Db.Testable_tx.outcome;
+  at : Sim.Sim_time.t;  (** when the client heard the outcome. *)
+  update : bool;
+      (** whether the transaction wrote anything. A read-only commit
+          leaves no durable effect, so there is nothing of it to lose. *)
+}
+
+val acked : t -> ack list
 (** Every response ever given to a client (the god's-eye record the safety
     checker starts from), in response order. *)
 
@@ -101,6 +122,14 @@ val group_failed : t -> bool
 val dsm_replica : t -> int -> Dsm_replica.t option
 val lazy_replica : t -> int -> Lazy_replica.t option
 val twopc_replica : t -> int -> Twopc_replica.t option
+
+val break_amnesiac : t -> int -> unit
+(** Deliberately break server [i]: from now on, every crash also wipes its
+    durable write-ahead log, so the server recovers remembering nothing it
+    ever logged. No real technique behaves like this — the hook exists to
+    mutation-test the safety oracle itself (a checker that cannot catch an
+    amnesiac 2-safe replica losing an acknowledged transaction is not
+    checking anything). Traced as ["amnesia"]. *)
 
 val set_dsm_mode : t -> Dsm_replica.mode -> unit
 (** Switch every DSM replica's response rule at runtime (paper §5.2): e.g.

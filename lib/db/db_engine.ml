@@ -146,6 +146,7 @@ let log_commit_quiet t ~tx ~decision ~writes =
 let locks t = t.lock_table
 let testable t = t.testable_table
 let wal_records t = Store.Stable_storage.durable_records t.wal
+let wipe_wal t = Store.Stable_storage.truncate t.wal ~keep:(fun _ -> false)
 
 let durable_commits t =
   List.length

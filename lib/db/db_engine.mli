@@ -104,6 +104,12 @@ val testable : t -> Testable_tx.t
 val wal_records : t -> wal_record list
 (** Durable WAL contents, oldest first (inspection / checkers). *)
 
+val wipe_wal : t -> unit
+(** Instantly discards every durable WAL record — a fault-injection hook
+    (no real disk does this). Oracle self-tests wipe the log at a crash to
+    build an "amnesiac" replica and prove the safety checker reports the
+    resulting loss; see {!Groupsafe.System.break_amnesiac}. *)
+
 val durable_commits : t -> int
 (** Number of committed transactions currently recorded on this server's
     disk. *)

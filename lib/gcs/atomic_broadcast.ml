@@ -69,6 +69,7 @@ struct
     mutable view : View.t;
     mutable view_hooks : (View.t -> unit) list;
     fd : Failure_detector.t;
+    delivery_delay : Delivery_delay.t;
   }
 
   let recovering t = t.recovering
@@ -103,21 +104,28 @@ struct
     in
     if changed && members <> [] then install_view t members
 
+  (* Marking [delivered_uids] happens at release time, together with the
+     actual upcall, so a snapshot taken while entries sit in the delay gate
+     never claims deliveries the application has not seen (donors also
+     flush the gate before answering a join). *)
+  let deliver_entry t { LV.uid; content } =
+    if not (Uid_tbl.mem t.delivered_uids uid) then begin
+      Uid_tbl.replace t.delivered_uids uid ();
+      if not t.recovering then begin
+        match content with
+        | LV.App value ->
+          t.delivered <- t.delivered + 1;
+          t.deliver value
+        | LV.View_evt { joined; left } -> apply_view_event t ~joined ~left
+      end
+    end
+
   let on_log_decide t ~slot:_ value =
     match value with
     | None -> ()
-    | Some { LV.uid; content } ->
-      Uid_tbl.remove t.unstable uid;
-      if not (Uid_tbl.mem t.delivered_uids uid) then begin
-        Uid_tbl.replace t.delivered_uids uid ();
-        if not t.recovering then begin
-          match content with
-          | LV.App value ->
-            t.delivered <- t.delivered + 1;
-            t.deliver value
-          | LV.View_evt { joined; left } -> apply_view_event t ~joined ~left
-        end
-      end
+    | Some entry ->
+      Uid_tbl.remove t.unstable entry.LV.uid;
+      Delivery_delay.gate t.delivery_delay (fun () -> deliver_entry t entry)
 
   let fresh_uid t =
     let uid =
@@ -204,6 +212,9 @@ struct
     | Join_req ->
       (if t.recovering then Net.Endpoint.send t.ep ~dst:src Join_recovering
        else begin
+         (* Release anything still held in the delay gate: the snapshot and
+            its delivery position must reflect every decided entry. *)
+         Delivery_delay.flush t.delivery_delay;
          let uids = Uid_tbl.fold (fun uid () acc -> uid :: acc) t.delivered_uids [] in
          Net.Endpoint.send t.ep ~dst:src
            (Join_state
@@ -251,8 +262,8 @@ struct
       true
     | _ -> false
 
-  let create ep ~group ?fd_config ?uniform ~deliver ~get_snapshot ~install_snapshot ~cold_start ()
-      =
+  let create ep ~group ?fd_config ?uniform ?(delivery_delay = Delivery_delay.pass) ~deliver
+      ~get_snapshot ~install_snapshot ~cold_start () =
     let group = List.sort_uniq Net.Node_id.compare group in
     let log = Log.create ep ~group ~mode:Log.Volatile ?fd_config ?uniform () in
     let self = Net.Endpoint.id ep in
@@ -279,6 +290,7 @@ struct
         view = View.initial group;
         view_hooks = [];
         fd;
+        delivery_delay;
       }
     in
     Log.on_decide log (on_log_decide t);

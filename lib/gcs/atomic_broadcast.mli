@@ -28,6 +28,7 @@ module Make
     group:Net.Node_id.t list ->
     ?fd_config:Failure_detector.config ->
     ?uniform:bool ->
+    ?delivery_delay:Delivery_delay.t ->
     deliver:(V.t -> unit) ->
     get_snapshot:(unit -> S.t) ->
     install_snapshot:(S.t -> unit) ->
@@ -46,7 +47,13 @@ module Make
       [uniform] (default [true]) is forwarded to the ordering protocol;
       [false] delivers optimistically before the entry is stable at a
       majority — the ablation that breaks uniform agreement (and with it
-      group-safety). *)
+      group-safety).
+
+      [delivery_delay] (default {!Delivery_delay.pass}) holds each ordered
+      entry — application messages and view events alike, order preserved —
+      for a deterministic extra span between decide and deliver; schedule
+      explorers use it to widen the decided-but-unprocessed window. Snapshot
+      donors flush the gate first, so state transfer is unaffected. *)
 
   val broadcast : t -> V.t -> unit
   (** A-broadcast. Retransmits internally until ordered, so a message

@@ -1,0 +1,38 @@
+(** Deterministic delivery-delay injection for the broadcast layers.
+
+    A {e gate} sits between the ordering protocol's decide point and the
+    application's deliver upcall. Each passing delivery is held for a
+    caller-supplied extra span, drawn from a deterministic thunk, while the
+    relative order of deliveries is preserved (a later delivery is never
+    released before an earlier one). Schedule explorers use gates to
+    stretch the window between "decided" and "processed" — the window the
+    paper's Fig. 5 crash schedules exploit — without perturbing any other
+    randomness of the run.
+
+    The pass-through gate ({!pass}) releases synchronously and is the
+    default everywhere: production behaviour is unchanged unless a hook is
+    installed. A gated delivery is dropped if the owning process crashes
+    before release — exactly the semantics of a message the process never
+    got around to processing. *)
+
+type t
+
+val pass : t
+(** The transparent gate: [gate pass k] runs [k] immediately. *)
+
+val create : Sim.Process.t -> delay:(unit -> Sim.Sim_time.span) -> t
+(** [create process ~delay] is a gate owned by [process]. Each delivery is
+    released [delay ()] after it arrives at the gate, but never before a
+    previously gated delivery (order preservation). Crashing [process]
+    drops everything still held. *)
+
+val gate : t -> (unit -> unit) -> unit
+(** [gate t k] passes one delivery through the gate. *)
+
+val flush : t -> unit
+(** [flush t] releases every held delivery immediately, in order. Donors of
+    recovery snapshots call this so a snapshot never claims deliveries the
+    application has not yet seen. *)
+
+val held : t -> int
+(** Deliveries currently waiting in the gate. *)

@@ -29,24 +29,31 @@ module Make (V : Replicated_log.VALUE) = struct
     unstable : LV.t Uid_tbl.t;
     mutable next_seq : int;
     mutable delivered : int;
+    delivery_delay : Delivery_delay.t;
   }
 
   let delivered_count t = t.delivered
   let acked_slot t = Store.Durable_cell.read t.cursor
 
+  (* Deduplication is decided at release time: an entry held in the delay
+     gate at a crash is dropped with the gate's queue and replayed by the
+     durable log later — at which point it is not yet in [seen_uids]. *)
+  let deliver_decided t ~slot { LV.uid; value } =
+    let duplicate = Uid_tbl.mem t.seen_uids uid in
+    Uid_tbl.replace t.seen_uids uid ();
+    (* Slots below the durable cursor were successfully delivered before
+       a crash: recorded for deduplication but not redelivered. *)
+    if (not duplicate) && slot >= Store.Durable_cell.read t.cursor then begin
+      t.delivered <- t.delivered + 1;
+      t.deliver slot value
+    end
+
   let on_log_decide t ~slot value =
     match value with
     | None -> ()
-    | Some { LV.uid; value } ->
-      Uid_tbl.remove t.unstable uid;
-      let duplicate = Uid_tbl.mem t.seen_uids uid in
-      Uid_tbl.replace t.seen_uids uid ();
-      (* Slots below the durable cursor were successfully delivered before
-         a crash: recorded for deduplication but not redelivered. *)
-      if (not duplicate) && slot >= Store.Durable_cell.read t.cursor then begin
-        t.delivered <- t.delivered + 1;
-        t.deliver slot value
-      end
+    | Some entry ->
+      Uid_tbl.remove t.unstable entry.LV.uid;
+      Delivery_delay.gate t.delivery_delay (fun () -> deliver_decided t ~slot entry)
 
   let ack t token =
     let current = Store.Durable_cell.read t.cursor in
@@ -71,7 +78,8 @@ module Make (V : Replicated_log.VALUE) = struct
     Sim.Process.periodic (Net.Endpoint.process t.ep) ~every:retransmit_interval (fun () ->
         Uid_tbl.iter (fun _ entry -> Log.propose t.log entry) t.unstable)
 
-  let create ep ~group ~disk ~write_time ?fd_config ~deliver () =
+  let create ep ~group ~disk ~write_time ?fd_config ?(delivery_delay = Delivery_delay.pass)
+      ~deliver () =
     let log = Log.create ep ~group ~mode:(Log.Durable { disk; write_time }) ?fd_config () in
     let engine = Net.Network.engine (Net.Endpoint.network ep) in
     let cursor =
@@ -89,6 +97,7 @@ module Make (V : Replicated_log.VALUE) = struct
         unstable = Uid_tbl.create 16;
         next_seq = 0;
         delivered = 0;
+        delivery_delay;
       }
     in
     Log.on_decide log (on_log_decide t);

@@ -30,13 +30,20 @@ module Make (V : Replicated_log.VALUE) : sig
     disk:Sim.Resource.t ->
     write_time:(unit -> Sim.Sim_time.span) ->
     ?fd_config:Failure_detector.config ->
+    ?delivery_delay:Delivery_delay.t ->
     deliver:(token -> V.t -> unit) ->
     unit ->
     t
   (** [create ep ~group ~disk ~write_time ~deliver ()] attaches a member
       whose protocol log and acknowledgement cursor live on [disk].
       [deliver] is the A-deliver upcall; the application must call
-      [ack t token] once it has durably processed the message. *)
+      [ack t token] once it has durably processed the message.
+
+      [delivery_delay] (default {!Delivery_delay.pass}) holds each decided
+      entry for a deterministic extra span before the deliver upcall, order
+      preserved — the schedule explorer's knob. An entry still held at a
+      crash is simply replayed later: end-to-end delivery makes the gate
+      harmless here. *)
 
   val broadcast : t -> V.t -> unit
   (** A-broadcast with internal retransmission until ordered. *)

@@ -134,6 +134,16 @@ val ablation_uniformity : ?seed:int64 -> unit -> unit
     transaction nobody else will learn — group-safety then breaks with a
     single crash. *)
 
+val explore : ?seed:int64 -> ?budget:int -> unit -> bool
+(** The checking subsystem's acceptance run ({!Check.Explorer}): rediscover
+    the Fig. 5 loss on classical atomic broadcast and shrink it to at most
+    six events, certify the end-to-end (2-safe) and eager-2PC
+    configurations loss-free across the explored schedules, and sweep
+    every technique for losses its advertised level forbids. Prints each
+    exploration's report; [true] iff every check passed. Deterministic per
+    [seed] (default 42); [budget] (default 500) is the schedule count per
+    certification, a quarter of it per violation sweep. *)
+
 val all : ?seed:int64 -> ?fast:bool -> unit -> unit
 (** Run everything in paper order. [fast] (default false) shrinks the
     Fig. 9 sweep for quick smoke runs. *)

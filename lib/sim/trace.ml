@@ -28,3 +28,34 @@ let pp_entry ppf e =
 
 let dump ppf tr =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries tr)
+
+let render_entry e = Format.asprintf "%a" pp_entry e
+
+let render tr =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (render_entry e);
+      Buffer.add_char b '\n')
+    (entries tr);
+  Buffer.contents b
+
+let entry_equal a b =
+  Sim_time.equal a.time b.time
+  && String.equal a.source b.source
+  && String.equal a.kind b.kind
+  && List.length a.attrs = List.length b.attrs
+  && List.for_all2 (fun (k, v) (k', v') -> String.equal k k' && String.equal v v') a.attrs b.attrs
+
+let first_divergence ta tb =
+  let rec walk i xs ys =
+    match (xs, ys) with
+    | [], [] -> None
+    | x :: xs, y :: ys when entry_equal x y -> walk (i + 1) xs ys
+    | x :: _, y :: _ -> Some (i, Some x, Some y)
+    | x :: _, [] -> Some (i, Some x, None)
+    | [], y :: _ -> Some (i, None, Some y)
+  in
+  walk 0 (entries ta) (entries tb)
+
+let equal ta tb = first_divergence ta tb = None

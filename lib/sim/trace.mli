@@ -42,3 +42,24 @@ val pp_entry : Format.formatter -> entry -> unit
 
 val dump : Format.formatter -> t -> unit
 (** Prints every entry, one per line. *)
+
+val render_entry : entry -> string
+(** [pp_entry] as a string — the canonical one-line form. *)
+
+val render : t -> string
+(** The whole trace as one canonical string, one entry per line. Two runs
+    with byte-identical renders executed the same events at the same
+    virtual instants; determinism regressions compare these. *)
+
+val entry_equal : entry -> entry -> bool
+
+val equal : t -> t -> bool
+(** Entry-wise equality of two traces (timestamps, sources, kinds and
+    attributes all included). *)
+
+val first_divergence : t -> t -> (int * entry option * entry option) option
+(** [first_divergence a b] is the first position where the two traces
+    disagree, with the offending entry of each side ([None] where a trace
+    ended early), or [None] when the traces are identical. The diffing
+    primitive behind schedule-replay debugging: shrunk counterexamples are
+    explained by where their trace departs from a passing run's. *)

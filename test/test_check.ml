@@ -1,0 +1,269 @@
+(* Tests for the checking subsystem: schedule representation and
+   shrinking, the exhaustive generator's canonical ordering, the Fig. 5
+   rediscovery, loss-freedom certification of the safe configurations, a
+   violation sweep over every technique and crash-pattern class,
+   determinism of exploration, replayable crash storms, and the amnesiac
+   mutation test of the safety oracle itself. *)
+
+open Groupsafe
+module E = Check.Explorer
+module S = Check.Schedule
+
+let sec = Sim.Sim_time.span_s
+let ms = Sim.Sim_time.span_ms
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let crash i at = { S.at; kind = S.Crash i }
+let recover i at = { S.at; kind = S.Recover i }
+
+(* ---- Schedule ---- *)
+
+let test_schedule_canonical_order () =
+  let a = S.make ~servers:3 ~txs:1 ~spacing:(ms 5.) [ crash 2 (ms 4.); crash 0 (ms 2.); crash 1 (ms 2.) ] in
+  let b = S.make ~servers:3 ~txs:1 ~spacing:(ms 5.) [ crash 1 (ms 2.); crash 2 (ms 4.); crash 0 (ms 2.) ] in
+  check_bool "event order is canonical" true (S.equal a b);
+  check_int "out-of-range servers dropped" 1
+    (S.event_count (S.make ~servers:2 ~txs:1 ~spacing:(ms 5.) [ crash 0 (ms 1.); crash 5 (ms 1.) ]))
+
+let test_shrink_candidates () =
+  let s =
+    S.make ~servers:3 ~txs:2 ~spacing:(ms 5.) [ crash 0 (ms 2.); crash 1 (ms 2.); crash 2 (ms 2.) ]
+  in
+  let candidates = S.shrink s in
+  check_bool "no candidate equals the original" true
+    (List.for_all (fun c -> not (S.equal c s)) candidates);
+  check_bool "drops single events" true
+    (List.exists (fun c -> S.event_count c = 2 && c.S.servers = 3) candidates);
+  check_bool "reduces the transaction count" true (List.exists (fun c -> c.S.txs = 1) candidates);
+  check_bool "removes a server (and its events)" true
+    (List.exists (fun c -> c.S.servers = 2 && S.event_count c = 2) candidates)
+
+let test_exhaustive_canonical_first () =
+  let cfg = E.default_config ~predicate:E.Any_loss (System.Dsm Dsm_replica.Group_safe_mode) in
+  let all = List.of_seq (E.exhaustive cfg ~slots:[ ms 2. ] ~max_events:3 ~recoveries:false) in
+  check_int "sizes 1..3 over 3 crash events" 7 (List.length all);
+  let first_of_size_3 = List.find (fun s -> S.event_count s = 3) all in
+  let fig5 =
+    S.make ~servers:3 ~txs:cfg.E.txs ~spacing:cfg.E.spacing
+      [ crash 0 (ms 2.); crash 1 (ms 2.); crash 2 (ms 2.) ]
+  in
+  check_bool "whole-group crash is the first 3-event schedule" true (S.equal first_of_size_3 fig5)
+
+(* ---- Fig. 5 rediscovery ---- *)
+
+let test_fig5_rediscovered_and_shrunk () =
+  let cfg = E.default_config ~predicate:E.Any_loss (System.Dsm Dsm_replica.Group_safe_mode) in
+  let r = E.explore ~seed:42L ~budget:500 cfg in
+  match r.E.counterexample with
+  | None -> Alcotest.fail "Fig. 5 loss not rediscovered within 500 schedules"
+  | Some c ->
+    check_bool "found by the bounded-exhaustive pass" true (c.E.found_in = E.Exhaustive);
+    check_bool "within the seed budget" true (c.E.runs_to_find <= 500);
+    check_bool "shrunk to at most 6 events" true (S.event_count c.E.shrunk <= 6);
+    check_bool "shrinking never grows" true
+      (S.event_count c.E.shrunk <= S.event_count c.E.original);
+    let report = c.E.outcome.E.report in
+    check_bool "an acknowledged transaction is permanently lost" true
+      (report.Safety_checker.lost <> []);
+    check_bool "the loss needed a whole-group failure" true report.Safety_checker.group_failed;
+    check_bool "counterexample carries its trace" true (String.length c.E.outcome.E.trace > 0);
+    check_bool "shrunk schedule still fails on replay" true (E.run cfg c.E.shrunk).E.failed
+
+(* ---- Loss-freedom certification ---- *)
+
+let certify technique =
+  let r = E.explore ~seed:42L ~budget:1000 (E.default_config ~predicate:E.Any_loss technique) in
+  check_int "full budget explored" 1000 r.E.runs;
+  check_bool "no schedule loses an acknowledged transaction" true
+    (Option.is_none r.E.counterexample)
+
+let test_certify_e2e () = certify (System.Dsm Dsm_replica.Two_safe_mode)
+let test_certify_twopc () = certify System.Two_pc
+
+(* ---- Violation sweep: technique x crash-pattern class ---- *)
+
+(* The Tables 2/3 crash-pattern classes, as explicit schedules (3 servers,
+   delegate of the first transaction is S0). *)
+let crash_pattern_classes =
+  [
+    ("no crash", []);
+    ("minority: delegate dies", [ crash 0 (ms 2.) ]);
+    ("group failure", [ crash 0 (ms 2.); crash 1 (ms 2.); crash 2 (ms 2.) ]);
+    ( "group fails, delegate dies last and recovers first",
+      [ crash 1 (ms 2.); crash 2 (ms 2.); crash 0 (ms 3.); recover 0 (ms 30.) ] );
+  ]
+
+let test_no_violation_fixed_classes () =
+  List.iter
+    (fun technique ->
+      let cfg = E.default_config technique in
+      List.iter
+        (fun (name, events) ->
+          let schedule = S.make ~servers:3 ~txs:cfg.E.txs ~spacing:cfg.E.spacing events in
+          let o = E.run cfg schedule in
+          check_bool (System.technique_name technique ^ " / " ^ name) false o.E.failed)
+        crash_pattern_classes)
+    System.all_techniques
+
+let test_no_violation_random_sweep () =
+  List.iter
+    (fun technique ->
+      let r = E.explore ~seed:1337L ~budget:120 (E.default_config technique) in
+      check_bool (System.technique_name technique) true (Option.is_none r.E.counterexample))
+    System.all_techniques
+
+(* ---- Determinism ---- *)
+
+let test_explore_deterministic () =
+  let cfg = E.default_config ~predicate:E.Any_loss (System.Dsm Dsm_replica.Group_safe_mode) in
+  let r1 = E.explore ~seed:42L ~budget:200 cfg in
+  let r2 = E.explore ~seed:42L ~budget:200 cfg in
+  Alcotest.(check string) "rendered reports byte-identical" (E.render_result r1)
+    (E.render_result r2);
+  match (r1.E.counterexample, r2.E.counterexample) with
+  | Some a, Some b ->
+    check_bool "counterexample traced" true (String.length a.E.outcome.E.trace > 0);
+    Alcotest.(check string) "full traces byte-identical" a.E.outcome.E.trace b.E.outcome.E.trace
+  | _ -> Alcotest.fail "expected a counterexample from both explorations"
+
+(* ---- Replayable crash storms ---- *)
+
+let storm_params =
+  {
+    Workload.Params.table4 with
+    Workload.Params.servers = 3;
+    items = 32;
+    hot_fraction = 0.;
+    hot_items = 0;
+  }
+
+let test_crash_storm_replayable () =
+  let build () =
+    System.create ~seed:11L ~params:storm_params ~trace_enabled:false
+      (System.Lazy Lazy_replica.Zero_safe_mode)
+  in
+  (* max_down above the server count: a server's crash/recover instants
+     then depend only on its own stream, never on the shared down
+     counter. *)
+  let storm sys =
+    Crash_injector.crash_storm sys ~rng:(Sim.Rng.create 99L) ~duration:(sec 10.) ~max_down:4
+      ~mean_up:(sec 1.) ~mean_down:(ms 300.)
+  in
+  let a = build () in
+  storm a;
+  System.run_for a (sec 12.);
+  let b = build () in
+  storm b;
+  (* Perturb only S0 with an extra crash/recover pair the storm knows
+     nothing about. The pre-fix storm drew all servers' delays from one
+     shared stream in event order, so this perturbation reshuffled the
+     draws and moved S1's and S2's schedules too; with per-server split
+     streams they must not move. *)
+  Crash_injector.crash_at b ~after:(ms 400.) 0;
+  Crash_injector.recover_at b ~after:(ms 650.) 0;
+  System.run_for b (sec 12.);
+  let crash_times sys i =
+    List.map Sim.Sim_time.to_us (System.history sys i).Gcs.Process_class.crashes
+  in
+  Alcotest.(check (list int)) "S1 unmoved" (crash_times a 1) (crash_times b 1);
+  Alcotest.(check (list int)) "S2 unmoved" (crash_times a 2) (crash_times b 2);
+  check_bool "S0 actually perturbed" true (crash_times a 0 <> crash_times b 0)
+
+(* ---- Amnesiac oracle self-test ---- *)
+
+(* Mutation-style: the 2-safe configuration survives a whole-group crash
+   by replaying its durable log (Fig. 7). Break every replica so it wipes
+   that log when it dies, and the same schedule must now end in a loss —
+   and the oracle must say so, and say the level forbids it. If the
+   checker were vacuous, the broken run would pass too. *)
+let test_amnesiac_oracle () =
+  let run ~amnesia =
+    let sys =
+      System.create ~seed:3L ~params:storm_params (System.Dsm Dsm_replica.Two_safe_mode)
+    in
+    if amnesia then
+      for i = 0 to 2 do
+        System.break_amnesiac sys i
+      done;
+    let acked = ref false in
+    System.submit sys ~delegate:0
+      ~on_response:(fun o -> if o = Db.Testable_tx.Committed then acked := true)
+      (Db.Transaction.make ~id:0 ~client:0 [ Db.Op.Write (1, 1); Db.Op.Write (2, 1) ]);
+    System.run_for sys (sec 2.);
+    for i = 0 to 2 do
+      System.crash sys i
+    done;
+    System.run_for sys (ms 100.);
+    for i = 0 to 2 do
+      System.recover sys i
+    done;
+    System.run_for sys (sec 6.);
+    (!acked, Safety_checker.analyse sys)
+  in
+  let acked_clean, clean = run ~amnesia:false in
+  let acked_broken, broken = run ~amnesia:true in
+  check_bool "acknowledged (clean)" true acked_clean;
+  check_bool "acknowledged (amnesiac)" true acked_broken;
+  check_int "clean 2-safe run survives the group crash" 0 (List.length clean.Safety_checker.lost);
+  check_bool "oracle reports the amnesiac loss" true (broken.Safety_checker.lost <> []);
+  check_bool "and 2-safety forbids it" false
+    (Safety_checker.losses_allowed broken ~delegate_crashed:(fun _ -> true))
+
+(* A read-only transaction is acknowledged without broadcasting anything
+   (there is no writeset to replicate), so no server's committed view ever
+   holds it. The oracle must not call that a loss — not even after a whole
+   group crash, since there was no durable effect to lose. This was a real
+   false positive: the crash-storm properties flaked whenever the workload
+   generator happened to draw an all-read transaction. *)
+let test_read_only_commit_not_lost () =
+  let sys =
+    System.create ~seed:5L ~params:storm_params (System.Dsm Dsm_replica.Group_safe_mode)
+  in
+  let acked = ref false in
+  System.submit sys ~delegate:0
+    ~on_response:(fun o -> if o = Db.Testable_tx.Committed then acked := true)
+    (Db.Transaction.make ~id:0 ~client:0 [ Db.Op.Read 1; Db.Op.Read 2 ]);
+  System.run_for sys (sec 2.);
+  for i = 0 to 2 do
+    System.crash sys i
+  done;
+  System.run_for sys (ms 100.);
+  for i = 0 to 2 do
+    System.recover sys i
+  done;
+  System.run_for sys (sec 6.);
+  let report = Safety_checker.analyse sys in
+  check_bool "read-only tx acknowledged" true !acked;
+  check_int "counted as an acked commit" 1 report.Safety_checker.acked_commits;
+  check_int "but never lost" 0 (List.length report.Safety_checker.lost)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "canonical order" `Quick test_schedule_canonical_order;
+          Alcotest.test_case "shrink candidates" `Quick test_shrink_candidates;
+          Alcotest.test_case "exhaustive ordering" `Quick test_exhaustive_canonical_first;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "fig5 rediscovered and shrunk" `Quick test_fig5_rediscovered_and_shrunk;
+          Alcotest.test_case "e2e broadcast certified loss-free" `Slow test_certify_e2e;
+          Alcotest.test_case "eager 2PC certified loss-free" `Slow test_certify_twopc;
+          Alcotest.test_case "deterministic per seed" `Quick test_explore_deterministic;
+        ] );
+      ( "violations",
+        [
+          Alcotest.test_case "fixed crash-pattern classes" `Quick test_no_violation_fixed_classes;
+          Alcotest.test_case "random sweep per technique" `Slow test_no_violation_random_sweep;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "crash storm replayable" `Quick test_crash_storm_replayable;
+          Alcotest.test_case "amnesiac replica is caught" `Quick test_amnesiac_oracle;
+          Alcotest.test_case "read-only commit is never lost" `Quick
+            test_read_only_commit_not_lost;
+        ] );
+    ]

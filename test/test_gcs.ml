@@ -35,6 +35,44 @@ let test_process_classes () =
   check_bool "good" true (Process_class.is_good Process_class.Yellow);
   check_bool "not good" false (Process_class.is_good Process_class.Red)
 
+(* ---- Delivery-delay gate ---- *)
+
+let test_delivery_gate () =
+  let e = Sim.Engine.create () in
+  let p = Sim.Process.create e ~name:"P" in
+  let delivered = ref [] in
+  let deliver x () = delivered := x :: !delivered in
+  (* Pass-through gate is synchronous. *)
+  Delivery_delay.gate Delivery_delay.pass (deliver "sync");
+  check_bool "pass delivers immediately" true (!delivered = [ "sync" ]);
+  delivered := [];
+  let hold = ref (ms 5.) in
+  let gate = Delivery_delay.create p ~delay:(fun () -> !hold) in
+  Delivery_delay.gate gate (deliver "a");
+  hold := ms 1.;
+  Delivery_delay.gate gate (deliver "b");
+  check_int "both held" 2 (Delivery_delay.held gate);
+  check_bool "nothing delivered yet" true (!delivered = []);
+  run_for e (ms 10.);
+  (* "b" drew a shorter delay but may not overtake "a": release order is
+     delivery order. *)
+  check_bool "order preserved" true (List.rev !delivered = [ "a"; "b" ]);
+  check_int "drained" 0 (Delivery_delay.held gate)
+
+let test_delivery_gate_crash_and_flush () =
+  let e = Sim.Engine.create () in
+  let p = Sim.Process.create e ~name:"P" in
+  let delivered = ref [] in
+  let gate = Delivery_delay.create p ~delay:(fun () -> ms 5.) in
+  Delivery_delay.gate gate (fun () -> delivered := "lost" :: !delivered);
+  Sim.Process.kill p;
+  run_for e (ms 10.);
+  check_bool "a crash drops held deliveries" true (!delivered = []);
+  Sim.Process.restart p;
+  Delivery_delay.gate gate (fun () -> delivered := "flushed" :: !delivered);
+  Delivery_delay.flush gate;
+  check_bool "flush releases synchronously" true (!delivered = [ "flushed" ])
+
 (* ---- Paxos core ---- *)
 
 let ballot round proposer = { Paxos_core.Ballot.round; proposer }
@@ -641,6 +679,11 @@ let () =
   Alcotest.run "gcs"
     [
       ("process_class", [ Alcotest.test_case "classification" `Quick test_process_classes ]);
+      ( "delivery_delay",
+        [
+          Alcotest.test_case "gates and preserves order" `Quick test_delivery_gate;
+          Alcotest.test_case "crash drops, flush drains" `Quick test_delivery_gate_crash_and_flush;
+        ] );
       ( "paxos_core",
         Alcotest.test_case "promise then nack lower" `Quick test_paxos_promise_then_nack_lower
         :: Alcotest.test_case "accept respects promise" `Quick test_paxos_accept_respects_promise

@@ -358,6 +358,34 @@ let test_trace_disabled () =
   Trace.record tr ~source:"S1" ~kind:"x" [];
   check_int "nothing recorded" 0 (Trace.length tr)
 
+let test_trace_render_and_diff () =
+  let make entries =
+    let e = Engine.create () in
+    let tr = Trace.create e in
+    List.iter (fun (source, kind, attrs) -> Trace.record tr ~source ~kind attrs) entries;
+    tr
+  in
+  let base = [ ("S0", "submit", [ ("tx", "1") ]); ("S1", "deliver", [ ("tx", "1") ]) ] in
+  let a = make base and b = make base in
+  check_bool "equal traces" true (Trace.equal a b);
+  Alcotest.(check string) "render identical" (Trace.render a) (Trace.render b);
+  Alcotest.(check (option (triple int (option string) (option string))))
+    "no divergence" None
+    (Option.map
+       (fun (i, x, y) -> (i, Option.map Trace.render_entry x, Option.map Trace.render_entry y))
+       (Trace.first_divergence a b));
+  let c = make (base @ [ ("S0", "crash", []) ]) in
+  check_bool "longer trace differs" false (Trace.equal a c);
+  (match Trace.first_divergence a c with
+  | Some (2, None, Some extra) -> Alcotest.(check string) "extra entry" "crash" extra.Trace.kind
+  | _ -> Alcotest.fail "expected divergence at index 2 with an extra entry");
+  let d = make [ ("S0", "submit", [ ("tx", "1") ]); ("S1", "deliver", [ ("tx", "2") ]) ] in
+  match Trace.first_divergence a d with
+  | Some (1, Some x, Some y) ->
+    Alcotest.(check (option string)) "left attr" (Some "1") (Trace.attr x "tx");
+    Alcotest.(check (option string)) "right attr" (Some "2") (Trace.attr y "tx")
+  | _ -> Alcotest.fail "expected divergence at index 1"
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -411,5 +439,6 @@ let () =
         [
           Alcotest.test_case "record and query" `Quick test_trace_record_and_query;
           Alcotest.test_case "disabled trace drops" `Quick test_trace_disabled;
+          Alcotest.test_case "render and diff" `Quick test_trace_render_and_diff;
         ] );
     ]

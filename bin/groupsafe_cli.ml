@@ -31,6 +31,21 @@ let budget =
   let doc = "Schedules to explore per configuration." in
   Arg.(value & opt int 500 & info [ "budget" ] ~docv:"N" ~doc)
 
+let nemesis =
+  let doc =
+    "Explore network-fault (nemesis) schedules instead: seeded storms of crashes, minority \
+     partitions, loss windows and duplicated deliveries, each certified loss-free and convergent \
+     after healing."
+  in
+  Arg.(value & flag & info [ "nemesis" ] ~doc)
+
+let counterexample_path =
+  let doc = "Where --nemesis writes the shrunk counterexample trace on failure." in
+  Arg.(
+    value
+    & opt string "nemesis-counterexample.txt"
+    & info [ "counterexample" ] ~docv:"PATH" ~doc)
+
 let simple name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ seed)
 
@@ -77,12 +92,18 @@ let cmds =
       (Cmd.info "explore"
          ~doc:
            "Explore crash/recover/delay schedules: rediscover the Fig. 5 loss, certify the safe \
-            configurations loss-free, and sweep every level for forbidden losses. Exits non-zero \
-            if any check fails.")
+            configurations loss-free, and sweep every level for forbidden losses. With --nemesis, \
+            explore network-fault storms (partitions, loss windows, duplications) and certify \
+            healing convergence instead. Exits non-zero if any check fails.")
       Term.(
-        const (fun seed budget ->
-            if not (Harness.Experiment.explore ~seed ~budget ()) then Stdlib.exit 1)
-        $ seed $ budget);
+        const (fun seed budget nemesis counterexample_path ->
+            let ok =
+              if nemesis then
+                Harness.Experiment.nemesis ~seed ~budget ~counterexample_path ()
+              else Harness.Experiment.explore ~seed ~budget ()
+            in
+            if not ok then Stdlib.exit 1)
+        $ seed $ budget $ nemesis $ counterexample_path);
     Cmd.v (Cmd.info "all" ~doc:"Everything, in paper order.")
       Term.(const (fun seed fast -> Harness.Experiment.all ~seed ~fast ()) $ seed $ fast);
   ]

@@ -28,7 +28,10 @@ let () =
   Client.submit client ~delegate:0 payment ~on_outcome:(fun outcome ->
       Format.printf "[%a] client heard: %s (attempts: %d, retries: %d)@." Sim.Sim_time.pp
         (System.now sys)
-        (match outcome with Db.Testable_tx.Committed -> "committed" | Aborted -> "aborted")
+        (match outcome with
+        | Client.Replied Db.Testable_tx.Committed -> "committed"
+        | Client.Replied Db.Testable_tx.Aborted -> "aborted"
+        | Client.Gave_up -> "gave up")
         (1 + Client.retries client) (Client.retries client));
 
   (* Sabotage: 2 ms in, the link between the client and S0 fails. The

@@ -16,6 +16,7 @@ type config = {
   quiescence : Sim.Sim_time.span;
   system_seed : int64;
   delays : bool;
+  nemesis : bool;
 }
 
 (* Same light failure detector as the harness's long runs: 10 ms
@@ -33,7 +34,7 @@ let default_params =
     hot_items = 0;
   }
 
-let default_config ?(predicate = Violation) technique =
+let default_config ?(predicate = Violation) ?(nemesis = false) technique =
   {
     technique;
     predicate;
@@ -45,11 +46,13 @@ let default_config ?(predicate = Violation) technique =
     quiescence = sec 4.;
     system_seed = 7L;
     delays = (match technique with System.Dsm _ -> true | System.Lazy _ | System.Two_pc -> false);
+    nemesis;
   }
 
 type outcome = {
   schedule : Schedule.t;
   report : Safety_checker.report;
+  converge : Convergence.verdict option;
   failed : bool;
   trace : string;
   highlights : string;
@@ -60,7 +63,8 @@ let span_mul s k = Sim.Sim_time.span_us (Sim.Sim_time.span_to_us s * k)
 let highlight_kinds =
   [
     "submit"; "broadcast"; "respond"; "crash"; "recover"; "amnesia"; "cold_start";
-    "state_transfer"; "recovered_local"; "deliver"; "logged";
+    "state_transfer"; "recovered_local"; "deliver"; "logged"; "partition"; "heal";
+    "drop_window"; "duplicate_next";
   ]
 
 let render_highlights sys =
@@ -84,8 +88,20 @@ let run ?(trace = false) config schedule =
     (fun e ->
       match e.Schedule.kind with
       | Schedule.Delay (i, _) -> gated.(i) <- true
-      | Schedule.Crash _ | Schedule.Recover _ -> ())
+      | Schedule.Crash _ | Schedule.Recover _ | Schedule.Partition _ | Schedule.Heal
+      | Schedule.Drop_window _ | Schedule.Duplicate_next _ ->
+        ())
     schedule.Schedule.events;
+  let has_nemesis =
+    List.exists
+      (fun e ->
+        match e.Schedule.kind with
+        | Schedule.Partition _ | Schedule.Heal | Schedule.Drop_window _
+        | Schedule.Duplicate_next _ ->
+          true
+        | Schedule.Crash _ | Schedule.Recover _ | Schedule.Delay _ -> false)
+      schedule.Schedule.events
+  in
   let delivery_delay i = if gated.(i) then Some (fun () -> holds.(i)) else None in
   let sys =
     System.create ~seed:config.system_seed ~params ~fd_config:config.fd ~trace_enabled:trace
@@ -108,18 +124,39 @@ let run ?(trace = false) config schedule =
       (span_mul schedule.Schedule.spacing i)
       (fun () -> if System.alive sys delegate then System.submit sys ~delegate tx)
   done;
+  (* Loss windows may overlap (two Drop_window events, or a shrink that
+     moved one); an epoch guard keeps the close of an earlier window from
+     cutting a later one short. *)
+  let drop_epoch = ref 0 in
   List.iter
     (fun e ->
       at e.Schedule.at (fun () ->
           match e.Schedule.kind with
           | Schedule.Crash i -> System.crash sys i
           | Schedule.Recover i -> System.recover sys i
-          | Schedule.Delay (i, d) -> holds.(i) <- d))
+          | Schedule.Delay (i, d) -> holds.(i) <- d
+          | Schedule.Partition groups -> System.partition sys groups
+          | Schedule.Heal -> System.heal sys
+          | Schedule.Drop_window { prob; until } ->
+            incr drop_epoch;
+            let epoch = !drop_epoch in
+            System.set_drop sys (Some prob);
+            let remaining =
+              Sim.Sim_time.span_us
+                (Int.max 0 (Sim.Sim_time.span_to_us until - Sim.Sim_time.span_to_us e.Schedule.at))
+            in
+            at remaining (fun () -> if !drop_epoch = epoch then System.set_drop sys None)
+          | Schedule.Duplicate_next i -> System.duplicate_next sys i))
     schedule.Schedule.events;
   System.run_for sys config.horizon;
   (* Recover everyone and let the group settle: a transaction the oracle
      still cannot find afterwards is permanently lost, not merely down
-     with a crashed server. *)
+     with a crashed server. Network faults heal first — "lost" must mean
+     lost on a connected network, not unreachable behind a partition. *)
+  if has_nemesis then begin
+    System.heal sys;
+    System.set_drop sys None
+  end;
   for i = 0 to n - 1 do
     System.recover sys i
   done;
@@ -135,9 +172,18 @@ let run ?(trace = false) config schedule =
     | Any_loss -> report.Safety_checker.lost <> []
     | Violation -> not (Safety_checker.losses_allowed report ~delegate_crashed)
   in
+  (* In nemesis mode the oracle is two-part: loss-freedom above, then
+     healing convergence — every acked update on every serving server and
+     a fresh probe committing. Certified after [analyse] so the probe
+     cannot perturb the loss report. *)
+  let converge = if config.nemesis then Some (Convergence.certify sys) else None in
+  let failed =
+    failed || match converge with Some v -> not v.Convergence.converged | None -> false
+  in
   {
     schedule;
     report;
+    converge;
     failed;
     trace = (if trace then Sim.Trace.render (System.trace sys) else "");
     highlights = (if trace then render_highlights sys else "");
@@ -148,13 +194,22 @@ let run ?(trace = false) config schedule =
 (* Slot-major, crashes before recoveries, servers in index order: the
    first size-n combination is "crash servers 0..n-1 at the first slot",
    so the canonical whole-group crash (Fig. 5) is the first schedule of
-   its size the exhaustive pass tries. *)
-let universe ~slots ~servers ~recoveries =
+   its size the exhaustive pass tries. With [nemesis], each slot also
+   offers one single-server partition per server, a heal, and one
+   duplicate-next per server; loss windows are left to the random storms
+   (their probability parameter has no natural small universe). *)
+let universe ~slots ~servers ~recoveries ~nemesis =
   List.concat_map
     (fun slot ->
       List.init servers (fun i -> { Schedule.at = slot; kind = Schedule.Crash i })
+      @ (if recoveries then
+           List.init servers (fun i -> { Schedule.at = slot; kind = Schedule.Recover i })
+         else [])
       @
-      if recoveries then List.init servers (fun i -> { Schedule.at = slot; kind = Schedule.Recover i })
+      if nemesis then
+        List.init servers (fun i -> { Schedule.at = slot; kind = Schedule.Partition [ [ i ] ] })
+        @ [ { Schedule.at = slot; kind = Schedule.Heal } ]
+        @ List.init servers (fun i -> { Schedule.at = slot; kind = Schedule.Duplicate_next i })
       else [])
     slots
 
@@ -170,7 +225,7 @@ let rec combinations k items =
 
 let exhaustive config ~slots ~max_events ~recoveries =
   let servers = config.params.Workload.Params.servers in
-  let u = universe ~slots ~servers ~recoveries in
+  let u = universe ~slots ~servers ~recoveries ~nemesis:config.nemesis in
   let sizes = Seq.init max_events (fun i -> i + 1) in
   Seq.concat_map
     (fun k ->
@@ -179,23 +234,82 @@ let exhaustive config ~slots ~max_events ~recoveries =
         (combinations k u))
     sizes
 
-let random_schedule config rng ~max_events =
+let random_crashes config rng ~max_events =
   let servers = config.params.Workload.Params.servers in
   let window_us = Sim.Sim_time.span_to_us config.horizon * 3 / 4 in
   let n_events = 1 + Sim.Rng.int rng max_events in
-  let events =
-    List.init n_events (fun _ ->
-        let at = Sim.Sim_time.span_us (Sim.Rng.int rng (window_us + 1)) in
-        let server = Sim.Rng.int rng servers in
-        let kind =
-          match Sim.Rng.int rng (if config.delays then 5 else 4) with
-          | 0 | 1 -> Schedule.Crash server
-          | 2 | 3 -> Schedule.Recover server
-          | _ -> Schedule.Delay (server, Sim.Sim_time.span_us (100 + Sim.Rng.int rng 20_000))
-        in
-        { Schedule.at; kind })
+  List.init n_events (fun _ ->
+      let at = Sim.Sim_time.span_us (Sim.Rng.int rng (window_us + 1)) in
+      let server = Sim.Rng.int rng servers in
+      let kind =
+        match Sim.Rng.int rng (if config.delays then 5 else 4) with
+        | 0 | 1 -> Schedule.Crash server
+        | 2 | 3 -> Schedule.Recover server
+        | _ -> Schedule.Delay (server, Sim.Sim_time.span_us (100 + Sim.Rng.int rng 20_000))
+      in
+      { Schedule.at; kind })
+
+(* Each fault family draws from its own stream split off [rng] in a fixed
+   order, so adding (say) a duplication to a storm never perturbs where
+   its partition falls — storms replay deterministically per seed and stay
+   comparable across fault-mix changes. *)
+let random_nemesis_events config rng =
+  let servers = config.params.Workload.Params.servers in
+  let window_us = Sim.Sim_time.span_to_us config.horizon * 3 / 4 in
+  let partition_rng = Sim.Rng.split rng in
+  let loss_rng = Sim.Rng.split rng in
+  let dup_rng = Sim.Rng.split rng in
+  let partition =
+    if Sim.Rng.int partition_rng 2 = 0 then []
+    else begin
+      let at_us = Sim.Rng.int partition_rng (window_us + 1) in
+      let size = 1 + Sim.Rng.int partition_rng (Int.max 1 ((servers - 1) / 2)) in
+      let members =
+        List.sort_uniq compare (List.init size (fun _ -> Sim.Rng.int partition_rng servers))
+      in
+      let hold_us = 1_000 + Sim.Rng.int partition_rng window_us in
+      [
+        { Schedule.at = Sim.Sim_time.span_us at_us; kind = Schedule.Partition [ members ] };
+        { Schedule.at = Sim.Sim_time.span_us (at_us + hold_us); kind = Schedule.Heal };
+      ]
+    end
   in
-  Schedule.make ~servers ~txs:config.txs ~spacing:config.spacing events
+  let loss =
+    if Sim.Rng.int loss_rng 2 = 0 then []
+    else begin
+      let at_us = Sim.Rng.int loss_rng (window_us + 1) in
+      let prob = 0.2 +. Sim.Rng.float loss_rng 0.7 in
+      let len_us = 1_000 + Sim.Rng.int loss_rng window_us in
+      [
+        {
+          Schedule.at = Sim.Sim_time.span_us at_us;
+          kind = Schedule.Drop_window { prob; until = Sim.Sim_time.span_us (at_us + len_us) };
+        };
+      ]
+    end
+  in
+  let dups =
+    List.init (Sim.Rng.int dup_rng 3) (fun _ ->
+        {
+          Schedule.at = Sim.Sim_time.span_us (Sim.Rng.int dup_rng (window_us + 1));
+          kind = Schedule.Duplicate_next (Sim.Rng.int dup_rng servers);
+        })
+  in
+  partition @ loss @ dups
+
+let random_schedule config rng ~max_events =
+  let servers = config.params.Workload.Params.servers in
+  if not config.nemesis then
+    Schedule.make ~servers ~txs:config.txs ~spacing:config.spacing
+      (random_crashes config rng ~max_events)
+  else begin
+    (* Crash stream first, also split, so the crash pattern of storm [k]
+       matches the crash-only explorer's storm [k] structure. *)
+    let crash_rng = Sim.Rng.split rng in
+    let crashes = random_crashes config crash_rng ~max_events in
+    let faults = random_nemesis_events config rng in
+    Schedule.make ~servers ~txs:config.txs ~spacing:config.spacing (crashes @ faults)
+  end
 
 (* ---- search ---- *)
 
@@ -271,6 +385,66 @@ let explore ?(slots = [ ms 2.; ms 30. ]) ?(max_exhaustive_events = 3) ?(max_rand
   in
   { config; seed; budget; runs = !runs; counterexample }
 
+(* ---- directed scenario: the minority must stall, not diverge ---- *)
+
+type stall_outcome = {
+  minority : int list;
+  minority_acked_during : int;
+  majority_committed_during : bool;
+  minority_applied_during : bool;
+  resumed : bool;
+  verdict : Convergence.verdict;
+  ok : bool;
+}
+
+let minority_stall ?(cut = sec 2.) config =
+  let n = config.params.Workload.Params.servers in
+  if n < 3 then invalid_arg "Explorer.minority_stall: needs at least 3 servers";
+  let sys =
+    System.create ~seed:config.system_seed ~params:config.params ~fd_config:config.fd
+      config.technique
+  in
+  (* Settle (leader election), cut S0 off, then offer work to both sides:
+     uniform delivery needs a quorum, so the minority delegate must sit on
+     its transaction while the majority keeps committing. *)
+  System.run_for sys (sec 1.);
+  let minority = [ 0 ] in
+  let majority = List.init (n - 1) (fun i -> i + 1) in
+  System.partition sys [ minority; majority ];
+  let minority_acks = ref 0 in
+  System.submit sys ~delegate:0
+    ~on_response:(fun _ -> incr minority_acks)
+    (Db.Transaction.make ~id:0 ~client:0 [ Db.Op.Write (0, 1) ]);
+  let majority_committed = ref false in
+  System.submit sys ~delegate:1
+    ~on_response:(fun o -> if o = Db.Testable_tx.Committed then majority_committed := true)
+    (Db.Transaction.make ~id:1 ~client:0 [ Db.Op.Write (1, 2) ]);
+  System.run_for sys cut;
+  let minority_acked_during = !minority_acks in
+  let majority_committed_during = !majority_committed in
+  let minority_applied_during =
+    System.committed_on sys ~server:0 0 || System.committed_on sys ~server:0 1
+  in
+  System.heal sys;
+  System.run_for sys config.quiescence;
+  let resumed =
+    !minority_acks > 0
+    && List.for_all (fun s -> System.committed_on sys ~server:s 0) (List.init n Fun.id)
+  in
+  let verdict = Convergence.certify sys in
+  {
+    minority;
+    minority_acked_during;
+    majority_committed_during;
+    minority_applied_during;
+    resumed;
+    verdict;
+    ok =
+      minority_acked_during = 0
+      && (not minority_applied_during)
+      && majority_committed_during && resumed && verdict.Convergence.converged;
+  }
+
 (* ---- printing ---- *)
 
 let pp_phase ppf = function
@@ -299,10 +473,24 @@ let pp_result ppf r =
     Format.fprintf ppf "  @[<v>original: %a@]@," Schedule.pp c.original;
     Format.fprintf ppf "  @[<v>shrunk:   %a@]@," Schedule.pp c.shrunk;
     Format.fprintf ppf "  @[<v>oracle:   %a@]@," Safety_checker.pp_report c.outcome.report;
+    (match c.outcome.converge with
+    | Some v -> Format.fprintf ppf "  @[<v>healing:  %a@]@," Convergence.pp v
+    | None -> ());
     Format.fprintf ppf "  trace of the shrunk run (protocol events):@,";
     List.iter
       (fun line -> Format.fprintf ppf "    %s@," line)
       (String.split_on_char '\n' c.outcome.highlights);
     Format.fprintf ppf "@]"
+
+let pp_stall ppf s =
+  Format.fprintf ppf
+    "@[<v>minority {%s}: %s during the cut (%d ack(s), applied: %b)@ majority committed during \
+     the cut: %b@ minority resumed after heal: %b@ %a@ verdict: %s@]"
+    (String.concat " " (List.map (fun i -> "S" ^ string_of_int i) s.minority))
+    (if s.minority_acked_during = 0 && not s.minority_applied_during then "stalled"
+     else "did not stall")
+    s.minority_acked_during s.minority_applied_during s.majority_committed_during s.resumed
+    Convergence.pp s.verdict
+    (if s.ok then "stalled, no divergence, converged after heal" else "FAILED")
 
 let render_result r = Format.asprintf "%a" pp_result r

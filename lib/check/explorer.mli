@@ -2,11 +2,15 @@
 
     The explorer replays {!Schedule.t} values against a fresh {!System.t}
     per schedule: a fixed write-only transaction load is submitted, the
-    schedule's crash / recover / delivery-delay events fire at their
-    instants, every server is recovered at the horizon, and after a
-    quiescence period the {!Groupsafe.Safety_checker} oracle inspects the
-    outcome. "Lost" therefore means {e permanently} lost — gone even
-    though the whole group came back.
+    schedule's crash / recover / delivery-delay and network-fault events
+    (partitions, heals, loss windows, duplications) fire at their
+    instants, every fault is healed at the horizon and every server
+    recovered, and after a quiescence period the
+    {!Groupsafe.Safety_checker} oracle inspects the outcome. "Lost"
+    therefore means {e permanently} lost — gone even though the whole
+    group came back on a connected network. In nemesis mode the
+    {!Groupsafe.Convergence} oracle additionally certifies healing
+    convergence after every run.
 
     Two search predicates:
 
@@ -41,25 +45,36 @@ type config = {
   quiescence : Sim.Sim_time.span;  (** settle time after the final recovery. *)
   system_seed : int64;  (** seed of each replayed system (fixed across schedules). *)
   delays : bool;  (** allow delivery-delay events in random schedules. *)
+  nemesis : bool;
+      (** generate network faults (partitions, loss windows, duplications)
+          alongside crashes, and certify healing convergence after every
+          run. *)
 }
 
-val default_config : ?predicate:predicate -> Groupsafe.System.technique -> config
+val default_config :
+  ?predicate:predicate -> ?nemesis:bool -> Groupsafe.System.technique -> config
 (** 3 servers, a small database, a light failure detector, 2 transactions
     5 ms apart, a 60 ms fault window and 4 s of quiescence. [predicate]
-    defaults to {!Violation}; delivery-delay events are enabled for the
-    broadcast-based (Dsm) techniques only. *)
+    defaults to {!Violation}, [nemesis] to [false]; delivery-delay events
+    are enabled for the broadcast-based (Dsm) techniques only. *)
 
 type outcome = {
   schedule : Schedule.t;
   report : Groupsafe.Safety_checker.report;
-  failed : bool;  (** the predicate fired on this run. *)
+  converge : Groupsafe.Convergence.verdict option;
+      (** the healing-convergence verdict; [None] unless [config.nemesis]. *)
+  failed : bool;  (** the predicate fired, or convergence failed. *)
   trace : string;  (** full rendered {!Sim.Trace}; [""] unless traced. *)
   highlights : string;  (** protocol-level trace lines only. *)
 }
 
 val run : ?trace:bool -> config -> Schedule.t -> outcome
 (** Replay one schedule. Deterministic: same config and schedule, same
-    outcome, byte for byte when traced. *)
+    outcome, byte for byte when traced. When the schedule contains network
+    faults, the network is healed (and any loss window closed) before the
+    at-horizon recovery, so "lost" keeps meaning {e permanently} lost.
+    With [config.nemesis], {!Groupsafe.Convergence.certify} then runs its
+    probe and the verdict is folded into [failed]. *)
 
 type phase = Exhaustive | Random_storm
 
@@ -91,9 +106,19 @@ val exhaustive :
     distinct (slot, event) pairs, smallest first. The universe is, per
     slot, a crash of each server and (when [recoveries]) a recovery of
     each server; slots and crashes come first, so "crash everyone at the
-    first slot" is the first schedule of its size. *)
+    first slot" is the first schedule of its size. With [config.nemesis]
+    each slot additionally offers a single-server partition per server, a
+    heal, and a duplicate-next per server (loss windows are storm-only:
+    their probability has no natural small universe). *)
 
 val random_schedule : config -> Sim.Rng.t -> max_events:int -> Schedule.t
+(** One random storm. Without [config.nemesis]: crashes, recoveries and
+    (when [config.delays]) delivery delays, exactly as before. With it,
+    each fault family draws from its own stream split off [rng] in a fixed
+    order — crashes, then an optional minority partition+heal pair, an
+    optional loss window (drop probability in [0.2, 0.9)), and up to two
+    duplications — so storms replay deterministically per seed and adding
+    one family never perturbs another. *)
 
 val explore :
   ?slots:Sim.Sim_time.span list ->
@@ -109,8 +134,31 @@ val explore :
     shrunk schedule with tracing. Deterministic per ([seed], [budget],
     config). Shrink re-runs are not charged against [budget]. *)
 
+(** {2 Directed scenario: a minority partition must stall, not diverge} *)
+
+type stall_outcome = {
+  minority : int list;  (** the cut-off server indices. *)
+  minority_acked_during : int;  (** acks the minority gave while cut off (want 0). *)
+  majority_committed_during : bool;  (** the majority side kept committing. *)
+  minority_applied_during : bool;  (** the minority applied anything while cut off (want false). *)
+  resumed : bool;  (** the minority's transaction committed everywhere after the heal. *)
+  verdict : Groupsafe.Convergence.verdict;
+  ok : bool;  (** stalled, majority progressed, resumed, converged. *)
+}
+
+val minority_stall : ?cut:Sim.Sim_time.span -> config -> stall_outcome
+(** [minority_stall config] settles the group for 1 s, partitions server 0
+    away, submits one transaction to each side, holds the cut for [cut]
+    (default 2 s), heals, waits [config.quiescence] and certifies. Under
+    uniform delivery the minority must acknowledge and apply {e nothing}
+    while cut off, then catch up and answer after the heal. Meaningful for
+    the broadcast-based (Dsm) techniques; eager 2PC cannot commit on
+    either side with a member unreachable, so [ok] is honestly [false]
+    there. *)
+
 val pp_phase : Format.formatter -> phase -> unit
 val pp_predicate : Format.formatter -> predicate -> unit
+val pp_stall : Format.formatter -> stall_outcome -> unit
 
 val pp_result : Format.formatter -> result -> unit
 (** Search statistics; on failure, the original and shrunk schedules, the

@@ -2,6 +2,10 @@ type event_kind =
   | Crash of int
   | Recover of int
   | Delay of int * Sim.Sim_time.span
+  | Partition of int list list
+  | Heal
+  | Drop_window of { prob : float; until : Sim.Sim_time.span }
+  | Duplicate_next of int
 
 type event = { at : Sim.Sim_time.span; kind : event_kind }
 
@@ -12,29 +16,95 @@ type t = {
   events : event list;
 }
 
-let kind_rank = function Crash _ -> 0 | Recover _ -> 1 | Delay _ -> 2
-let kind_server = function Crash i | Recover i | Delay (i, _) -> i
+let kind_rank = function
+  | Crash _ -> 0
+  | Recover _ -> 1
+  | Delay _ -> 2
+  | Partition _ -> 3
+  | Heal -> 4
+  | Drop_window _ -> 5
+  | Duplicate_next _ -> 6
+
+(* Canonical form of a partition: indices in range and deduplicated, each
+   group sorted, empty groups removed, groups ordered by their minimum.
+   Structurally different writings of the same cut then compare equal. *)
+let normalize_groups ~servers groups =
+  groups
+  |> List.map (fun g ->
+         List.sort_uniq Int.compare (List.filter (fun i -> i >= 0 && i < servers) g))
+  |> List.filter (fun g -> g <> [])
+  |> List.sort (fun a b -> Int.compare (List.hd a) (List.hd b))
+
+let compare_groups a b =
+  let compare_group x y =
+    let rec walk xs ys =
+      match (xs, ys) with
+      | [], [] -> 0
+      | [], _ -> -1
+      | _, [] -> 1
+      | x :: xs, y :: ys ->
+        let c = Int.compare x y in
+        if c <> 0 then c else walk xs ys
+    in
+    walk x y
+  in
+  let rec walk xs ys =
+    match (xs, ys) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | x :: xs, y :: ys ->
+      let c = compare_group x y in
+      if c <> 0 then c else walk xs ys
+  in
+  walk a b
+
+let compare_kind a b =
+  let c = Int.compare (kind_rank a) (kind_rank b) in
+  if c <> 0 then c
+  else
+    match (a, b) with
+    | Crash i, Crash j | Recover i, Recover j | Duplicate_next i, Duplicate_next j ->
+      Int.compare i j
+    | Delay (i, x), Delay (j, y) ->
+      let c = Int.compare i j in
+      if c <> 0 then c
+      else Int.compare (Sim.Sim_time.span_to_us x) (Sim.Sim_time.span_to_us y)
+    | Partition x, Partition y -> compare_groups x y
+    | Heal, Heal -> 0
+    | Drop_window a, Drop_window b ->
+      let c = Float.compare a.prob b.prob in
+      if c <> 0 then c
+      else Int.compare (Sim.Sim_time.span_to_us a.until) (Sim.Sim_time.span_to_us b.until)
+    | _ -> 0
 
 let compare_event a b =
   let c = Int.compare (Sim.Sim_time.span_to_us a.at) (Sim.Sim_time.span_to_us b.at) in
-  if c <> 0 then c
-  else
-    let c = Int.compare (kind_rank a.kind) (kind_rank b.kind) in
-    if c <> 0 then c
-    else
-      let c = Int.compare (kind_server a.kind) (kind_server b.kind) in
-      if c <> 0 then c
-      else
-        match (a.kind, b.kind) with
-        | Delay (_, x), Delay (_, y) ->
-          Int.compare (Sim.Sim_time.span_to_us x) (Sim.Sim_time.span_to_us y)
-        | _ -> 0
+  if c <> 0 then c else compare_kind a.kind b.kind
+
+let valid_server ~servers i = i >= 0 && i < servers
+
+(* Canonicalise one event against the server universe; [None] drops it. *)
+let normalize_event ~servers e =
+  match e.kind with
+  | Crash i | Recover i -> if valid_server ~servers i then Some e else None
+  | Delay (i, _) -> if valid_server ~servers i then Some e else None
+  | Duplicate_next i -> if valid_server ~servers i then Some e else None
+  | Heal -> Some e
+  | Partition groups -> (
+    match normalize_groups ~servers groups with
+    | [] -> None
+    | groups -> Some { e with kind = Partition groups })
+  | Drop_window { prob; until } ->
+    let prob = Float.min 1. (Float.max 0. prob) in
+    (* The window cannot close before it opens. *)
+    let until =
+      if Sim.Sim_time.span_to_us until < Sim.Sim_time.span_to_us e.at then e.at else until
+    in
+    Some { e with kind = Drop_window { prob; until } }
 
 let make ~servers ~txs ~spacing events =
-  let events =
-    List.sort compare_event
-      (List.filter (fun e -> kind_server e.kind >= 0 && kind_server e.kind < servers) events)
-  in
+  let events = List.sort compare_event (List.filter_map (normalize_event ~servers) events) in
   { servers; txs; spacing; events }
 
 let event_count t = List.length t.events
@@ -69,7 +139,15 @@ let drop_nth n l = List.filteri (fun i _ -> i <> n) l
 let half_span s = Sim.Sim_time.span_us (Sim.Sim_time.span_to_us s / 2)
 
 let halve_times t =
-  { t with events = List.map (fun e -> { e with at = half_span e.at }) t.events }
+  make ~servers:t.servers ~txs:t.txs ~spacing:t.spacing
+    (List.map
+       (fun e ->
+         let e = { e with at = half_span e.at } in
+         match e.kind with
+         (* The closing edge travels with the opening edge. *)
+         | Drop_window w -> { e with kind = Drop_window { w with until = half_span w.until } }
+         | _ -> e)
+       t.events)
 
 let halve_delays t =
   {
@@ -79,17 +157,52 @@ let halve_delays t =
         (fun e ->
           match e.kind with
           | Delay (i, d) -> { e with kind = Delay (i, half_span d) }
-          | Crash _ | Recover _ -> e)
+          | _ -> e)
         t.events;
   }
 
+(* Shorten every loss window towards its opening instant. *)
+let halve_windows t =
+  make ~servers:t.servers ~txs:t.txs ~spacing:t.spacing
+    (List.map
+       (fun e ->
+         match e.kind with
+         | Drop_window { prob; until } ->
+           let at_us = Sim.Sim_time.span_to_us e.at in
+           let until_us = Sim.Sim_time.span_to_us until in
+           let until = Sim.Sim_time.span_us (at_us + ((until_us - at_us) / 2)) in
+           { e with kind = Drop_window { prob; until } }
+         | _ -> e)
+       t.events)
+
+(* A partition and the heal that follows it form one fault: removing the
+   pair is a structurally smaller schedule than removing either edge alone
+   (a dangling Partition leaves the net split until the explorer's
+   end-of-run heal; a dangling Heal is usually a no-op). *)
+let drop_partition_heal_pairs t =
+  let rec pairs i = function
+    | [] -> []
+    | { kind = Partition _; _ } :: rest ->
+      let rec find_heal j = function
+        | [] -> None
+        | { kind = Heal; _ } :: _ -> Some j
+        | _ :: rest -> find_heal (j + 1) rest
+      in
+      let this =
+        match find_heal (i + 1) rest with
+        | Some j ->
+          [ { t with events = List.filteri (fun k _ -> k <> i && k <> j) t.events } ]
+        | None -> []
+      in
+      this @ pairs (i + 1) rest
+    | _ :: rest -> pairs (i + 1) rest
+  in
+  pairs 0 t.events
+
 let shrink t =
-  let dedup candidates =
-    List.filter (fun c -> not (equal c t)) candidates
-  in
-  let drops =
-    List.mapi (fun i _ -> { t with events = drop_nth i t.events }) t.events
-  in
+  let dedup candidates = List.filter (fun c -> not (equal c t)) candidates in
+  let drops = List.mapi (fun i _ -> { t with events = drop_nth i t.events }) t.events in
+  let pair_drops = drop_partition_heal_pairs t in
   let fewer_txs =
     if t.txs > 1 then [ { t with txs = 1 }; { t with txs = t.txs - 1 } ] else []
   in
@@ -108,9 +221,22 @@ let shrink t =
         seen := c :: !seen;
         true
       end)
-    (dedup (drops @ fewer_txs @ fewer_servers @ [ halve_times t; halve_delays t ]))
+    (dedup
+       (pair_drops @ drops @ fewer_txs @ fewer_servers
+       @ [ halve_times t; halve_windows t; halve_delays t ]))
 
 (* ---- printing ---- *)
+
+let pp_groups ppf groups =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+       (fun ppf g ->
+         Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf i -> Format.fprintf ppf "S%d" i)
+           ppf g))
+    groups
 
 let pp_event ppf e =
   match e.kind with
@@ -119,6 +245,14 @@ let pp_event ppf e =
   | Delay (i, d) ->
     Format.fprintf ppf "@%a delay S%d deliveries by %a" Sim.Sim_time.pp_span e.at i
       Sim.Sim_time.pp_span d
+  | Partition groups ->
+    Format.fprintf ppf "@%a partition %a" Sim.Sim_time.pp_span e.at pp_groups groups
+  | Heal -> Format.fprintf ppf "@%a heal" Sim.Sim_time.pp_span e.at
+  | Drop_window { prob; until } ->
+    Format.fprintf ppf "@%a drop %.0f%% of messages until %a" Sim.Sim_time.pp_span e.at
+      (prob *. 100.) Sim.Sim_time.pp_span until
+  | Duplicate_next i ->
+    Format.fprintf ppf "@%a duplicate next message to S%d" Sim.Sim_time.pp_span e.at i
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%d servers, %d tx (one every %a)" t.servers t.txs

@@ -15,6 +15,22 @@ type event_kind =
           back by the given duration (order preserved; see
           {!Gcs.Delivery_delay}). A later [Delay] event replaces the
           hold. No-op for techniques without a delivery gate. *)
+  | Partition of int list list
+      (** split the network into the given groups of server indices;
+          servers listed in no group form an implicit extra group.
+          Canonicalised by {!make}: groups sorted, deduplicated, empty
+          groups removed. A later [Partition] replaces the cut. *)
+  | Heal
+      (** restore full connectivity (clears partitions and blocked links;
+          see {!Net.Network.heal}). *)
+  | Drop_window of { prob : float; until : Sim.Sim_time.span }
+      (** from this instant until offset [until], every message is lost
+          independently with probability [prob] (overrides the configured
+          drop probability; see {!Net.Network.set_drop}). [make] clamps
+          [prob] to [0, 1] and [until] to at least the event time. *)
+  | Duplicate_next of int
+      (** deliver the next message transmitted to server [i] twice —
+          exactly-once delivery must deduplicate it. *)
 
 type event = { at : Sim.Sim_time.span; kind : event_kind }
 (** [at] is an offset from the start of the run ([t = 0]). *)
@@ -28,18 +44,22 @@ type t = {
 
 val make : servers:int -> txs:int -> spacing:Sim.Sim_time.span -> event list -> t
 (** Builds a schedule, sorting the events into the canonical order (by
-    time, then kind, then server) so that structurally equal schedules
-    compare equal and replay identically. Events that name a server
-    outside [0 .. servers-1] are dropped. *)
+    time, then kind, then kind-specific payload) so that structurally
+    equal schedules compare equal and replay identically. Events that
+    name a server outside [0 .. servers-1] are dropped; partitions are
+    restricted to in-range servers (and dropped if nothing remains);
+    drop-window probabilities are clamped to [0, 1]. *)
 
 val event_count : t -> int
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
 val shrink : t -> t list
-(** Shrink candidates, most aggressive first: drop each event in turn,
-    reduce the transaction count, remove a server (dropping its events),
-    halve every event time, and halve every delivery delay. The explorer
+(** Shrink candidates, most aggressive first: drop each
+    partition-and-following-heal pair as one unit, drop each event in
+    turn, reduce the transaction count, remove a server (dropping its
+    events), halve every event time, shorten every drop window towards
+    its opening instant, and halve every delivery delay. The explorer
     greedily re-runs candidates and keeps the first that still fails, so
     the order here biases towards structurally smaller counterexamples. *)
 

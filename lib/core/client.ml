@@ -1,8 +1,10 @@
+type response = Replied of Db.Testable_tx.outcome | Gave_up
+
 type pending = {
   tx : Db.Transaction.t;
   mutable attempts : int;
   mutable answered : bool;
-  on_outcome : Db.Testable_tx.outcome -> unit;
+  on_outcome : response -> unit;
 }
 
 type t = {
@@ -15,6 +17,7 @@ type t = {
   mutable next_delegate : int;
   mutable completed : int;
   mutable retries : int;
+  mutable gave_up : int;
 }
 
 (* Client node indexes live above the server range so they never collide. *)
@@ -28,7 +31,7 @@ let handle_reply t tx_id outcome =
       p.answered <- true;
       Hashtbl.remove t.pending tx_id;
       t.completed <- t.completed + 1;
-      p.on_outcome outcome
+      p.on_outcome (Replied outcome)
     end
 
 let create sys ~index ?(retry_timeout = Sim.Sim_time.span_ms 500.) ?(max_attempts = 10) () =
@@ -48,6 +51,7 @@ let create sys ~index ?(retry_timeout = Sim.Sim_time.span_ms 500.) ?(max_attempt
       next_delegate = index mod System.n_servers sys;
       completed = 0;
       retries = 0;
+      gave_up = 0;
     }
   in
   Net.Endpoint.add_handler endpoint (fun message ->
@@ -73,7 +77,15 @@ let rec attempt t p ~delegate =
                 transaction record instead of running it twice. *)
              attempt t p ~delegate:((delegate + 1) mod System.n_servers t.sys)
            end
-           else Hashtbl.remove t.pending p.tx.Db.Transaction.id
+           else begin
+             (* Out of attempts: tell the caller explicitly instead of
+                going silent — an application cannot distinguish "still
+                retrying" from "abandoned" on its own. *)
+             p.answered <- true;
+             Hashtbl.remove t.pending p.tx.Db.Transaction.id;
+             t.gave_up <- t.gave_up + 1;
+             p.on_outcome Gave_up
+           end
          end))
 
 let submit t ?delegate tx ~on_outcome =
@@ -92,4 +104,5 @@ let submit t ?delegate tx ~on_outcome =
 let node_id t = Net.Endpoint.id t.endpoint
 let completed t = t.completed
 let retries t = t.retries
+let gave_up t = t.gave_up
 let in_flight t = Hashtbl.length t.pending

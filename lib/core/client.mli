@@ -10,6 +10,14 @@
 
 type t
 
+type response =
+  | Replied of Db.Testable_tx.outcome  (** a server answered. *)
+  | Gave_up
+      (** [max_attempts] attempts all timed out; the transaction's true
+          outcome is unknown to this client (it may still have committed
+          server-side — resubmitting the same id later is safe thanks to
+          testable transactions). *)
+
 val create :
   System.t ->
   index:int ->
@@ -22,17 +30,20 @@ val create :
     to 10. *)
 
 val submit :
-  t -> ?delegate:int -> Db.Transaction.t -> on_outcome:(Db.Testable_tx.outcome -> unit) -> unit
+  t -> ?delegate:int -> Db.Transaction.t -> on_outcome:(response -> unit) -> unit
 (** [submit c tx ~on_outcome] sends [tx] to [delegate] (default: round
-    robin) and calls [on_outcome] exactly once, when a reply arrives —
-    possibly after retries at other servers. After [max_attempts] silent
-    attempts the client gives up and [on_outcome] never fires. *)
+    robin) and calls [on_outcome] exactly once: with [Replied _] when a
+    reply arrives — possibly after retries at other servers — or with
+    [Gave_up] after [max_attempts] silent attempts. *)
 
 val completed : t -> int
 (** Transactions for which an outcome arrived. *)
 
 val retries : t -> int
 (** Resubmissions performed so far (0 when every first attempt answers). *)
+
+val gave_up : t -> int
+(** Transactions abandoned with {!Gave_up} after [max_attempts]. *)
 
 val in_flight : t -> int
 

@@ -30,6 +30,12 @@ type report = {
   classes : (string * Gcs.Process_class.t) list;  (** per-server behaviour class. *)
 }
 
+val divergent_items : System.t -> int
+(** Items whose values differ across the currently serving servers (0 with
+    fewer than two serving servers). Also available inside {!analyse}'s
+    report; exported for the healing-convergence oracle
+    ({!Convergence}). *)
+
 val analyse : System.t -> report
 (** Inspect the system as it stands now. Run the simulation to quiescence
     (e.g. a second or two past the last activity) first, or in-flight work

@@ -104,10 +104,28 @@ let submit t ?on_response ~delegate tx =
 let server_id t i = t.servers.(i).Server.id
 
 let partition t groups =
+  Sim.Trace.record t.trace ~source:"net" ~kind:"partition"
+    [
+      ( "groups",
+        String.concat "|"
+          (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups) );
+    ];
   Net.Network.partition t.network
     (List.map (List.map (fun i -> t.servers.(i).Server.id)) groups)
 
-let heal t = Net.Network.heal t.network
+let heal t =
+  Sim.Trace.record t.trace ~source:"net" ~kind:"heal" [];
+  Net.Network.heal t.network
+
+let set_drop t p =
+  Sim.Trace.record t.trace ~source:"net" ~kind:"drop_window"
+    [ ("prob", match p with Some p -> Printf.sprintf "%.3f" p | None -> "off") ];
+  Net.Network.set_drop t.network p
+
+let duplicate_next t i =
+  Sim.Trace.record t.trace ~source:"net" ~kind:"duplicate_next"
+    [ ("server", string_of_int i) ];
+  Net.Network.duplicate_next t.network t.servers.(i).Server.id
 
 (* Server-side frontend: answer client requests over the network. *)
 let attach_frontends t =

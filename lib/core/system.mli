@@ -49,9 +49,22 @@ val create :
 
 val partition : t -> int list list -> unit
 (** Install a network partition between server groups (by index); servers
-    left out form an implicit last group. *)
+    left out form an implicit last group. Traced as ["partition"]. *)
 
 val heal : t -> unit
+(** Restore full connectivity (removes partitions and blocked links; see
+    {!Net.Network.heal}). Traced as ["heal"]. *)
+
+val set_drop : t -> float option -> unit
+(** Open ([Some p]) or close ([None]) a message-loss window: while open,
+    every message is dropped independently with probability [p],
+    overriding the configured drop probability. Traced as
+    ["drop_window"]. *)
+
+val duplicate_next : t -> int -> unit
+(** Mark server [i] so the next message transmitted to it is delivered
+    twice — the dedup layers (testable transactions, broadcast UID
+    tables) must absorb the duplicate. Traced as ["duplicate_next"]. *)
 
 val engine : t -> Sim.Engine.t
 val network : t -> Net.Network.t

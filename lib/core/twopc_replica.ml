@@ -65,18 +65,22 @@ let coordinator_decide t tx_id commit =
       if commit then begin
         Db.Db_engine.install_writes (db t) c.c_writes;
         record_outcome t tx_id Db.Testable_tx.Committed;
-        (* Force the decision record, then answer: 2-safety's point is that
-           the acknowledgement implies durable preparation everywhere and a
-           durable decision here. *)
+        (* Force the decision record, then answer AND only then tell the
+           participants: 2-safety's point is that the acknowledgement
+           implies durable preparation everywhere and a durable decision
+           here — and presumed abort is only sound if no participant can
+           hold a commit decision this coordinator's recovery would deny.
+           Sending before the flush let a crash in the window commit the
+           transaction on the participants and abort it here. *)
         Db.Db_engine.log_commit (db t) ~tx:tx_id ~decision:Db.Certifier.Commit ~writes:c.c_writes
           ~k:
             (guard t (fun () ->
                  tr t "respond" [ ("tx", string_of_int tx_id); ("outcome", "committed") ];
-                 c.c_respond Db.Testable_tx.Committed));
+                 c.c_respond Db.Testable_tx.Committed;
+                 List.iter
+                   (fun p -> send t p (Tpc_decision { tx_id; commit = true; writes = c.c_writes }))
+                   t.others));
         Db.Db_engine.write_io (db t) ~count:(List.length c.c_writes) ~factor:1.0 ~k:(fun () -> ());
-        List.iter
-          (fun p -> send t p (Tpc_decision { tx_id; commit = true; writes = c.c_writes }))
-          t.others;
         release ()
       end
       else begin
@@ -189,15 +193,21 @@ let handle_decision t tx_id commit writes =
 
 let handle_decision_req t src tx_id =
   match Db.Testable_tx.find t.view tx_id with
-  | Some Db.Testable_tx.Committed ->
-    let writes =
+  | Some Db.Testable_tx.Committed -> begin
+      (* Answer commits from the durable WAL only: between deciding and
+         forcing the commit record, the write set is not yet on disk, and
+         replying with an empty write set would let the requester commit
+         the transaction without its writes (and ignore the real decision
+         as a duplicate). Staying silent is safe — the requester polls
+         again, and the record is durable by the time we respond to the
+         client. *)
       match
         List.find_opt (fun r -> r.Db.Db_engine.w_tx = tx_id) (Db.Db_engine.wal_records (db t))
       with
-      | Some r -> r.Db.Db_engine.w_writes
-      | None -> []
-    in
-    send t src (Tpc_decision { tx_id; commit = true; writes })
+      | Some r ->
+        send t src (Tpc_decision { tx_id; commit = true; writes = r.Db.Db_engine.w_writes })
+      | None -> ()
+    end
   | Some Db.Testable_tx.Aborted -> send t src (Tpc_decision { tx_id; commit = false; writes = [] })
   | None -> () (* still undecided here; the requester retries *)
 
@@ -249,7 +259,7 @@ let resolve_in_doubt t =
     (fun tx_id record -> send t (node_of_index t record.p_coord) (Tpc_decision_req { tx_id }))
     t.prepared
 
-let recover t =
+let rec recover t =
   Db.Db_engine.recover_now (db t);
   Db.Testable_tx.replace t.view (Db.Testable_tx.to_list (Db.Db_engine.testable (db t)));
   Hashtbl.reset t.prepared;
@@ -277,6 +287,9 @@ let recover t =
     (Store.Stable_storage.durable_records t.prepared_log);
   t.ready <- true;
   resolve_in_doubt t;
+  arm_in_doubt_retry t
+
+and arm_in_doubt_retry t =
   Sim.Process.periodic t.server.Server.process ~every:(Sim.Sim_time.span_ms 500.) (fun () ->
       if Hashtbl.length t.prepared > 0 then resolve_in_doubt t)
 
@@ -337,6 +350,10 @@ let create server ~group ~params ?(lock_timeout = Sim.Sim_time.span_ms 300.)
       Hashtbl.reset t.prepared;
       Db.Testable_tx.reset t.view);
   Sim.Process.on_restart server.Server.process (fun () -> recover t);
+  (* A participant whose decision message is lost on the wire must not stay
+     in-doubt forever: poll the coordinator while anything is prepared but
+     undecided, crash or no crash. *)
+  arm_in_doubt_retry t;
   t
 
 let committed t id =

@@ -70,6 +70,7 @@ struct
     mutable view_hooks : (View.t -> unit) list;
     fd : Failure_detector.t;
     delivery_delay : Delivery_delay.t;
+    mutable retransmit : Retransmit.t option;  (* set right after [create]'s record *)
   }
 
   let recovering t = t.recovering
@@ -124,7 +125,12 @@ struct
     match value with
     | None -> ()
     | Some entry ->
-      Uid_tbl.remove t.unstable entry.LV.uid;
+      if Uid_tbl.mem t.unstable entry.LV.uid then begin
+        Uid_tbl.remove t.unstable entry.LV.uid;
+        (* One of our own broadcasts got ordered: the path is making
+           progress, so retransmission restarts from the base interval. *)
+        Option.iter Retransmit.progress t.retransmit
+      end;
       Delivery_delay.gate t.delivery_delay (fun () -> deliver_entry t entry)
 
   let fresh_uid t =
@@ -174,14 +180,10 @@ struct
       broadcast_entry t
         (LV.View_evt { joined = [ Net.Node_id.index (Net.Endpoint.id t.ep) ]; left = [] })
 
-  let retransmit_interval = Sim.Sim_time.span_ms 100.
   let join_retry_interval = Sim.Sim_time.span_ms 50.
   let cold_start_grace = Sim.Sim_time.span_ms 10.
 
-  let arm_retransmit t =
-    Sim.Process.periodic (Net.Endpoint.process t.ep) ~every:retransmit_interval (fun () ->
-        if not t.recovering then
-          Uid_tbl.iter (fun _ entry -> Log.propose t.log entry) t.unstable)
+  let arm_retransmit t = Option.iter Retransmit.arm t.retransmit
 
   (* Volatile rejoin: ask peers for a snapshot; a live one answers with its
      application state and delivery position. If every peer answers that it
@@ -291,8 +293,18 @@ struct
         view_hooks = [];
         fd;
         delivery_delay;
+        retransmit = None;
       }
     in
+    let engine = Net.Network.engine (Net.Endpoint.network ep) in
+    t.retransmit <-
+      Some
+        (Retransmit.create
+           ~process:(Net.Endpoint.process ep)
+           ~rng:(Sim.Rng.split (Sim.Engine.rng engine))
+           ~pending:(fun () -> (not t.recovering) && Uid_tbl.length t.unstable > 0)
+           ~action:(fun () -> Uid_tbl.iter (fun _ entry -> Log.propose t.log entry) t.unstable)
+           ());
     Log.on_decide log (on_log_decide t);
     Failure_detector.on_change fd (fun () -> propose_view_repairs t);
     Net.Endpoint.add_handler ep (handle_message t);

@@ -30,6 +30,7 @@ module Make (V : Replicated_log.VALUE) = struct
     mutable next_seq : int;
     mutable delivered : int;
     delivery_delay : Delivery_delay.t;
+    mutable retransmit : Retransmit.t option;  (* set right after [create]'s record *)
   }
 
   let delivered_count t = t.delivered
@@ -52,7 +53,10 @@ module Make (V : Replicated_log.VALUE) = struct
     match value with
     | None -> ()
     | Some entry ->
-      Uid_tbl.remove t.unstable entry.LV.uid;
+      if Uid_tbl.mem t.unstable entry.LV.uid then begin
+        Uid_tbl.remove t.unstable entry.LV.uid;
+        Option.iter Retransmit.progress t.retransmit
+      end;
       Delivery_delay.gate t.delivery_delay (fun () -> deliver_decided t ~slot entry)
 
   let ack t token =
@@ -72,11 +76,7 @@ module Make (V : Replicated_log.VALUE) = struct
     Uid_tbl.replace t.unstable uid entry;
     Log.propose t.log entry
 
-  let retransmit_interval = Sim.Sim_time.span_ms 100.
-
-  let arm_retransmit t =
-    Sim.Process.periodic (Net.Endpoint.process t.ep) ~every:retransmit_interval (fun () ->
-        Uid_tbl.iter (fun _ entry -> Log.propose t.log entry) t.unstable)
+  let arm_retransmit t = Option.iter Retransmit.arm t.retransmit
 
   let create ep ~group ~disk ~write_time ?fd_config ?(delivery_delay = Delivery_delay.pass)
       ~deliver () =
@@ -98,8 +98,16 @@ module Make (V : Replicated_log.VALUE) = struct
         next_seq = 0;
         delivered = 0;
         delivery_delay;
+        retransmit = None;
       }
     in
+    t.retransmit <-
+      Some
+        (Retransmit.create ~process:(Net.Endpoint.process ep)
+           ~rng:(Sim.Rng.split (Sim.Engine.rng engine))
+           ~pending:(fun () -> Uid_tbl.length t.unstable > 0)
+           ~action:(fun () -> Uid_tbl.iter (fun _ entry -> Log.propose t.log entry) t.unstable)
+           ());
     Log.on_decide log (on_log_decide t);
     let process = Net.Endpoint.process ep in
     Sim.Process.on_kill process (fun () ->

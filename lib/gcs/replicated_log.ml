@@ -74,6 +74,7 @@ module Make (V : VALUE) = struct
     mutable max_round : int;
     pending : V.t Queue.t;
     mutable deliver_hook : slot:int -> V.t option -> unit;
+    mutable accept_rt : Retransmit.t option;  (* set right after [create]'s record *)
   }
 
   let id m = m.self
@@ -139,6 +140,21 @@ module Make (V : VALUE) = struct
        single process that then fails — exactly what uniform agreement
        rules out. *)
     if not m.uniform then add_chosen m slot e
+
+  (* An [Accept] (or its [Accept_ok]) lost to the network would strand its
+     slot forever: the leader keeps the entry in-flight, but only a {e new}
+     leader's prepare round re-proposes unchosen slots, and a stable leader
+     never runs one — every later slot then gets chosen above a hole nothing
+     can deliver past. The retransmit driver re-broadcasts every in-flight
+     accept; acceptors treat a repeat of an already-promised ballot
+     idempotently and simply re-send their [Accept_ok]. *)
+  let resend_inflight m =
+    match m.leadership with
+    | Leading l ->
+      Hashtbl.fold (fun slot (e, _) acc -> (slot, e) :: acc) l.l_inflight []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> List.iter (fun (slot, e) -> broadcast m (Accept { b = l.l_ballot; slot; e }))
+    | Preparing _ | Follower -> ()
 
   let assign_and_send m (l : leading_state) e =
     let slot = l.l_next_slot in
@@ -288,6 +304,7 @@ module Make (V : VALUE) = struct
             voters := voter :: !voters;
             if List.length !voters >= m.quorum then begin
               Hashtbl.remove l.l_inflight slot;
+              Option.iter Retransmit.progress m.accept_rt;
               add_chosen m slot e;
               broadcast m (Chosen { slot; e })
             end
@@ -497,16 +514,31 @@ module Make (V : VALUE) = struct
         max_round = 0;
         pending = Queue.create ();
         deliver_hook = (fun ~slot:_ _ -> ());
+        accept_rt = None;
       }
     in
     Net.Endpoint.add_handler ep (handle_message m);
     Failure_detector.on_change fd (fun () -> election_check m);
     let process = Net.Endpoint.process ep in
+    m.accept_rt <-
+      Some
+        (Retransmit.create ~process
+           ~rng:(Sim.Rng.split (Sim.Engine.rng engine))
+           ~pending:(fun () ->
+             m.status = Active
+             &&
+             match m.leadership with
+             | Leading l -> Hashtbl.length l.l_inflight > 0
+             | Preparing _ | Follower -> false)
+           ~action:(fun () -> resend_inflight m)
+           ());
     Sim.Process.on_kill process (fun () -> handle_kill m);
     Sim.Process.on_restart process (fun () ->
         handle_restart m;
-        arm_housekeeping m);
+        arm_housekeeping m;
+        Option.iter Retransmit.arm m.accept_rt);
     arm_housekeeping m;
+    Option.iter Retransmit.arm m.accept_rt;
     (* Defer the first election until every member of the run is built. *)
     ignore (Sim.Process.after process (Sim.Sim_time.span_ms 1.) (fun () -> election_check m));
     m

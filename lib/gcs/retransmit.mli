@@ -1,0 +1,63 @@
+(** Shared retransmission driver for the broadcast primitives.
+
+    Both atomic-broadcast implementations keep a table of entries that were
+    broadcast but not yet seen ordered, and re-propose them periodically so
+    a message survives leader changes and lost protocol traffic. A fixed
+    retransmission period is a liability under injected message loss: every
+    member that lost the same decision round retries on the same beat, and
+    the synchronized retry burst is itself the most likely traffic to be
+    lost again (cf. Ring Paxos's analysis of loss-dominated broadcast).
+
+    This driver replaces the fixed loops with {b exponential backoff}: each
+    silent round (the pending table still non-empty) multiplies the
+    interval, up to a cap, and every tick adds a little {b seeded jitter}
+    so members drift apart instead of flooding in phase. Progress — an
+    entry leaving the pending table, reported via {!progress} — resets the
+    interval to the base, as does an empty table; steady state therefore
+    behaves exactly like the old fixed loop.
+
+    Deterministic per RNG stream: the jitter draws come from the generator
+    given at {!create}, so replays with the same seeds tick at the same
+    virtual instants. *)
+
+type config = {
+  base : Sim.Sim_time.span;  (** first-retry interval (the old fixed period). *)
+  cap : Sim.Sim_time.span;  (** backoff ceiling. *)
+  multiplier : float;  (** interval growth per silent round ([>= 1.]). *)
+  jitter : float;
+      (** each tick is delayed by an extra uniform fraction of the current
+          interval in [\[0, jitter)] — the desynchronizer. [0.] disables. *)
+}
+
+val default : config
+(** 100 ms base (the historical fixed period), 800 ms cap, doubling,
+    10% jitter. *)
+
+type t
+
+val create :
+  ?config:config ->
+  process:Sim.Process.t ->
+  rng:Sim.Rng.t ->
+  pending:(unit -> bool) ->
+  action:(unit -> unit) ->
+  unit ->
+  t
+(** [create ~process ~rng ~pending ~action ()] builds a driver that, while
+    armed, periodically checks [pending ()] and, when true, runs
+    [action ()] and backs the interval off; when false the interval resets
+    to [config.base]. All timers are guarded by [process]: a crash silences
+    the loop, and the owner re-arms it from its restart hook. *)
+
+val arm : t -> unit
+(** Start (or restart, after a crash) the retransmission loop for the
+    process's current incarnation. Resets the interval to the base. *)
+
+val progress : t -> unit
+(** Tell the driver the protocol moved (an entry left the pending table):
+    the next tick fires one base interval after the progress point rather
+    than at the backed-off horizon. *)
+
+val current_interval : t -> Sim.Sim_time.span
+(** The interval the next silent round will schedule with (before jitter);
+    observable for tests. *)

@@ -144,6 +144,19 @@ val explore : ?seed:int64 -> ?budget:int -> unit -> bool
     [seed] (default 42); [budget] (default 500) is the schedule count per
     certification, a quarter of it per violation sweep. *)
 
+val nemesis :
+  ?seed:int64 -> ?budget:int -> ?counterexample_path:string -> unit -> bool
+(** The nemesis acceptance run: [budget] (default 500) seeded storms of
+    combined crashes, minority partitions, loss windows and duplicated
+    deliveries per configuration, each certified loss-free {e and}
+    convergent after healing, for the end-to-end (2-safe) and eager-2PC
+    configurations; plus the directed minority-stall scenario on
+    group-safe ({!Check.Explorer.minority_stall}). On failure the shrunk
+    counterexample and its full trace are written to
+    [counterexample_path] (default ["nemesis-counterexample.txt"]) for CI
+    artifact upload. [true] iff every check passed; deterministic per
+    [seed] (default 42). *)
+
 val all : ?seed:int64 -> ?fast:bool -> unit -> unit
 (** Run everything in paper order. [fast] (default false) shrinks the
     Fig. 9 sweep for quick smoke runs. *)

@@ -22,9 +22,14 @@ type t = {
      share the implicit group [-1]. *)
   mutable groups : (int, int) Hashtbl.t option;
   blocked_links : (int * int, unit) Hashtbl.t;
+  (* Overrides config.drop_probability while set (the nemesis loss window). *)
+  mutable drop_override : float option;
+  (* Destinations whose next transmitted message is delivered twice. *)
+  duplicate_next_to : (int, unit) Hashtbl.t;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable duplicated : int;
 }
 
 let create engine config =
@@ -35,9 +40,12 @@ let create engine config =
     nodes = Hashtbl.create 32;
     groups = None;
     blocked_links = Hashtbl.create 8;
+    drop_override = None;
+    duplicate_next_to = Hashtbl.create 4;
     sent = 0;
     delivered = 0;
     dropped = 0;
+    duplicated = 0;
   }
 
 let engine net = net.engine
@@ -66,9 +74,27 @@ let partition net groups =
   List.iteri (fun g nodes -> List.iter (fun n -> Hashtbl.replace tbl (Node_id.index n) g) nodes) groups;
   net.groups <- Some tbl
 
-let heal net = net.groups <- None
+(* A heal restores full connectivity: the partition goes away and so do
+   individually blocked links. Schedule replay depends on this — a [Heal]
+   event must leave no residual unreachability behind, whichever primitive
+   installed it. Use [unblock_link] for link-granular repair. *)
+let heal net =
+  net.groups <- None;
+  Hashtbl.reset net.blocked_links
+
 let block_link net a b = Hashtbl.replace net.blocked_links (link_key a b) ()
 let unblock_link net a b = Hashtbl.remove net.blocked_links (link_key a b)
+
+let set_drop net p =
+  (match p with
+  | Some p when p < 0. || p > 1. -> invalid_arg "Network.set_drop: probability outside [0, 1]"
+  | Some _ | None -> ());
+  net.drop_override <- p
+
+let drop_probability net =
+  match net.drop_override with Some p -> p | None -> net.config.drop_probability
+
+let duplicate_next net dst = Hashtbl.replace net.duplicate_next_to (Node_id.index dst) ()
 
 (* Delivery at the receiver: check the receiver is up and reachable at the
    delivery instant, charge receive CPU if configured, then hand over. *)
@@ -92,10 +118,23 @@ let deliver net message =
 
 let transmit net ~src ~dst payload =
   net.sent <- net.sent + 1;
-  if Sim.Rng.bool net.rng net.config.drop_probability then net.dropped <- net.dropped + 1
+  if Sim.Rng.bool net.rng (drop_probability net) then net.dropped <- net.dropped + 1
   else begin
     let message = { Message.src; dst; sent_at = Sim.Engine.now net.engine; payload } in
-    ignore (Sim.Engine.schedule net.engine ~delay:net.config.transit (fun () -> deliver net message))
+    ignore (Sim.Engine.schedule net.engine ~delay:net.config.transit (fun () -> deliver net message));
+    (* A marked destination receives this message twice: the duplicate
+       trails one extra transit behind the original, like a retransmitted
+       frame overtaken by the repaired path. Consumed even if the copies are
+       later dropped at delivery (receiver down, partition). *)
+    let dst_index = Node_id.index dst in
+    if Hashtbl.mem net.duplicate_next_to dst_index then begin
+      Hashtbl.remove net.duplicate_next_to dst_index;
+      net.duplicated <- net.duplicated + 1;
+      ignore
+        (Sim.Engine.schedule net.engine
+           ~delay:(Sim.Sim_time.span_add net.config.transit net.config.transit)
+           (fun () -> deliver net message))
+    end
   end
 
 (* Sends are charged to the sender's CPU (one charge per send or per
@@ -120,3 +159,4 @@ let broadcast net ~src ~to_ payload =
 let messages_sent net = net.sent
 let messages_delivered net = net.delivered
 let messages_dropped net = net.dropped
+let messages_duplicated net = net.duplicated

@@ -55,7 +55,10 @@ val partition : t -> Node_id.t list list -> unit
     implicit final group. *)
 
 val heal : t -> unit
-(** Removes any partition (blocked links stay blocked). *)
+(** Restores full connectivity: removes the partition {e and} clears every
+    individually blocked link, so no residual unreachability survives a
+    heal whichever primitive installed it. For link-granular repair use
+    {!unblock_link} instead. *)
 
 val block_link : t -> Node_id.t -> Node_id.t -> unit
 (** [block_link net a b] drops messages between [a] and [b] (both
@@ -67,6 +70,24 @@ val unblock_link : t -> Node_id.t -> Node_id.t -> unit
 val reachable : t -> Node_id.t -> Node_id.t -> bool
 (** Whether the current partition lets [src] reach [dst]. *)
 
+val set_drop : t -> float option -> unit
+(** [set_drop net (Some p)] overrides the configured per-message drop
+    probability with [p] — the nemesis loss window. [set_drop net None]
+    reverts to [config.drop_probability].
+    @raise Invalid_argument if [p] is outside [\[0, 1\]]. *)
+
+val drop_probability : t -> float
+(** The drop probability currently in force (override or configured). *)
+
+val duplicate_next : t -> Node_id.t -> unit
+(** [duplicate_next net dst] marks [dst] so its next transmitted (i.e. not
+    lost at send time) message is delivered twice, the duplicate one extra
+    transit behind the original. The mark is consumed by that transmission
+    even if delivery itself later fails. *)
+
 val messages_sent : t -> int
 val messages_delivered : t -> int
 val messages_dropped : t -> int
+
+val messages_duplicated : t -> int
+(** Number of extra deliveries scheduled by {!duplicate_next}. *)

@@ -238,6 +238,158 @@ let test_read_only_commit_not_lost () =
   check_int "counted as an acked commit" 1 report.Safety_checker.acked_commits;
   check_int "but never lost" 0 (List.length report.Safety_checker.lost)
 
+(* ---- Nemesis: network-fault schedules and healing convergence ---- *)
+
+let partition_ev groups at = { S.at; kind = S.Partition groups }
+let heal_ev at = { S.at; kind = S.Heal }
+let window prob at until = { S.at; kind = S.Drop_window { prob; until } }
+let dup i at = { S.at; kind = S.Duplicate_next i }
+let us = Sim.Sim_time.span_us
+
+let test_nemesis_shrink_candidates () =
+  let s =
+    S.make ~servers:3 ~txs:2 ~spacing:(ms 5.)
+      [
+        partition_ev [ [ 1 ] ] (ms 2.);
+        heal_ev (ms 8.);
+        window 0.5 (ms 1.) (ms 9.);
+        crash 0 (ms 3.);
+      ]
+  in
+  let candidates = S.shrink s in
+  check_bool "drops the partition-heal pair as one fault" true
+    (List.exists
+       (fun c ->
+         S.event_count c = 2
+         && List.for_all
+              (fun e ->
+                match e.S.kind with S.Partition _ | S.Heal -> false | _ -> true)
+              c.S.events)
+       candidates);
+  check_bool "halves a loss window towards its opening edge" true
+    (List.exists
+       (fun c ->
+         List.exists
+           (fun e ->
+             match e.S.kind with
+             | S.Drop_window { until; _ } -> Sim.Sim_time.span_to_us until = 5_000
+             | _ -> false)
+           c.S.events)
+       candidates)
+
+let test_nemesis_universe_gated () =
+  let technique = System.Dsm Dsm_replica.Group_safe_mode in
+  let count cfg =
+    Seq.fold_left
+      (fun n _ -> n + 1)
+      0
+      (E.exhaustive cfg ~slots:[ ms 2. ] ~max_events:1 ~recoveries:false)
+  in
+  check_int "crash-only universe without nemesis" 3
+    (count (E.default_config ~predicate:E.Any_loss technique));
+  (* 3 crashes + 3 single-server partitions + 1 heal + 3 duplicate marks. *)
+  check_int "network faults join the universe under nemesis" 10
+    (count (E.default_config ~predicate:E.Any_loss ~nemesis:true technique))
+
+let nemesis_certify technique =
+  let r =
+    E.explore ~seed:42L ~budget:500 ~max_exhaustive_events:0 ~max_random_events:3
+      (E.default_config ~predicate:E.Any_loss ~nemesis:true technique)
+  in
+  check_int "full budget explored" 500 r.E.runs;
+  check_bool "every storm loss-free and convergent" true (Option.is_none r.E.counterexample)
+
+let test_nemesis_certify_e2e () = nemesis_certify (System.Dsm Dsm_replica.Two_safe_mode)
+let test_nemesis_certify_twopc () = nemesis_certify System.Two_pc
+
+let test_nemesis_explore_deterministic () =
+  let cfg =
+    E.default_config ~predicate:E.Any_loss ~nemesis:true (System.Dsm Dsm_replica.Group_safe_mode)
+  in
+  let r1 = E.explore ~seed:7L ~budget:100 ~max_exhaustive_events:0 ~max_random_events:3 cfg in
+  let r2 = E.explore ~seed:7L ~budget:100 ~max_exhaustive_events:0 ~max_random_events:3 cfg in
+  Alcotest.(check string) "rendered reports byte-identical" (E.render_result r1)
+    (E.render_result r2);
+  match (r1.E.counterexample, r2.E.counterexample) with
+  | None, None -> ()
+  | Some a, Some b ->
+    Alcotest.(check string) "full traces byte-identical" a.E.outcome.E.trace b.E.outcome.E.trace
+  | _ -> Alcotest.fail "explorations disagreed on finding a counterexample"
+
+let test_minority_stall_verdict () =
+  let cfg =
+    E.default_config ~predicate:E.Any_loss ~nemesis:true (System.Dsm Dsm_replica.Group_safe_mode)
+  in
+  let o = E.minority_stall cfg in
+  check_int "no acks from the cut-off minority" 0 o.E.minority_acked_during;
+  check_bool "nothing applied behind the partition" false o.E.minority_applied_during;
+  check_bool "majority kept committing" true o.E.majority_committed_during;
+  check_bool "minority transaction resumed after heal" true o.E.resumed;
+  check_bool "healing convergence certified" true o.E.verdict.Convergence.converged;
+  check_bool "overall verdict" true o.E.ok
+
+(* Regression: an [Accept] whose replies straddle a loss window and a
+   partition must not strand its slot forever (the leader retransmits
+   in-flight accepts). This is the shrunk storm that used to wedge the
+   end-to-end configuration: every later slot was chosen above the hole
+   and nothing could deliver past it. *)
+let test_stuck_accept_repaired () =
+  let cfg =
+    E.default_config ~predicate:E.Any_loss ~nemesis:true (System.Dsm Dsm_replica.Two_safe_mode)
+  in
+  let schedule =
+    S.make ~servers:3 ~txs:2 ~spacing:(ms 5.)
+      [ window 0.384 (us 593) (us 6_801); partition_ev [ [ 1 ] ] (us 14_356) ]
+  in
+  let o = E.run cfg schedule in
+  check_bool "storm survived" false o.E.failed;
+  match o.E.converge with
+  | Some v ->
+    check_bool "probe committed" true v.Convergence.probe_committed;
+    check_int "no divergence" 0 v.Convergence.divergent_items
+  | None -> Alcotest.fail "nemesis run should carry a convergence verdict"
+
+(* Regression: a coordinator asked for a decision it has made but not yet
+   forced to disk must stay silent, not answer "commit" with an empty
+   write set — the shrunk storm that used to leave the recovered
+   participant committed without the transaction's writes. *)
+let test_twopc_decision_req_answers_from_durable_wal () =
+  let cfg = E.default_config ~predicate:E.Any_loss ~nemesis:true System.Two_pc in
+  let schedule =
+    S.make ~servers:3 ~txs:2 ~spacing:(ms 5.)
+      [ crash 2 (us 27_758); recover 2 (us 42_711) ]
+  in
+  let o = E.run cfg schedule in
+  check_bool "storm survived" false o.E.failed;
+  match o.E.converge with
+  | Some v -> check_int "writes present everywhere" 0 v.Convergence.divergent_items
+  | None -> Alcotest.fail "nemesis run should carry a convergence verdict"
+
+(* Duplicated deliveries are absorbed by testable transactions: each
+   server decides each transaction exactly once however often the network
+   re-delivers. *)
+let test_duplicate_delivery_deduplicated () =
+  let cfg =
+    E.default_config ~predicate:E.Any_loss ~nemesis:true (System.Dsm Dsm_replica.Two_safe_mode)
+  in
+  let schedule =
+    S.make ~servers:3 ~txs:1 ~spacing:(ms 5.)
+      [ dup 0 (ms 0.); dup 1 (ms 0.); dup 2 (ms 0.) ]
+  in
+  let o = E.run ~trace:true cfg schedule in
+  check_bool "storm survived" false o.E.failed;
+  let count_occurrences needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec loop i n =
+      if i + nl > hl then n
+      else if String.sub hay i nl = needle then loop (i + 1) (n + 1)
+      else loop (i + 1) n
+    in
+    loop 0 0
+  in
+  check_int "each server decides the duplicated tx once" 3
+    (count_occurrences "decide tx=0" o.E.trace)
+
 let () =
   Alcotest.run "check"
     [
@@ -265,5 +417,21 @@ let () =
           Alcotest.test_case "amnesiac replica is caught" `Quick test_amnesiac_oracle;
           Alcotest.test_case "read-only commit is never lost" `Quick
             test_read_only_commit_not_lost;
+        ] );
+      ( "nemesis",
+        [
+          Alcotest.test_case "shrinks fault pairs and windows" `Quick
+            test_nemesis_shrink_candidates;
+          Alcotest.test_case "universe gated by config" `Quick test_nemesis_universe_gated;
+          Alcotest.test_case "e2e broadcast survives 500 storms" `Slow test_nemesis_certify_e2e;
+          Alcotest.test_case "eager 2PC survives 500 storms" `Slow test_nemesis_certify_twopc;
+          Alcotest.test_case "deterministic per seed" `Quick test_nemesis_explore_deterministic;
+          Alcotest.test_case "minority partition stalls then converges" `Quick
+            test_minority_stall_verdict;
+          Alcotest.test_case "stuck accept repaired" `Quick test_stuck_accept_repaired;
+          Alcotest.test_case "2PC decision req answers from durable WAL" `Quick
+            test_twopc_decision_req_answers_from_durable_wal;
+          Alcotest.test_case "duplicate delivery deduplicated" `Quick
+            test_duplicate_delivery_deduplicated;
         ] );
     ]

@@ -30,7 +30,8 @@ let test_client_basic_roundtrip () =
   let outcome = ref None in
   Client.submit client (update_tx ~id:0) ~on_outcome:(fun o -> outcome := Some o);
   System.run_for sys (sec 2.);
-  check_bool "committed over the network" true (!outcome = Some Db.Testable_tx.Committed);
+  check_bool "committed over the network" true
+    (!outcome = Some (Client.Replied Db.Testable_tx.Committed));
   check_int "completed" 1 (Client.completed client);
   check_int "no retries needed" 0 (Client.retries client);
   check_int "nothing in flight" 0 (Client.in_flight client)
@@ -42,7 +43,8 @@ let test_client_retries_dead_delegate () =
   let outcome = ref None in
   Client.submit client ~delegate:0 (update_tx ~id:0) ~on_outcome:(fun o -> outcome := Some o);
   System.run_for sys (sec 3.);
-  check_bool "answered by another server" true (!outcome = Some Db.Testable_tx.Committed);
+  check_bool "answered by another server" true
+    (!outcome = Some (Client.Replied Db.Testable_tx.Committed));
   check_bool "retried at least once" true (Client.retries client >= 1)
 
 let test_client_exactly_once_after_lost_reply () =
@@ -69,7 +71,8 @@ let test_client_exactly_once_after_lost_reply () =
      next server. *)
   Client.submit client ~delegate:1 (update_tx ~id:7) ~on_outcome:(fun o -> outcome := Some o);
   System.run_for sys (sec 3.);
-  check_bool "client eventually answered" true (!outcome = Some Db.Testable_tx.Committed);
+  check_bool "client eventually answered" true
+    (!outcome = Some (Client.Replied Db.Testable_tx.Committed));
   (* Exactly once: the value was installed a single time and every live
      replica agrees. *)
   check_bool "committed on survivors" true
@@ -86,11 +89,18 @@ let test_client_gives_up_when_everyone_down () =
     System.crash sys i
   done;
   let client = Client.create sys ~index:0 ~retry_timeout:(ms 100.) ~max_attempts:3 () in
-  let outcome = ref None in
-  Client.submit client (update_tx ~id:0) ~on_outcome:(fun o -> outcome := Some o);
+  let outcome = ref None and fired = ref 0 in
+  Client.submit client (update_tx ~id:0) ~on_outcome:(fun o ->
+      incr fired;
+      outcome := Some o);
   System.run_for sys (sec 2.);
-  check_bool "no outcome" true (!outcome = None);
-  check_int "gave up, nothing in flight" 0 (Client.in_flight client)
+  (* Regression: the client used to abandon the transaction silently,
+     leaving the caller waiting forever. *)
+  check_bool "explicit Gave_up outcome" true (!outcome = Some Client.Gave_up);
+  check_int "outcome fired exactly once" 1 !fired;
+  check_int "gave-up counter" 1 (Client.gave_up client);
+  check_int "gave up, nothing in flight" 0 (Client.in_flight client);
+  check_int "not counted as completed" 0 (Client.completed client)
 
 (* ---- Very-safe mode ---- *)
 

@@ -673,6 +673,94 @@ let test_view_basics () =
   check_int "quorum of 5" 3 (View.quorum 5);
   check_int "quorum of 4" 3 (View.quorum 4)
 
+(* ---- Retransmission driver ---- *)
+
+let retransmit_fixture ?(jitter = 0.) ?(seed = 1L) ~pending () =
+  let e = Sim.Engine.create ~seed () in
+  let p = Sim.Process.create e ~name:"RT" in
+  let fires = ref [] in
+  let config = { Retransmit.base = ms 100.; cap = ms 800.; multiplier = 2.; jitter } in
+  let rt =
+    Retransmit.create ~config ~process:p
+      ~rng:(Sim.Rng.split (Sim.Engine.rng e))
+      ~pending
+      ~action:(fun () -> fires := Sim.Sim_time.to_us (Sim.Engine.now e) :: !fires)
+      ()
+  in
+  (e, p, rt, fun () -> List.rev !fires)
+
+let test_retransmit_backoff_and_cap () =
+  let e, _, rt, fires = retransmit_fixture ~pending:(fun () -> true) () in
+  Retransmit.arm rt;
+  run_for e (sec 3.);
+  (* 100, +200, +400, then capped at +800. *)
+  Alcotest.(check (list int)) "exponential then capped"
+    [ 100_000; 300_000; 700_000; 1_500_000; 2_300_000 ]
+    (fires ());
+  check_int "interval sits at the cap"
+    (Sim.Sim_time.span_to_us (ms 800.))
+    (Sim.Sim_time.span_to_us (Retransmit.current_interval rt))
+
+let test_retransmit_progress_resets () =
+  let e, _, rt, fires = retransmit_fixture ~pending:(fun () -> true) () in
+  Retransmit.arm rt;
+  run_for e (ms 400.);
+  Alcotest.(check (list int)) "backed off" [ 100_000; 300_000 ] (fires ());
+  Retransmit.progress rt;
+  check_int "interval back to base"
+    (Sim.Sim_time.span_to_us (ms 100.))
+    (Sim.Sim_time.span_to_us (Retransmit.current_interval rt));
+  run_for e (ms 250.);
+  (* One base interval after the progress point (t=400), not at the
+     backed-off horizon (t=700) — and the stale pre-progress chain stays
+     dead. *)
+  Alcotest.(check (list int)) "next tick rides the fresh chain"
+    [ 100_000; 300_000; 500_000 ]
+    (fires ())
+
+let test_retransmit_idle_resets_interval () =
+  let busy = ref true in
+  let e, _, rt, fires = retransmit_fixture ~pending:(fun () -> !busy) () in
+  Retransmit.arm rt;
+  run_for e (ms 400.);
+  busy := false;
+  (* The idle tick at t=700 runs no action and resets the interval. *)
+  run_for e (ms 350.);
+  Alcotest.(check (list int)) "no action while idle" [ 100_000; 300_000 ] (fires ());
+  check_int "idle tick reset the interval"
+    (Sim.Sim_time.span_to_us (ms 100.))
+    (Sim.Sim_time.span_to_us (Retransmit.current_interval rt))
+
+let test_retransmit_jitter_deterministic () =
+  let ticks seed =
+    let e, _, rt, fires = retransmit_fixture ~jitter:0.1 ~seed ~pending:(fun () -> true) () in
+    Retransmit.arm rt;
+    run_for e (sec 1.);
+    fires ()
+  in
+  let a = ticks 5L in
+  Alcotest.(check (list int)) "same seed, same instants" a (ticks 5L);
+  check_bool "different seed drifts" true (a <> ticks 6L);
+  (match a with
+   | first :: _ ->
+     check_bool "jitter delays past the base" true (first >= 100_000);
+     check_bool "jitter bounded by the fraction" true (first < 110_000)
+   | [] -> Alcotest.fail "no ticks recorded")
+
+let test_retransmit_crash_silences_until_rearmed () =
+  let e, p, rt, fires = retransmit_fixture ~pending:(fun () -> true) () in
+  Retransmit.arm rt;
+  run_for e (ms 150.);
+  Sim.Process.kill p;
+  run_for e (ms 850.);
+  Alcotest.(check (list int)) "silent while down" [ 100_000 ] (fires ());
+  Sim.Process.restart p;
+  Retransmit.arm rt;
+  run_for e (ms 150.);
+  Alcotest.(check (list int)) "resumes one base interval after re-arm"
+    [ 100_000; 1_100_000 ]
+    (fires ())
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -693,6 +781,14 @@ let () =
         [
           Alcotest.test_case "suspects and recovers" `Quick test_fd_suspects_and_recovers;
           Alcotest.test_case "change hook" `Quick test_fd_change_hook;
+        ] );
+      ( "retransmit",
+        [
+          Alcotest.test_case "backoff and cap" `Quick test_retransmit_backoff_and_cap;
+          Alcotest.test_case "progress resets" `Quick test_retransmit_progress_resets;
+          Alcotest.test_case "idle resets" `Quick test_retransmit_idle_resets_interval;
+          Alcotest.test_case "jitter determinism" `Quick test_retransmit_jitter_deterministic;
+          Alcotest.test_case "crash silences" `Quick test_retransmit_crash_silences_until_rearmed;
         ] );
       ( "replicated_log",
         Alcotest.test_case "orders and agrees" `Quick test_log_orders_and_agrees

@@ -19,8 +19,8 @@ type fixture = {
   received : (int * int) list ref array;
 }
 
-let make_fixture ?(config = Network.lan_config) ?(cpus = false) n =
-  let engine = Sim.Engine.create () in
+let make_fixture ?(config = Network.lan_config) ?(cpus = false) ?seed n =
+  let engine = Sim.Engine.create ?seed () in
   let network = Network.create engine config in
   let ids = Array.init n node in
   let processes = Array.init n (fun i -> Sim.Process.create engine ~name:(Node_id.label ids.(i))) in
@@ -134,6 +134,83 @@ let test_block_link_is_bidirectional_and_specific () =
   Sim.Engine.run f.engine;
   check_bool "restored" true (List.mem (0, 4) !(f.received.(1)))
 
+let test_heal_clears_blocked_links () =
+  let f = make_fixture 3 in
+  (* [heal] must leave full connectivity whichever primitive installed the
+     unreachability: a link-granular block, a partition, or both. *)
+  Network.block_link f.network f.ids.(0) f.ids.(1);
+  Network.partition f.network [ [ f.ids.(2) ] ];
+  Network.heal f.network;
+  check_bool "link unblocked by heal" true (Network.reachable f.network f.ids.(0) f.ids.(1));
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 1);
+  Network.send f.network ~src:f.ids.(2) ~dst:f.ids.(0) (Ping 2);
+  Sim.Engine.run f.engine;
+  check_bool "across former block" true (List.mem (0, 1) !(f.received.(1)));
+  check_bool "across former partition" true (List.mem (2, 2) !(f.received.(0)))
+
+let test_partition_symmetry_and_implicit_group () =
+  let f = make_fixture 4 in
+  (* Nodes absent from every listed group form an implicit final group. *)
+  Network.partition f.network [ [ f.ids.(0) ] ];
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      check_bool
+        (Printf.sprintf "reachability symmetric %d-%d" a b)
+        (Network.reachable f.network f.ids.(b) f.ids.(a))
+        (Network.reachable f.network f.ids.(a) f.ids.(b))
+    done
+  done;
+  check_bool "implicit group intact" true (Network.reachable f.network f.ids.(2) f.ids.(3));
+  check_bool "cut from implicit group" false (Network.reachable f.network f.ids.(0) f.ids.(3));
+  check_bool "self reachable" true (Network.reachable f.network f.ids.(0) f.ids.(0))
+
+let test_drop_window_is_deterministic () =
+  let run seed =
+    let f = make_fixture ~seed 2 in
+    Network.set_drop f.network (Some 0.5);
+    for v = 1 to 40 do
+      Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping v)
+    done;
+    Sim.Engine.run f.engine;
+    (List.rev !(f.received.(1)), Network.messages_dropped f.network)
+  in
+  let a = run 7L in
+  Alcotest.(check (pair (list (pair int int)) int)) "same seed, same fates" a (run 7L);
+  check_bool "window drops some" true (snd a > 0);
+  check_bool "window passes some" true (fst a <> []);
+  check_bool "different seed, different fates" true (a <> run 8L)
+
+let test_set_drop_validates_and_reverts () =
+  let f = make_fixture 2 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Network.set_drop: probability outside [0, 1]") (fun () ->
+      Network.set_drop f.network (Some 1.5));
+  Network.set_drop f.network (Some 1.);
+  Alcotest.(check (float 0.)) "override in force" 1. (Network.drop_probability f.network);
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 1);
+  Network.set_drop f.network None;
+  Alcotest.(check (float 0.)) "reverted to config" Network.lan_config.Network.drop_probability
+    (Network.drop_probability f.network);
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 2);
+  Sim.Engine.run f.engine;
+  Alcotest.(check (list (pair int int))) "only the lossless send arrives" [ (0, 2) ]
+    !(f.received.(1))
+
+let test_duplicate_next_delivers_twice () =
+  let f = make_fixture 2 in
+  Network.duplicate_next f.network f.ids.(1);
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 1);
+  Network.send f.network ~src:f.ids.(0) ~dst:f.ids.(1) (Ping 2);
+  Sim.Engine.run f.engine;
+  (* The mark covers exactly one transmission: the first message arrives
+     twice, the second once. *)
+  check_int "three deliveries" 3 (List.length !(f.received.(1)));
+  check_int "one duplicate scheduled" 1 (Network.messages_duplicated f.network);
+  check_int "first message doubled" 2
+    (List.length (List.filter (fun (_, v) -> v = 1) !(f.received.(1))));
+  check_int "second message single" 1
+    (List.length (List.filter (fun (_, v) -> v = 2) !(f.received.(1))))
+
 let test_drop_probability_one_loses_everything () =
   let config = { Network.lan_config with drop_probability = 1. } in
   let f = make_fixture ~config 2 in
@@ -201,6 +278,12 @@ let () =
           Alcotest.test_case "single link failure" `Quick
             test_block_link_is_bidirectional_and_specific;
           Alcotest.test_case "full loss" `Quick test_drop_probability_one_loses_everything;
+          Alcotest.test_case "heal clears blocked links" `Quick test_heal_clears_blocked_links;
+          Alcotest.test_case "partition symmetry" `Quick
+            test_partition_symmetry_and_implicit_group;
+          Alcotest.test_case "drop window determinism" `Quick test_drop_window_is_deterministic;
+          Alcotest.test_case "set_drop validation" `Quick test_set_drop_validates_and_reverts;
+          Alcotest.test_case "duplicate next" `Quick test_duplicate_next_delivers_twice;
         ] );
       ( "endpoint",
         [

@@ -1,15 +1,25 @@
 (* Benchmark harness.
 
-   Two parts:
+   Three parts:
    1. Regeneration of every table and figure of the paper (the experiment
       index in DESIGN.md) through Harness.Experiment — this prints the same
-      rows/series the paper reports and is the reproduction artefact.
-   2. Bechamel micro-benchmarks of the building blocks (ordering round,
+      rows/series the paper reports and is the reproduction artefact. The
+      sweeps fan out over Parallel.Domain_pool (BENCH_JOBS, default: the
+      recommended domain count) and each section's wall clock and simulated
+      events/sec are recorded.
+   2. A multicore speedup probe: the same fixed Fig. 9 sweep at 1 worker
+      and at 4 workers, wall clocks compared.
+   3. Bechamel micro-benchmarks of the building blocks (ordering round,
       certification, locking, logging, simulation kernel), so performance
       regressions in the substrate are visible independently of the
       simulation results.
 
-   `BENCH_FAST=1 dune exec bench/main.exe` shrinks the Figure 9 sweep. *)
+   `BENCH_FAST=1 dune exec bench/main.exe` shrinks the sweeps.
+   `--json PATH` writes the whole trajectory (micro ns/run, per-section
+   wall clock and events/sec, speedup probe) as BENCH_*.json;
+   `--check-against BASELINE.json` compares the micro-benchmarks against a
+   committed baseline and exits non-zero on a >30% regression.
+   See docs/PERFORMANCE.md for the schema and how to read the numbers. *)
 
 open Bechamel
 open Toolkit
@@ -148,6 +158,7 @@ let micro_tests =
       bench_transaction;
     ]
 
+(* Runs the micro suite and returns [(name, ns_per_run)] sorted by name. *)
 let run_micro () =
   Harness.Report.section "Micro-benchmarks (Bechamel, ns per run)";
   let ols =
@@ -159,27 +170,243 @@ let run_micro () =
   in
   let raw = Benchmark.all cfg instances micro_tests in
   let results = Analyze.all ols (List.hd instances) raw in
-  let rows = ref [] in
+  let measured = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
-      let estimate =
-        match Analyze.OLS.estimates ols_result with
-        | Some (e :: _) -> Printf.sprintf "%.1f" e
-        | Some [] | None -> "-"
-      in
-      rows := [ name; estimate ] :: !rows)
+      match Analyze.OLS.estimates ols_result with
+      | Some (e :: _) -> measured := (name, e) :: !measured
+      | Some [] | None -> ())
     results;
+  let measured = List.sort compare !measured in
   Harness.Report.table ~header:[ "benchmark"; "ns/run" ]
-    (List.sort compare !rows)
+    (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f" ns ]) measured);
+  measured
+
+(* ---- Multicore speedup probe ---- *)
+
+(* The same fixed Fig. 9 sweep at 1 worker and at 4, wall clocks compared:
+   the repo's standing claim that experiment regeneration parallelises.
+   (Tables and CSV are byte-identical across the two runs — that property
+   is asserted by the test suite; here we only measure.) *)
+let speedup_probe ~fast ~restore_jobs () =
+  Harness.Report.section "Multicore speedup probe (fig9 sweep, 1 vs 4 workers)";
+  let loads = [ 20.; 30.; 40. ] in
+  let measure_s = if fast then 5. else 15. in
+  let sweep jobs =
+    Parallel.Domain_pool.set_default_jobs jobs;
+    let csv = Filename.temp_file "groupsafe_probe" ".csv" in
+    let t0 = Unix.gettimeofday () in
+    Harness.Experiment.fig9 ~loads ~measure_s ~replications:2 ~csv_path:csv ();
+    let wall = Unix.gettimeofday () -. t0 in
+    Sys.remove csv;
+    wall
+  in
+  let wall_1 = sweep 1 in
+  let wall_4 = sweep 4 in
+  Parallel.Domain_pool.set_default_jobs restore_jobs;
+  let speedup = if wall_4 > 0. then wall_1 /. wall_4 else 0. in
+  let cores = Domain.recommended_domain_count () in
+  Harness.Report.table ~header:[ "workers"; "wall (s)" ]
+    [
+      [ "1"; Printf.sprintf "%.2f" wall_1 ];
+      [ "4"; Printf.sprintf "%.2f" wall_4 ];
+    ];
+  Harness.Report.note
+    (Printf.sprintf "speedup at 4 workers: %.2fx on a %d-core host" speedup cores);
+  if cores < 4 then
+    Harness.Report.note
+      "(the host has fewer than 4 cores: extra domains only add overhead here; \
+       the probe needs a 4-core machine to show the parallel gain)";
+  ( wall_1,
+    wall_4,
+    speedup,
+    cores,
+    Printf.sprintf "fig9 loads=20/30/40 measure_s=%.0f replications=2" measure_s )
+
+(* ---- BENCH_*.json emission ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~path ~fast ~jobs ~total_wall_s ~timings ~probe ~micro =
+  let wall_1, wall_4, speedup, cores, workload = probe in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"groupsafe-bench/1\",\n";
+  p "  \"fast\": %b,\n" fast;
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"total_wall_s\": %.3f,\n" total_wall_s;
+  p "  \"experiments\": [\n";
+  List.iteri
+    (fun i t ->
+      p "    {\"section\": \"%s\", \"wall_s\": %.3f, \"events\": %d, \"events_per_sec\": %.0f}%s\n"
+        (json_escape t.Harness.Report.section) t.Harness.Report.wall_s t.Harness.Report.events
+        (Harness.Report.events_per_sec t)
+        (if i < List.length timings - 1 then "," else ""))
+    timings;
+  p "  ],\n";
+  p "  \"speedup_probe\": {\"workload\": \"%s\", \"host_cores\": %d, \"wall_s_jobs1\": %.3f, \"wall_s_jobs4\": %.3f, \"speedup\": %.3f},\n"
+    (json_escape workload) cores wall_1 wall_4 speedup;
+  p "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      p "    {\"name\": \"%s\", \"ns_per_run\": %.2f}%s\n" (json_escape name) ns
+        (if i < List.length micro - 1 then "," else ""))
+    micro;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "\n[benchmark trajectory written to %s]\n" path
+
+(* ---- Baseline comparison (--check-against) ----
+
+   We parse only what we emit: each micro entry sits on its own line as
+   {"name": "...", "ns_per_run": N}, so a line scanner is enough — no JSON
+   library needed (and none may be added). *)
+
+let find_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then None
+    else if String.sub haystack i nn = needle then Some i
+    else at (i + 1)
+  in
+  at 0
+
+let baseline_micro path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match (find_substring line "\"name\": \"", find_substring line "\"ns_per_run\": ") with
+       | Some ni, Some vi ->
+           let name_start = ni + String.length "\"name\": \"" in
+           let name_end = String.index_from line name_start '"' in
+           let name = String.sub line name_start (name_end - name_start) in
+           let value_start = vi + String.length "\"ns_per_run\": " in
+           let value_end = ref value_start in
+           while
+             !value_end < String.length line
+             && (match line.[!value_end] with
+                | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+                | _ -> false)
+           do
+             incr value_end
+           done;
+           let ns = float_of_string (String.sub line value_start (!value_end - value_start)) in
+           entries := (name, ns) :: !entries
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+(* Fails (returns the number of regressions) if any current micro-benchmark
+   is more than 30% slower than the baseline. A 2 ns absolute slack damps
+   CI jitter on the nanosecond-scale entries. *)
+let check_against ~baseline_path ~micro =
+  let baseline = baseline_micro baseline_path in
+  Harness.Report.section
+    (Printf.sprintf "Regression check against %s (fail if >30%% slower)" baseline_path);
+  if baseline = [] then begin
+    Harness.Report.note "baseline has no micro entries; nothing to check";
+    0
+  end
+  else begin
+    let regressions = ref 0 in
+    let rows =
+      List.filter_map
+        (fun (name, base_ns) ->
+          match List.assoc_opt name micro with
+          | None ->
+              Harness.Report.note (Printf.sprintf "skipped (not measured now): %s" name);
+              None
+          | Some cur_ns ->
+              let limit = (base_ns *. 1.30) +. 2.0 in
+              let regressed = cur_ns > limit in
+              if regressed then incr regressions;
+              Some
+                [
+                  name;
+                  Printf.sprintf "%.1f" base_ns;
+                  Printf.sprintf "%.1f" cur_ns;
+                  Printf.sprintf "%+.0f%%" ((cur_ns /. base_ns -. 1.) *. 100.);
+                  (if regressed then "REGRESSED" else "ok");
+                ])
+        baseline
+    in
+    Harness.Report.table ~header:[ "benchmark"; "baseline ns"; "current ns"; "delta"; "verdict" ] rows;
+    !regressions
+  end
+
+(* ---- Entry point ---- *)
+
+let parse_args () =
+  let json_path = ref None and baseline_path = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        go rest
+    | "--check-against" :: path :: rest ->
+        baseline_path := Some path;
+        go rest
+    | arg :: _ ->
+        Printf.eprintf
+          "usage: %s [--json PATH] [--check-against BASELINE.json]\nunknown argument: %s\n"
+          Sys.executable_name arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!json_path, !baseline_path)
 
 let () =
-  let fast = Sys.getenv_opt "BENCH_FAST" <> None in
-  Printf.printf
-    "Group-Safety reproduction benchmark (Wiesmann & Schiper, EDBT 2004)\n";
-  Printf.printf "regenerating every table and figure%s...\n"
-    (if fast then " (fast mode)" else "");
+  let json_path, baseline_path = parse_args () in
+  let fast =
+    match Sys.getenv_opt "BENCH_FAST" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false
+  in
+  (match Sys.getenv_opt "BENCH_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Parallel.Domain_pool.set_default_jobs n
+      | _ -> Printf.eprintf "ignoring invalid BENCH_JOBS=%s\n" s)
+  | None -> ());
+  let jobs = Parallel.Domain_pool.default_jobs () in
+  Printf.printf "groupsafe bench: %s mode, parallel sweeps on %d worker domain(s)\n"
+    (if fast then "fast" else "full")
+    jobs;
   let t0 = Unix.gettimeofday () in
   Harness.Experiment.all ~fast ();
-  Printf.printf "\n[experiments regenerated in %.1f s wall clock]\n"
-    (Unix.gettimeofday () -. t0);
-  run_micro ()
+  let experiments_wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "\n[experiment suite: %.1f s wall clock]\n" experiments_wall;
+  let timings = Harness.Report.timings () in
+  let probe = speedup_probe ~fast ~restore_jobs:jobs () in
+  let micro = run_micro () in
+  let total_wall_s = Unix.gettimeofday () -. t0 in
+  (match json_path with
+  | Some path -> write_json ~path ~fast ~jobs ~total_wall_s ~timings ~probe ~micro
+  | None -> ());
+  match baseline_path with
+  | None -> ()
+  | Some baseline_path ->
+      let regressions = check_against ~baseline_path ~micro in
+      if regressions > 0 then begin
+        Printf.eprintf "\n%d micro-benchmark(s) regressed >30%% against %s\n" regressions
+          baseline_path;
+        exit 1
+      end
+      else Printf.printf "\n[no micro-benchmark regressions against %s]\n" baseline_path

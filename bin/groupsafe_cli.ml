@@ -46,13 +46,34 @@ let counterexample_path =
     & opt string "nemesis-counterexample.txt"
     & info [ "counterexample" ] ~docv:"PATH" ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for the parallel experiment sweeps and explorer storms (default: \
+     \\$(b,GROUPSAFE_JOBS) or the recommended domain count). Reports are byte-identical at any \
+     worker count."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Applied once at the start of every command, so the resolved worker count
+   is printed exactly once per run. *)
+let apply_jobs jobs =
+  (match jobs with Some n -> Parallel.Domain_pool.set_default_jobs n | None -> ());
+  Printf.printf "parallel sweeps: %d worker domain(s)\n%!" (Parallel.Domain_pool.default_jobs ())
+
 let simple name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ seed)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun seed jobs ->
+          apply_jobs jobs;
+          f seed)
+      $ seed $ jobs)
 
 let cmds =
   [
     Cmd.v (Cmd.info "table1" ~doc:"Safety lattice (Table 1).")
       Term.(const (fun _ -> Harness.Experiment.table1 ()) $ seed);
+    (* table1/table4 take no seed and spawn no sweeps; they keep the plain
+       term so --jobs is only offered where it means something. *)
     simple "table2" "Tolerated crashes per level, empirically (Table 2)."
       (fun seed -> Harness.Experiment.table2 ~seed ());
     simple "table3" "Group-safe vs group-1-safe loss conditions (Table 3)."
@@ -66,15 +87,20 @@ let cmds =
     Cmd.v
       (Cmd.info "fig9" ~doc:"Response time vs offered load (Figure 9).")
       Term.(
-        const (fun seed loads measure_s replications csv_path ->
+        const (fun seed loads measure_s replications csv_path jobs ->
+            apply_jobs jobs;
             Harness.Experiment.fig9 ~seed ~loads ~measure_s ~replications ~csv_path ())
-        $ seed $ loads $ measure $ replications $ csv);
+        $ seed $ loads $ measure $ replications $ csv $ jobs);
     simple "closedloop" "Figure 9 under the closed-loop Table 4 client model."
       (fun seed -> Harness.Experiment.closed_loop ~seed ());
     simple "latency" "Disk-write vs atomic-broadcast latency (Section 6)."
       (fun seed -> Harness.Experiment.latency ~seed ());
     Cmd.v (Cmd.info "section7" ~doc:"Scaling analysis: lazy risk vs group risk (Section 7).")
-      Term.(const (fun _ -> Harness.Experiment.section7 ()) $ seed);
+      Term.(
+        const (fun _ jobs ->
+            apply_jobs jobs;
+            Harness.Experiment.section7 ())
+        $ seed $ jobs);
     simple "scaleout" "Response time vs number of servers."
       (fun seed -> Harness.Experiment.scaleout ~seed ());
     simple "recovery" "Catch-up time after an outage: state transfer vs log replay."
@@ -96,16 +122,21 @@ let cmds =
             explore network-fault storms (partitions, loss windows, duplications) and certify \
             healing convergence instead. Exits non-zero if any check fails.")
       Term.(
-        const (fun seed budget nemesis counterexample_path ->
+        const (fun seed budget nemesis counterexample_path jobs ->
+            apply_jobs jobs;
             let ok =
               if nemesis then
                 Harness.Experiment.nemesis ~seed ~budget ~counterexample_path ()
               else Harness.Experiment.explore ~seed ~budget ()
             in
             if not ok then Stdlib.exit 1)
-        $ seed $ budget $ nemesis $ counterexample_path);
+        $ seed $ budget $ nemesis $ counterexample_path $ jobs);
     Cmd.v (Cmd.info "all" ~doc:"Everything, in paper order.")
-      Term.(const (fun seed fast -> Harness.Experiment.all ~seed ~fast ()) $ seed $ fast);
+      Term.(
+        const (fun seed fast jobs ->
+            apply_jobs jobs;
+            Harness.Experiment.all ~seed ~fast ())
+        $ seed $ fast $ jobs);
   ]
 
 let () =

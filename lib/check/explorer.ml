@@ -369,11 +369,46 @@ let explore ?(slots = [ ms 2.; ms 30. ]) ?(max_exhaustive_events = 3) ?(max_rand
        (fun schedule ->
          if !runs >= budget then raise Exit;
          try_one Exhaustive schedule)
-       (exhaustive config ~slots ~max_events:max_exhaustive_events ~recoveries);
-     while !runs < budget do
-       try_one Random_storm (random_schedule config rng ~max_events:max_random_events)
-     done
+       (exhaustive config ~slots ~max_events:max_exhaustive_events ~recoveries)
    with Exit -> ());
+  (* Random storms, fanned out over the domain pool. Every storm schedule
+     is generated up front on this domain — the RNG draws happen in index
+     order, so storm [k] is the same schedule a sequential loop would have
+     produced — and the replays are joined by index, with the failure of
+     the lowest index winning. Verdicts, counterexamples and the reported
+     run counts are therefore byte-identical at any worker count. *)
+  if !found = None && !runs < budget then begin
+    let remaining = budget - !runs in
+    let servers = config.params.Workload.Params.servers in
+    let empty = Schedule.make ~servers ~txs:config.txs ~spacing:config.spacing [] in
+    let storms = Array.make remaining empty in
+    (* Explicit ascending fill: the storm stream must consume [rng] in
+       index order (Array.init's evaluation order is unspecified). *)
+    for k = 0 to remaining - 1 do
+      storms.(k) <- random_schedule config rng ~max_events:max_random_events
+    done;
+    let jobs = Parallel.Domain_pool.default_jobs () in
+    let batch = Int.max 1 (jobs * 2) in
+    let base = ref 0 in
+    while !base < remaining && !found = None do
+      let n = Int.min batch (remaining - !base) in
+      let here = !base in
+      let failures =
+        Parallel.Domain_pool.map
+          (fun k -> (run config storms.(here + k)).failed)
+          (List.init n Fun.id)
+      in
+      List.iteri
+        (fun k failed ->
+          if failed && !found = None then begin
+            found := Some (Random_storm, storms.(here + k));
+            runs := !runs + k + 1
+          end)
+        failures;
+      if !found = None then runs := !runs + n;
+      base := here + n
+    done
+  end;
   let counterexample =
     match !found with
     | None -> None

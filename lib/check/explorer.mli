@@ -132,7 +132,16 @@ val explore :
 (** Search up to [budget] schedules (exhaustive pass first, then seeded
     random storms), stop at the first failure, shrink it, and replay the
     shrunk schedule with tracing. Deterministic per ([seed], [budget],
-    config). Shrink re-runs are not charged against [budget]. *)
+    config). Shrink re-runs are not charged against [budget].
+
+    The random-storm phase fans its replays out over
+    {!Parallel.Domain_pool}: every storm schedule is generated up front on
+    the calling domain (so the stream of RNG draws is identical to a
+    sequential run), replays are joined by storm index, and when several
+    storms in a batch fail the lowest index wins. The result — verdict,
+    counterexample, shrunk schedule and reported run counts — is
+    byte-identical at any worker count; shrinking itself stays sequential
+    because each candidate depends on the previous accept. *)
 
 (** {2 Directed scenario: a minority partition must stall, not diverge} *)
 

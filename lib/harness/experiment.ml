@@ -1,4 +1,5 @@
 open Groupsafe
+module Pool = Parallel.Domain_pool
 
 let sec = Sim.Sim_time.span_s
 let ms = Sim.Sim_time.span_ms
@@ -98,15 +99,9 @@ let fig9_techniques =
     System.Dsm Dsm_replica.Group_one_safe_mode;
   ]
 
-(* One Fig. 9 cell, optionally averaged over several independent seeded
-   runs; the ± is the normal-approximation 95% confidence half-width. *)
-let replicated_cell ~seed ~replications ?measure_s technique ~load_tps =
-  let runs =
-    List.init replications (fun r ->
-        run_load_point
-          ~seed:(Int64.add seed (Int64.of_int (r * 7919)))
-          ?measure_s technique ~load_tps)
-  in
+(* One Fig. 9 cell from its already-run load points; the ± is the
+   normal-approximation 95% confidence half-width. *)
+let cell_of_runs ~replications runs =
   let series_of f =
     let s = Sim.Stats.series "cell" in
     List.iter (fun p -> Sim.Stats.add s (f p)) runs;
@@ -123,6 +118,8 @@ let replicated_cell ~seed ~replications ?measure_s technique ~load_tps =
   in
   (mean_cell, Sim.Stats.mean aborts, Sim.Stats.mean tputs)
 
+let replication_seed seed r = Int64.add seed (Int64.of_int (r * 7919))
+
 let fig9 ?(seed = 1L) ?(loads = default_loads) ?measure_s ?(replications = 1)
     ?(csv_path = "fig9.csv") () =
   Report.section "Figure 9: response time vs offered load (Table 4 system)";
@@ -138,13 +135,36 @@ let fig9 ?(seed = 1L) ?(loads = default_loads) ?measure_s ?(replications = 1)
       "load(tps)"; "group-safe(ms)"; "lazy 1-safe(ms)"; "group-1-safe(ms)"; "gs abort"; "gs tput";
     ]
   in
-  let rows =
-    List.map
+  (* Every (load, technique, replication) is one independent simulation
+     with its seed assigned up front; the pool joins them by index and the
+     rows are assembled afterwards, so the printed table and the CSV are
+     byte-identical at any worker count. *)
+  let items =
+    List.concat_map
       (fun load_tps ->
-        let cell technique = replicated_cell ~seed ~replications ?measure_s technique ~load_tps in
-        let gs, gs_abort, gs_tput = cell (List.nth fig9_techniques 0) in
-        let lazy1, _, _ = cell (List.nth fig9_techniques 1) in
-        let g1s, _, _ = cell (List.nth fig9_techniques 2) in
+        List.concat_map
+          (fun technique -> List.init replications (fun r -> (load_tps, technique, r)))
+          fig9_techniques)
+      loads
+  in
+  let points =
+    Array.of_list
+      (Pool.map
+         (fun (load_tps, technique, r) ->
+           run_load_point ~seed:(replication_seed seed r) ?measure_s technique ~load_tps)
+         items)
+  in
+  let ntech = List.length fig9_techniques in
+  let cell li ti =
+    cell_of_runs ~replications
+      (List.init replications (fun r -> points.((((li * ntech) + ti) * replications) + r)))
+  in
+  let rows =
+    List.mapi
+      (fun li load_tps ->
+        let gs, gs_abort, gs_tput = cell li 0 in
+        let lazy1, _, _ = cell li 1 in
+        let g1s, _, _ = cell li 2 in
         [
           Printf.sprintf "%.0f" load_tps;
           gs;
@@ -170,18 +190,33 @@ let closed_loop ?(seed = 1L) () =
   let header =
     [ "think (s)"; "group-safe tps / ms"; "lazy 1-safe tps / ms"; "group-1-safe tps / ms" ]
   in
-  let cell technique think_time_s =
-    let tput, resp, _ = run_closed_point ~seed ~measure_s:40. technique ~think_time_s in
-    Printf.sprintf "%4.1f / %s" tput (Report.f1 resp)
+  let techniques =
+    [
+      System.Dsm Dsm_replica.Group_safe_mode;
+      System.Lazy Lazy_replica.One_safe_mode;
+      System.Dsm Dsm_replica.Group_one_safe_mode;
+    ]
+  in
+  (* Each (think time, technique) operating point is an independent closed
+     system: one work item per cell, rows assembled after the join. *)
+  let cells =
+    Array.of_list
+      (Pool.map
+         (fun (think_time_s, technique) ->
+           let tput, resp, _ = run_closed_point ~seed ~measure_s:40. technique ~think_time_s in
+           Printf.sprintf "%4.1f / %s" tput (Report.f1 resp))
+         (List.concat_map
+            (fun tt -> List.map (fun technique -> (tt, technique)) techniques)
+            think_times))
   in
   let rows =
-    List.map
-      (fun tt ->
+    List.mapi
+      (fun i tt ->
         [
           Printf.sprintf "%.2f" tt;
-          cell (System.Dsm Dsm_replica.Group_safe_mode) tt;
-          cell (System.Lazy Lazy_replica.One_safe_mode) tt;
-          cell (System.Dsm Dsm_replica.Group_one_safe_mode) tt;
+          cells.(3 * i);
+          cells.((3 * i) + 1);
+          cells.((3 * i) + 2);
         ])
       think_times
   in
@@ -320,23 +355,36 @@ let table2 ?seed () =
         | Safety.Tolerates_none | Safety.Tolerates_minority -> "loss possible"
       end
   in
-  let rows =
+  let with_technique =
     List.filter_map
-      (fun level ->
-        match technique_of_level level with
-        | None -> None
-        | Some technique ->
-          let none = verdict (no_crash_cell ?seed technique) in
-          let minority = verdict (minority_cell ?seed technique) in
-          let all = verdict (group_failure_cell ?seed technique) in
-          Some
-            [
-              Safety.to_string level;
-              Printf.sprintf "%s (paper: %s)" none (expected level `None);
-              Printf.sprintf "%s (paper: %s)" minority (expected level `Minority);
-              Printf.sprintf "%s (paper: %s)" all (expected level `All);
-            ])
+      (fun level -> Option.map (fun t -> (level, t)) (technique_of_level level))
       levels
+  in
+  (* The scenario matrix: every (level, crash budget) cell is one
+     independent acknowledged-transaction replay — 3 cells per level, all
+     fanned out together and joined by index. *)
+  let cells =
+    Array.of_list
+      (Pool.run_all
+         (List.concat_map
+            (fun (_, technique) ->
+              [
+                (fun () -> verdict (no_crash_cell ?seed technique));
+                (fun () -> verdict (minority_cell ?seed technique));
+                (fun () -> verdict (group_failure_cell ?seed technique));
+              ])
+            with_technique))
+  in
+  let rows =
+    List.mapi
+      (fun i (level, _) ->
+        [
+          Safety.to_string level;
+          Printf.sprintf "%s (paper: %s)" cells.(3 * i) (expected level `None);
+          Printf.sprintf "%s (paper: %s)" cells.((3 * i) + 1) (expected level `Minority);
+          Printf.sprintf "%s (paper: %s)" cells.((3 * i) + 2) (expected level `All);
+        ])
+      with_technique
   in
   Report.table ~header:[ "level"; "0 crashes"; "minority crash"; "all n crash" ] rows;
   Report.note "every observed LOST falls inside the paper's 'loss possible'; every";
@@ -344,34 +392,30 @@ let table2 ?seed () =
   (* The flip side of the trade-off (§2.1): the safer the level, the less
      available. With one server already down before the client submits,
      very-safe cannot acknowledge until that server recovers. *)
-  let availability level =
-    match technique_of_level level with
-    | None -> None
-    | Some technique ->
-      let sys = System.create ~params:scenario_params technique in
-      System.crash sys 2;
-      System.run_for sys (sec 1.) (* let detectors settle *);
-      let acked_at = ref None in
-      System.submit sys ~delegate:0
-        ~on_response:(fun _ -> acked_at := Some (System.now sys))
-        write_only_tx;
-      System.run_for sys (sec 8.);
-      let before_recovery = !acked_at <> None in
-      System.recover sys 2;
-      System.run_for sys (sec 8.);
-      Some
-        (match (before_recovery, !acked_at) with
-        | true, _ -> "acknowledged normally"
-        | false, Some _ -> "BLOCKED until S2 recovered"
-        | false, None -> "never acknowledged")
+  let availability technique =
+    let sys = System.create ~params:scenario_params technique in
+    System.crash sys 2;
+    System.run_for sys (sec 1.) (* let detectors settle *);
+    let acked_at = ref None in
+    System.submit sys ~delegate:0
+      ~on_response:(fun _ -> acked_at := Some (System.now sys))
+      write_only_tx;
+    System.run_for sys (sec 8.);
+    let before_recovery = !acked_at <> None in
+    System.recover sys 2;
+    System.run_for sys (sec 8.);
+    match (before_recovery, !acked_at) with
+    | true, _ -> "acknowledged normally"
+    | false, Some _ -> "BLOCKED until S2 recovered"
+    | false, None -> "never acknowledged"
   in
   Report.note "";
   Report.note "availability with one server down at submission time:";
   Report.table ~header:[ "level"; "commit availability" ]
-    (List.filter_map
-       (fun level ->
-         Option.map (fun v -> [ Safety.to_string level; v ]) (availability level))
-       levels);
+    (List.map2
+       (fun (level, _) v -> [ Safety.to_string level; v ])
+       with_technique
+       (Pool.map (fun (_, technique) -> availability technique) with_technique));
   Report.note "very-safe trades away availability: a single crash blocks commits";
   Report.note "until the crashed server is back (paper: 'not very practical')."
 
@@ -396,15 +440,23 @@ let table3 ?seed () =
         System.recover sys 1;
         System.recover sys 2)
   in
+  (* Six independent crash scenarios (2 levels x 3 columns), fanned out. *)
+  let cells =
+    Array.of_list
+      (Pool.run_all
+         (List.concat_map
+            (fun (_, technique) ->
+              [
+                (fun () -> verdict (minority_cell ?seed technique));
+                (fun () -> verdict (group_fails_sd_alive technique));
+                (fun () -> verdict (group_failure_cell ?seed technique));
+              ])
+            techniques))
+  in
   let rows =
-    List.map
-      (fun (level, technique) ->
-        [
-          Safety.to_string level;
-          verdict (minority_cell ?seed technique);
-          verdict (group_fails_sd_alive technique);
-          verdict (group_failure_cell ?seed technique);
-        ])
+    List.mapi
+      (fun i (level, _) ->
+        [ Safety.to_string level; cells.(3 * i); cells.((3 * i) + 1); cells.((3 * i) + 2) ])
       techniques
   in
   Report.table
@@ -430,10 +482,10 @@ let table3 ?seed () =
         Crash_injector.recover_at sys ~after:(ms 100.) 1)
   in
   let sub =
-    List.map
-      (fun (level, technique) ->
-        [ Safety.to_string level; verdict (delegate_recovers_first technique) ])
+    List.map2
+      (fun (level, _) v -> [ Safety.to_string level; v ])
       techniques
+      (Pool.map (fun (_, technique) -> verdict (delegate_recovers_first technique)) techniques)
   in
   Report.note "";
   Report.note "sub-scenario: all crash, the delegate recovers first and seeds the group:";
@@ -633,7 +685,7 @@ let section7 () =
        "empirical: cross-site concurrent conflicts under lazy, %.0f s, 10/3 tps per server"
        measured_s);
   Report.table ~header:[ "servers"; "conflicts/s (measured)"; "divergent items at the end" ]
-    (List.map
+    (Pool.map
        (fun n ->
          let rate, divergent = conflicts n in
          [ string_of_int n; Printf.sprintf "%.3f" rate; string_of_int divergent ])
@@ -648,7 +700,11 @@ let ablation_group_commit ?(seed = 1L) () =
     let params = { Workload.Params.table4 with Workload.Params.group_commit = gc } in
     run_load_point ~seed ~params (System.Dsm Dsm_replica.Group_one_safe_mode) ~load_tps:30.
   in
-  let on = run true and off = run false in
+  let on, off =
+    match Pool.map run [ true; false ] with
+    | [ on; off ] -> (on, off)
+    | _ -> assert false
+  in
   Report.table ~header:[ "group commit"; "mean (ms)"; "p95 (ms)"; "throughput" ]
     [
       [ "on"; Report.f1 on.mean_ms; Report.f1 on.p95_ms; Report.f1 on.throughput_tps ];
@@ -660,20 +716,22 @@ let ablation_group_commit ?(seed = 1L) () =
 let ablation_apply_factor ?(seed = 1L) () =
   Report.section "Ablation: ordered-apply coalescing factor (group-safe saturation)";
   let header = [ "factor"; "30 tps (ms)"; "36 tps (ms)"; "40 tps (ms)" ] in
+  let factors = [ 0.5; 0.65; 1.0 ] and loads = [ 30.; 36.; 40. ] in
+  let cells =
+    Array.of_list
+      (Pool.map
+         (fun (factor, load) ->
+           Report.f1
+             (run_load_point ~seed ~apply_write_factor:factor
+                (System.Dsm Dsm_replica.Group_safe_mode) ~load_tps:load)
+               .mean_ms)
+         (List.concat_map (fun f -> List.map (fun l -> (f, l)) loads) factors))
+  in
   let rows =
-    List.map
-      (fun factor ->
-        let p load =
-          run_load_point ~seed ~apply_write_factor:factor
-            (System.Dsm Dsm_replica.Group_safe_mode) ~load_tps:load
-        in
-        [
-          Printf.sprintf "%.2f" factor;
-          Report.f1 (p 30.).mean_ms;
-          Report.f1 (p 36.).mean_ms;
-          Report.f1 (p 40.).mean_ms;
-        ])
-      [ 0.5; 0.65; 1.0 ]
+    List.mapi
+      (fun i factor ->
+        [ Printf.sprintf "%.2f" factor; cells.(3 * i); cells.((3 * i) + 1); cells.((3 * i) + 2) ])
+      factors
   in
   Report.table ~header rows;
   Report.note "total order forces sequential writeset application; how much of the";
@@ -687,19 +745,33 @@ let scaleout ?(seed = 1L) () =
   Report.note "what they buy in safety).";
   let per_server_tps = 10. /. 3. in
   let header = [ "servers"; "group-safe (ms)"; "lazy 1-safe (ms)"; "total load (tps)" ] in
+  let ns = [ 3; 5; 7; 9; 12 ] in
+  (* One work item per (cluster size, technique) cell. *)
+  let cells =
+    Array.of_list
+      (Pool.map
+         (fun (n, technique) ->
+           let params = { Workload.Params.table4 with Workload.Params.servers = n } in
+           let load_tps = per_server_tps *. float_of_int n in
+           Report.f1 (run_load_point ~seed ~params ~measure_s:30. technique ~load_tps).mean_ms)
+         (List.concat_map
+            (fun n ->
+              [
+                (n, System.Dsm Dsm_replica.Group_safe_mode);
+                (n, System.Lazy Lazy_replica.One_safe_mode);
+              ])
+            ns))
+  in
   let rows =
-    List.map
-      (fun n ->
-        let params = { Workload.Params.table4 with Workload.Params.servers = n } in
-        let load_tps = per_server_tps *. float_of_int n in
-        let run technique = run_load_point ~seed ~params ~measure_s:30. technique ~load_tps in
+    List.mapi
+      (fun i n ->
         [
           string_of_int n;
-          Report.f1 (run (System.Dsm Dsm_replica.Group_safe_mode)).mean_ms;
-          Report.f1 (run (System.Lazy Lazy_replica.One_safe_mode)).mean_ms;
-          Printf.sprintf "%.0f" load_tps;
+          cells.(2 * i);
+          cells.((2 * i) + 1);
+          Printf.sprintf "%.0f" (per_server_tps *. float_of_int n);
         ])
-      [ 3; 5; 7; 9; 12 ]
+      ns
   in
   Report.table ~header rows
 
@@ -745,15 +817,23 @@ let recovery ?(seed = 1L) () =
     match !caught_up with Some x -> Report.f1 x | None -> ">30000"
   in
   let header = [ "downtime (s)"; "group-safe catch-up (ms)"; "2-safe catch-up (ms)" ] in
+  let downtimes = [ 1.; 5.; 15. ] in
+  let cells =
+    Array.of_list
+      (Pool.map
+         (fun (technique, d) -> measure technique d)
+         (List.concat_map
+            (fun d ->
+              [
+                (System.Dsm Dsm_replica.Group_safe_mode, d);
+                (System.Dsm Dsm_replica.Two_safe_mode, d);
+              ])
+            downtimes))
+  in
   let rows =
-    List.map
-      (fun d ->
-        [
-          Printf.sprintf "%.0f" d;
-          measure (System.Dsm Dsm_replica.Group_safe_mode) d;
-          measure (System.Dsm Dsm_replica.Two_safe_mode) d;
-        ])
-      [ 1.; 5.; 15. ]
+    List.mapi
+      (fun i d -> [ Printf.sprintf "%.0f" d; cells.(2 * i); cells.((2 * i) + 1) ])
+      downtimes
   in
   Report.table ~header rows;
   Report.note "state transfer ships the current state in one step, so group-safe";
@@ -766,14 +846,23 @@ let eager_comparison ?(seed = 1L) () =
   Report.note "the traditional alternative: eager update-everywhere over two-phase";
   Report.note "commit — '2-safe, slow and deadlock prone'. Same Table 4 system.";
   let loads = [ 10.; 15.; 20. ] in
-  let row technique name =
-    name
-    :: List.concat_map
-         (fun load ->
-           let p = run_load_point ~seed ~measure_s:30. technique ~load_tps:load in
-           [ Report.f1 p.mean_ms; Report.pct p.abort_rate ])
-         loads
+  let techniques =
+    [
+      (System.Dsm Dsm_replica.Group_safe_mode, "group-safe (abcast)");
+      (System.Dsm Dsm_replica.Two_safe_mode, "2-safe (e2e abcast)");
+      (System.Two_pc, "eager 2PC");
+    ]
   in
+  (* One work item per (technique, load) pair; each yields its two cells. *)
+  let cells =
+    Pool.map
+      (fun (technique, load) ->
+        let p = run_load_point ~seed ~measure_s:30. technique ~load_tps:load in
+        [ Report.f1 p.mean_ms; Report.pct p.abort_rate ])
+      (List.concat_map (fun (t, _) -> List.map (fun l -> (t, l)) loads) techniques)
+  in
+  let cells = Array.of_list cells in
+  let nloads = List.length loads in
   let header =
     "technique"
     :: List.concat_map
@@ -781,11 +870,10 @@ let eager_comparison ?(seed = 1L) () =
          loads
   in
   Report.table ~header
-    [
-      row (System.Dsm Dsm_replica.Group_safe_mode) "group-safe (abcast)";
-      row (System.Dsm Dsm_replica.Two_safe_mode) "2-safe (e2e abcast)";
-      row System.Two_pc "eager 2PC";
-    ];
+    (List.mapi
+       (fun i (_, name) ->
+         name :: List.concat (List.init nloads (fun j -> cells.((i * nloads) + j))))
+       techniques);
   Report.note "2PC pays a disk-forced prepare round on every server inside the";
   Report.note "response path, and its aborts are distributed deadlocks resolved by";
   Report.note "timeout — the group-communication techniques abort only on";
@@ -796,17 +884,28 @@ let ablation_buffer ?(seed = 1L) () =
   Report.note "the delegate's read phase dominates every technique's base response;";
   Report.note "Table 4 fixes the hit ratio at 20%.";
   let header = [ "hit ratio"; "group-safe (ms)"; "lazy 1-safe (ms)" ] in
+  let ratios = [ 0.0; 0.2; 0.5; 0.8 ] in
+  let cells =
+    Array.of_list
+      (Pool.map
+         (fun (ratio, technique) ->
+           let params =
+             { Workload.Params.table4 with Workload.Params.buffer_hit_ratio = ratio }
+           in
+           Report.f1 (run_load_point ~seed ~params ~measure_s:30. technique ~load_tps:28.).mean_ms)
+         (List.concat_map
+            (fun ratio ->
+              [
+                (ratio, System.Dsm Dsm_replica.Group_safe_mode);
+                (ratio, System.Lazy Lazy_replica.One_safe_mode);
+              ])
+            ratios))
+  in
   let rows =
-    List.map
-      (fun ratio ->
-        let params = { Workload.Params.table4 with Workload.Params.buffer_hit_ratio = ratio } in
-        let run technique = run_load_point ~seed ~params ~measure_s:30. technique ~load_tps:28. in
-        [
-          Printf.sprintf "%.0f%%" (100. *. ratio);
-          Report.f1 (run (System.Dsm Dsm_replica.Group_safe_mode)).mean_ms;
-          Report.f1 (run (System.Lazy Lazy_replica.One_safe_mode)).mean_ms;
-        ])
-      [ 0.0; 0.2; 0.5; 0.8 ]
+    List.mapi
+      (fun i ratio ->
+        [ Printf.sprintf "%.0f%%" (100. *. ratio); cells.(2 * i); cells.((2 * i) + 1) ])
+      ratios
   in
   Report.table ~header rows;
   Report.note "a warmer buffer compresses everyone's response; the constant gap in";
@@ -818,7 +917,7 @@ let ablation_loss ?(seed = 1L) () =
   Report.note "the cost shows up as tail latency, never as lost transactions.";
   let header = [ "loss"; "gs mean (ms)"; "gs p95 (ms)"; "throughput (tps)" ] in
   let rows =
-    List.map
+    Pool.map
       (fun drop ->
         let params = { Workload.Params.table4 with Workload.Params.drop_probability = drop } in
         let p =
@@ -992,23 +1091,36 @@ let nemesis ?(seed = 42L) ?(budget = 500) ?(counterexample_path = "nemesis-count
     ];
   e2e_ok && twopc_ok && stall.E.ok
 
+(* Wall clock and simulated events per experiment section: recorded into
+   [Report]'s timing registry so the benchmark trajectory (BENCH_*.json)
+   gets per-section visibility rather than one end-to-end total. *)
+let timed section f =
+  let t0 = Unix.gettimeofday () in
+  let e0 = Sim.Engine.global_executed () in
+  f ();
+  Report.record_timing ~section
+    ~wall_s:(Unix.gettimeofday () -. t0)
+    ~events:(Sim.Engine.global_executed () - e0)
+
 let all ?(seed = 1L) ?(fast = false) () =
-  table4 ();
-  table1 ();
-  table2 ~seed ();
-  table3 ~seed ();
-  fig5 ~seed ();
-  fig7 ~seed ();
-  latency ~seed ();
-  (if fast then fig9 ~seed ~loads:[ 20.; 30.; 40. ] ~measure_s:20. ()
-   else fig9 ~seed ());
-  if not fast then closed_loop ~seed ();
-  section7 ();
-  scaleout ~seed ();
-  recovery ~seed ();
-  eager_comparison ~seed ();
-  ablation_group_commit ~seed ();
-  ablation_apply_factor ~seed ();
-  ablation_buffer ~seed ();
-  ablation_loss ~seed ();
-  ablation_uniformity ~seed ()
+  Report.reset_timings ();
+  timed "table4" (fun () -> table4 ());
+  timed "table1" (fun () -> table1 ());
+  timed "table2" (fun () -> table2 ~seed ());
+  timed "table3" (fun () -> table3 ~seed ());
+  timed "fig5" (fun () -> fig5 ~seed ());
+  timed "fig7" (fun () -> fig7 ~seed ());
+  timed "latency" (fun () -> latency ~seed ());
+  timed "fig9" (fun () ->
+      if fast then fig9 ~seed ~loads:[ 20.; 30.; 40. ] ~measure_s:20. () else fig9 ~seed ());
+  if not fast then timed "closed_loop" (fun () -> closed_loop ~seed ());
+  timed "section7" (fun () -> section7 ());
+  timed "scaleout" (fun () -> scaleout ~seed ());
+  timed "recovery" (fun () -> recovery ~seed ());
+  timed "eager_comparison" (fun () -> eager_comparison ~seed ());
+  timed "ablation_group_commit" (fun () -> ablation_group_commit ~seed ());
+  timed "ablation_apply_factor" (fun () -> ablation_apply_factor ~seed ());
+  timed "ablation_buffer" (fun () -> ablation_buffer ~seed ());
+  timed "ablation_loss" (fun () -> ablation_loss ~seed ());
+  timed "ablation_uniformity" (fun () -> ablation_uniformity ~seed ());
+  Report.timing_summary ()

@@ -3,7 +3,16 @@
 
     Every driver prints a self-contained report to stdout and is
     deterministic for a given seed. [fig9] also writes a CSV next to the
-    working directory for plotting. *)
+    working directory for plotting.
+
+    Sweeps of independent simulations — the Fig. 9 (load, technique,
+    replication) cells, the closed-loop operating points, the Table 2/3
+    crash-scenario matrices, the scale-out / eager / ablation grids — fan
+    out over {!Parallel.Domain_pool}: each cell's seed is assigned up
+    front, the work items neither print nor share state, and results are
+    joined by index before any printing, so every table and CSV is
+    byte-identical at any worker count (see docs/PERFORMANCE.md). [all]
+    additionally times each section into {!Report.timings}. *)
 
 type load_point = {
   technique : Groupsafe.System.technique;

@@ -29,6 +29,44 @@ let csv ~path ~header rows =
   List.iter write_row rows;
   close_out oc
 
+(* ---- per-section performance accounting ----
+
+   Experiment drivers are wrapped in a timer that records wall clock and
+   the simulated events executed (from [Sim.Engine.global_executed], which
+   aggregates across worker domains); the collected rows give every perf
+   PR per-section visibility instead of one end-to-end total. *)
+
+type timing = { section : string; wall_s : float; events : int }
+
+let recorded : timing list ref = ref []
+
+let reset_timings () = recorded := []
+let record_timing ~section ~wall_s ~events = recorded := { section; wall_s; events } :: !recorded
+let timings () = List.rev !recorded
+
+let events_per_sec t = if t.wall_s > 0. then float_of_int t.events /. t.wall_s else 0.
+
+let timing_summary () =
+  match timings () with
+  | [] -> ()
+  | ts ->
+    section "Per-section wall clock and simulated events/sec";
+    table ~header:[ "section"; "wall (s)"; "events"; "events/s" ]
+      (List.map
+         (fun t ->
+           [
+             t.section;
+             Printf.sprintf "%.2f" t.wall_s;
+             string_of_int t.events;
+             Printf.sprintf "%.0f" (events_per_sec t);
+           ])
+         ts);
+    let wall = List.fold_left (fun acc t -> acc +. t.wall_s) 0. ts in
+    let events = List.fold_left (fun acc t -> acc + t.events) 0 ts in
+    note
+      (Printf.sprintf "total: %.2f s wall, %d simulated events (%.0f events/s)" wall events
+         (if wall > 0. then float_of_int events /. wall else 0.))
+
 let f1 x = if Float.is_nan x then "-" else Printf.sprintf "%.1f" x
 let f2 x = if Float.is_nan x then "-" else Printf.sprintf "%.2f" x
 let pct x = if Float.is_nan x then "-" else Printf.sprintf "%.1f%%" (100. *. x)

@@ -17,6 +17,33 @@ val table : header:string list -> string list list -> unit
 val csv : path:string -> header:string list -> string list list -> unit
 (** Writes the same data as comma-separated values. *)
 
+(** {2 Per-section performance accounting}
+
+    [Experiment.all] wraps each section in a timer and records a row here;
+    [timing_summary] prints them and the benchmark harness serialises them
+    into the [BENCH_*.json] trajectory (see docs/PERFORMANCE.md). *)
+
+type timing = {
+  section : string;
+  wall_s : float;  (** wall clock, not CPU time: parallel sections sum fairly. *)
+  events : int;  (** simulated events executed, across all worker domains. *)
+}
+
+val reset_timings : unit -> unit
+(** Forget every recorded row (call at the start of a run). *)
+
+val record_timing : section:string -> wall_s:float -> events:int -> unit
+
+val timings : unit -> timing list
+(** Recorded rows, in recording order. *)
+
+val events_per_sec : timing -> float
+(** [events / wall_s], or [0.] for an instant section. *)
+
+val timing_summary : unit -> unit
+(** Prints the recorded rows as a table plus a total line; prints nothing
+    when no row was recorded. *)
+
 val f1 : float -> string
 (** One decimal, or ["-"] for NaN. *)
 

@@ -1,0 +1,67 @@
+(* Worker-count resolution: an explicit override (from --jobs) wins, then
+   the environment, then whatever the hardware recommends. Stored in an
+   Atomic only so that reads from worker domains are well-defined. *)
+
+let override = Atomic.make 0 (* 0 = unset *)
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Domain_pool.set_default_jobs: need at least one worker";
+  Atomic.set override n
+
+let default_jobs () =
+  let o = Atomic.get override in
+  if o > 0 then o
+  else
+    match Sys.getenv_opt "GROUPSAFE_JOBS" with
+    | Some s -> begin
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | Some _ | None -> Domain.recommended_domain_count ()
+      end
+    | None -> Domain.recommended_domain_count ()
+
+(* The shared-counter work queue: each worker repeatedly claims the next
+   unclaimed index. Items are independent, so claiming order does not
+   matter; results and errors land in per-index slots, each written by
+   exactly one domain and read only after the joins (the join is the
+   synchronisation point). *)
+let map_array ?jobs f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let jobs =
+      match jobs with
+      | Some j -> if j < 1 then invalid_arg "Domain_pool.map: need at least one worker" else j
+      | None -> default_jobs ()
+    in
+    if jobs = 1 || n = 1 then Array.map f items
+    else begin
+      let results = Array.make n None in
+      let errors = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match f items.(i) with
+            | v -> results.(i) <- Some v
+            | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned = List.init (Stdlib.min jobs n - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join spawned;
+      (* Surface the lowest-index failure so the reported exception does
+         not depend on which worker hit its item first. *)
+      Array.iter
+        (function Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+        errors;
+      Array.map (function Some v -> v | None -> assert false) results
+    end
+  end
+
+let map ?jobs f items = Array.to_list (map_array ?jobs f (Array.of_list items))
+let run_all ?jobs thunks = map ?jobs (fun f -> f ()) thunks

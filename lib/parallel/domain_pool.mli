@@ -1,0 +1,40 @@
+(** A small, dependency-free pool of OCaml domains for fanning out
+    independent, deterministic work items.
+
+    [map] distributes indexed items over a fixed number of worker domains
+    (work-stealing via a shared counter) and joins the results by index, so
+    the output is the same list [List.map] would produce — in the same
+    order, regardless of worker count or scheduling. Determinism is the
+    caller's contract: work items must not share mutable state, must not
+    print, and must draw randomness only from state assigned to them up
+    front (e.g. a pre-split seed per item).
+
+    The worker count resolves, in priority order: the [?jobs] argument,
+    {!set_default_jobs}, the [GROUPSAFE_JOBS] environment variable, and
+    finally [Domain.recommended_domain_count ()]. With one worker (or one
+    item) no domain is spawned and [map f] is exactly [List.map f]. *)
+
+val default_jobs : unit -> int
+(** The worker count [map] uses when [?jobs] is not given: the
+    {!set_default_jobs} override if set, else [GROUPSAFE_JOBS] (when it
+    parses as a positive integer), else
+    [Domain.recommended_domain_count ()]. Always at least 1. *)
+
+val set_default_jobs : int -> unit
+(** [set_default_jobs n] overrides {!default_jobs} for the rest of the
+    process (e.g. from a [--jobs] flag).
+    @raise Invalid_argument if [n < 1]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f items] is [List.map f items], computed by up to [jobs] domains
+    (the calling domain participates as one of them). Results join by item
+    index. If any [f item] raises, the exception of the {e lowest} item
+    index is re-raised with its backtrace once every worker has finished —
+    so the surfaced failure does not depend on worker interleaving. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map] over arrays; same ordering and exception contract. *)
+
+val run_all : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run_all thunks] is [map (fun f -> f ()) thunks]: convenience for
+    fanning out a heterogeneous batch of simulations. *)

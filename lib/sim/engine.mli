@@ -50,3 +50,9 @@ val step : t -> bool
 
 val events_executed : t -> int
 (** Total number of events executed so far. *)
+
+val global_executed : unit -> int
+(** Events executed across {e every} engine in the process (all domains
+    included), counted at the end of each [run]. Sections of a long
+    experiment read the counter before and after to report simulated
+    events per wall-clock second. *)

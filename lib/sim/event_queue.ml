@@ -1,35 +1,65 @@
-type 'a entry = { time : Sim_time.t; seq : int; value : 'a }
+(* A binary min-heap in structure-of-arrays layout: the priority keys live
+   in two plain [int array]s (times in microseconds, insertion sequence
+   numbers for FIFO ties) so that [precedes] compares unboxed ints without
+   touching a heap-allocated entry record, and the payloads live in a
+   parallel [Obj.t array]. [add] therefore allocates nothing in the steady
+   state — the old per-add entry record is gone — and the only allocations
+   left are the amortised capacity doublings.
+
+   The values array is created with an immediate dummy (so it is an
+   ordinary array even when ['a] is [float]: boxed floats are stored and
+   fetched as pointers, never unboxed into a flat float array), and every
+   vacated slot is overwritten with that dummy so a popped value — and any
+   closure it captures — becomes unreachable immediately. *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable times : int array; (* Sim_time.to_us of each entry *)
+  mutable seqs : int array; (* insertion order, for FIFO at equal times *)
+  mutable values : Obj.t array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let dummy : Obj.t = Obj.repr ()
+
+let create () = { times = [||]; seqs = [||]; values = [||]; size = 0; next_seq = 0 }
 let length q = q.size
 let is_empty q = q.size = 0
 
-let precedes a b =
-  let c = Sim_time.compare a.time b.time in
-  if c <> 0 then c < 0 else a.seq < b.seq
+(* Does entry [i] pop before entry [j]? Two int compares, no indirection. *)
+let precedes q i j =
+  let ti = Array.unsafe_get q.times i and tj = Array.unsafe_get q.times j in
+  ti < tj || (ti = tj && Array.unsafe_get q.seqs i < Array.unsafe_get q.seqs j)
 
-let grow q entry =
-  let capacity = Array.length q.heap in
-  if q.size = capacity then begin
-    let capacity' = Stdlib.max 16 (2 * capacity) in
-    let heap' = Array.make capacity' entry in
-    Array.blit q.heap 0 heap' 0 q.size;
-    q.heap <- heap'
-  end
+let swap q i j =
+  let t = q.times.(i) in
+  q.times.(i) <- q.times.(j);
+  q.times.(j) <- t;
+  let s = q.seqs.(i) in
+  q.seqs.(i) <- q.seqs.(j);
+  q.seqs.(j) <- s;
+  let v = q.values.(i) in
+  q.values.(i) <- q.values.(j);
+  q.values.(j) <- v
+
+let grow q =
+  let capacity = Array.length q.times in
+  let capacity' = Stdlib.max 16 (2 * capacity) in
+  let times' = Array.make capacity' 0 in
+  let seqs' = Array.make capacity' 0 in
+  let values' = Array.make capacity' dummy in
+  Array.blit q.times 0 times' 0 q.size;
+  Array.blit q.seqs 0 seqs' 0 q.size;
+  Array.blit q.values 0 values' 0 q.size;
+  q.times <- times';
+  q.seqs <- seqs';
+  q.values <- values'
 
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if precedes q.heap.(i) q.heap.(parent) then begin
-      let tmp = q.heap.(i) in
-      q.heap.(i) <- q.heap.(parent);
-      q.heap.(parent) <- tmp;
+    if precedes q i parent then begin
+      swap q i parent;
       sift_up q parent
     end
   end
@@ -38,37 +68,57 @@ let rec sift_down q i =
   let left = (2 * i) + 1 in
   let right = left + 1 in
   let smallest = ref i in
-  if left < q.size && precedes q.heap.(left) q.heap.(!smallest) then smallest := left;
-  if right < q.size && precedes q.heap.(right) q.heap.(!smallest) then smallest := right;
+  if left < q.size && precedes q left !smallest then smallest := left;
+  if right < q.size && precedes q right !smallest then smallest := right;
   if !smallest <> i then begin
-    let tmp = q.heap.(i) in
-    q.heap.(i) <- q.heap.(!smallest);
-    q.heap.(!smallest) <- tmp;
+    swap q i !smallest;
     sift_down q !smallest
   end
 
 let add q ~time value =
-  let entry = { time; seq = q.next_seq; value } in
+  if q.size = Array.length q.times then grow q;
+  let i = q.size in
+  q.times.(i) <- Sim_time.to_us time;
+  q.seqs.(i) <- q.next_seq;
+  q.values.(i) <- Obj.repr value;
   q.next_seq <- q.next_seq + 1;
-  grow q entry;
-  q.heap.(q.size) <- entry;
-  q.size <- q.size + 1;
-  sift_up q (q.size - 1)
+  q.size <- i + 1;
+  sift_up q i
 
-let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let next_time_us q = if q.size = 0 then max_int else Array.unsafe_get q.times 0
+let peek_time q = if q.size = 0 then None else Some (Sim_time.of_us q.times.(0))
+
+(* Remove the root: move the last entry up, clear the vacated tail slot
+   (the space-leak fix — the popped value must not stay reachable from the
+   array), and restore the heap property. *)
+let remove_top q =
+  let last = q.size - 1 in
+  q.size <- last;
+  if last > 0 then begin
+    q.times.(0) <- q.times.(last);
+    q.seqs.(0) <- q.seqs.(last);
+    q.values.(0) <- q.values.(last);
+    q.values.(last) <- dummy;
+    sift_down q 0
+  end
+  else q.values.(0) <- dummy
+
+let pop_value q =
+  if q.size = 0 then invalid_arg "Event_queue.pop_value: empty queue";
+  let v = q.values.(0) in
+  remove_top q;
+  Obj.obj v
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
-      sift_down q 0
-    end;
-    Some (top.time, top.value)
+    let t = q.times.(0) and v = q.values.(0) in
+    remove_top q;
+    Some (Sim_time.of_us t, Obj.obj v)
   end
 
 let clear q =
-  q.heap <- [||];
+  q.times <- [||];
+  q.seqs <- [||];
+  q.values <- [||];
   q.size <- 0

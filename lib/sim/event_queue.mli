@@ -1,7 +1,13 @@
 (** Priority queue of timestamped events.
 
     A binary min-heap keyed by [(time, sequence)]: events at equal instants
-    pop in insertion order, which keeps simulations deterministic. *)
+    pop in insertion order, which keeps simulations deterministic.
+
+    The heap is laid out as parallel arrays — priority keys in unboxed
+    [int] arrays, payloads beside them — so [add] allocates nothing in the
+    steady state and comparisons never chase a pointer. Popped (and
+    cleared) slots are overwritten, so a consumed event's value is
+    unreachable as soon as it is returned. *)
 
 type 'a t
 (** A queue of events carrying values of type ['a]. *)
@@ -20,9 +26,19 @@ val add : 'a t -> time:Sim_time.t -> 'a -> unit
 val peek_time : 'a t -> Sim_time.t option
 (** [peek_time q] is the instant of the earliest event, if any. *)
 
+val next_time_us : 'a t -> int
+(** O(1), allocation-free peek: the earliest event's time in microseconds,
+    or [max_int] when the queue is empty. The engine's hot loop compares
+    this against its limit before committing to a pop. *)
+
 val pop : 'a t -> (Sim_time.t * 'a) option
 (** [pop q] removes and returns the earliest event: at equal instants the
     one enqueued first. *)
 
+val pop_value : 'a t -> 'a
+(** Allocation-free [pop] for callers that already read the event's time
+    via {!next_time_us}: removes the earliest event and returns just its
+    value. @raise Invalid_argument on an empty queue. *)
+
 val clear : 'a t -> unit
-(** Removes every event. *)
+(** Removes every event and drops every reference the queue held. *)

@@ -1,0 +1,156 @@
+(* Tests for the Parallel.Domain_pool fan-out: pool semantics (ordering,
+   exceptions, worker-count resolution) and the determinism contract — the
+   experiment sweeps and explorer storms must produce byte-identical output
+   at any worker count. *)
+
+module Pool = Parallel.Domain_pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- Pool semantics ---- *)
+
+let test_map_empty () =
+  Alcotest.(check (list int)) "empty in, empty out" [] (Pool.map ~jobs:4 succ [])
+
+let test_map_jobs1_equals_list_map () =
+  let items = List.init 100 Fun.id in
+  Alcotest.(check (list int)) "jobs=1 is List.map"
+    (List.map (fun x -> (x * x) + 1) items)
+    (Pool.map ~jobs:1 (fun x -> (x * x) + 1) items)
+
+let test_map_preserves_order () =
+  (* More items than workers, uneven per-item cost: results must still be
+     joined by index, not completion order. *)
+  let items = List.init 500 Fun.id in
+  let f x =
+    let n = ref 0 in
+    for _ = 1 to (x mod 17) * 1000 do
+      incr n
+    done;
+    string_of_int (x + !n - !n)
+  in
+  Alcotest.(check (list string)) "indexed join" (List.map string_of_int items)
+    (Pool.map ~jobs:4 f items)
+
+let test_map_array_matches_map () =
+  let items = Array.init 37 Fun.id in
+  Alcotest.(check (array int)) "array variant" (Array.map succ items)
+    (Pool.map_array ~jobs:3 succ items)
+
+let test_run_all () =
+  let thunks = List.init 20 (fun i () -> i * 3) in
+  Alcotest.(check (list int)) "thunks in order" (List.init 20 (fun i -> i * 3))
+    (Pool.run_all ~jobs:4 thunks)
+
+exception Boom of int
+
+let test_exception_propagates_lowest_index () =
+  (* Indices 3, 10, 17, ... all raise; the re-raised one must be the lowest
+     regardless of which worker hit it first. *)
+  let f i = if i mod 7 = 3 then raise (Boom i) else i in
+  let raised =
+    try
+      ignore (Pool.map ~jobs:4 f (List.init 100 Fun.id));
+      None
+    with Boom i -> Some i
+  in
+  Alcotest.(check (option int)) "lowest failing index" (Some 3) raised
+
+let test_jobs_resolution () =
+  check_bool "default is at least one" true (Pool.default_jobs () >= 1);
+  Pool.set_default_jobs 3;
+  check_int "override wins" 3 (Pool.default_jobs ());
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Domain_pool.set_default_jobs: need at least one worker") (fun () ->
+      Pool.set_default_jobs 0);
+  Pool.set_default_jobs 1
+
+(* ---- Determinism across worker counts ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Captures what [f] prints to stdout, byte for byte. *)
+let capture_stdout f =
+  let old = Unix.dup Unix.stdout in
+  let tmp = Filename.temp_file "groupsafe_capture" ".txt" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 old Unix.stdout;
+      Unix.close old)
+    f;
+  let s = read_file tmp in
+  Sys.remove tmp;
+  s
+
+(* The report echoes the CSV path, so both runs must share one. *)
+let fig9_output jobs csv_path =
+  Pool.set_default_jobs jobs;
+  let table =
+    capture_stdout (fun () ->
+        Harness.Experiment.fig9 ~seed:11L ~loads:[ 20.; 30. ] ~measure_s:2. ~replications:2
+          ~csv_path ())
+  in
+  (table, read_file csv_path)
+
+let test_fig9_identical_across_jobs () =
+  let csv_path = Filename.temp_file "groupsafe_fig9" ".csv" in
+  let table_1, csv_1 = fig9_output 1 csv_path in
+  let table_4, csv_4 = fig9_output 4 csv_path in
+  Sys.remove csv_path;
+  Pool.set_default_jobs 1;
+  check_bool "table is non-trivial" true (String.length table_1 > 100);
+  Alcotest.(check string) "report table byte-identical" table_1 table_4;
+  Alcotest.(check string) "fig9 csv byte-identical" csv_1 csv_4
+
+let explorer_verdict jobs technique =
+  Pool.set_default_jobs jobs;
+  let module E = Check.Explorer in
+  let cfg = E.default_config ~predicate:E.Any_loss ~nemesis:true technique in
+  E.render_result
+    (E.explore ~seed:9L ~budget:60 ~max_exhaustive_events:0 ~max_random_events:3 cfg)
+
+let test_explorer_storms_identical_across_jobs () =
+  (* Group-safe storms find the whole-group-crash loss (counterexample path,
+     including runs_to_find and the shrunk trace); 2-safe storms certify
+     loss-free (full-budget path). Both must render identically at any
+     worker count. *)
+  let group_safe = Groupsafe.System.Dsm Groupsafe.Dsm_replica.Group_safe_mode in
+  let two_safe = Groupsafe.System.Dsm Groupsafe.Dsm_replica.Two_safe_mode in
+  let gs_1 = explorer_verdict 1 group_safe in
+  let gs_4 = explorer_verdict 4 group_safe in
+  let ts_1 = explorer_verdict 1 two_safe in
+  let ts_4 = explorer_verdict 4 two_safe in
+  Pool.set_default_jobs 1;
+  Alcotest.(check string) "group-safe verdict byte-identical" gs_1 gs_4;
+  Alcotest.(check string) "2-safe verdict byte-identical" ts_1 ts_4
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "domain_pool",
+        [
+          Alcotest.test_case "empty input" `Quick test_map_empty;
+          Alcotest.test_case "jobs=1 equals List.map" `Quick test_map_jobs1_equals_list_map;
+          Alcotest.test_case "order preserved" `Quick test_map_preserves_order;
+          Alcotest.test_case "map_array" `Quick test_map_array_matches_map;
+          Alcotest.test_case "run_all" `Quick test_run_all;
+          Alcotest.test_case "lowest-index exception" `Quick test_exception_propagates_lowest_index;
+          Alcotest.test_case "jobs resolution" `Quick test_jobs_resolution;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fig9 sweep across jobs" `Quick test_fig9_identical_across_jobs;
+          Alcotest.test_case "nemesis storms across jobs" `Quick
+            test_explorer_storms_identical_across_jobs;
+        ] );
+    ]

@@ -62,6 +62,65 @@ let prop_queue_pops_sorted =
       && List.for_all2 Sim_time.equal popped
            (List.sort Sim_time.compare (List.map Sim_time.of_us times)))
 
+(* Popped and cleared events must become unreachable: a binary heap that
+   moves the last entry to the root on pop leaves the old closure reachable
+   at the vacated slot unless it is explicitly cleared — a space leak when
+   payloads capture large state. The helpers are [@inline never] so no
+   local in the test frame pins the payload across the GC. *)
+
+let[@inline never] add_tracked q collected =
+  let payload = ref 0 in
+  Gc.finalise (fun _ -> collected := true) payload;
+  Event_queue.add q ~time:(Sim_time.of_us 1) payload
+
+let[@inline never] pop_ignore q = ignore (Event_queue.pop q)
+
+let test_queue_pop_releases_payload () =
+  let q = Event_queue.create () in
+  let collected = ref false in
+  add_tracked q collected;
+  pop_ignore q;
+  Gc.full_major ();
+  check_bool "popped payload collected" true !collected
+
+let test_queue_clear_releases_payloads () =
+  let q = Event_queue.create () in
+  let collected = ref false in
+  add_tracked q collected;
+  Event_queue.clear q;
+  Gc.full_major ();
+  check_bool "cleared payload collected" true !collected
+
+let test_queue_fast_path_accessors () =
+  let q : int Event_queue.t = Event_queue.create () in
+  check_int "next_time_us on empty" max_int (Event_queue.next_time_us q);
+  Alcotest.check_raises "pop_value on empty"
+    (Invalid_argument "Event_queue.pop_value: empty queue") (fun () ->
+      ignore (Event_queue.pop_value q));
+  Event_queue.add q ~time:(Sim_time.of_us 70) 7;
+  Event_queue.add q ~time:(Sim_time.of_us 20) 2;
+  check_int "next_time_us is the top" 20 (Event_queue.next_time_us q);
+  check_int "pop_value pops the top" 2 (Event_queue.pop_value q);
+  check_int "next_time_us advances" 70 (Event_queue.next_time_us q)
+
+let test_queue_add_steady_state_no_alloc () =
+  let q = Event_queue.create () in
+  (* Grow the arrays past what the measured loop needs, then drain. *)
+  for i = 1 to 1024 do
+    Event_queue.add q ~time:(Sim_time.of_us i) i
+  done;
+  while Event_queue.pop q <> None do
+    ()
+  done;
+  let before = Gc.minor_words () in
+  for i = 1 to 512 do
+    Event_queue.add q ~time:(Sim_time.of_us i) i
+  done;
+  let words = Gc.minor_words () -. before in
+  (* The Gc.minor_words calls themselves box a float; anything per-add
+     would cost >= 512 words. *)
+  check_bool "no per-add allocation" true (words < 100.)
+
 (* ---- Rng ---- *)
 
 let test_rng_determinism () =
@@ -399,6 +458,11 @@ let () =
       ( "event_queue",
         Alcotest.test_case "ordering" `Quick test_queue_ordering
         :: Alcotest.test_case "fifo at equal times" `Quick test_queue_fifo_at_equal_times
+        :: Alcotest.test_case "pop releases payload" `Quick test_queue_pop_releases_payload
+        :: Alcotest.test_case "clear releases payloads" `Quick test_queue_clear_releases_payloads
+        :: Alcotest.test_case "fast-path accessors" `Quick test_queue_fast_path_accessors
+        :: Alcotest.test_case "steady-state add allocates nothing" `Quick
+             test_queue_add_steady_state_no_alloc
         :: qsuite [ prop_queue_pops_sorted ] );
       ( "rng",
         Alcotest.test_case "determinism" `Quick test_rng_determinism

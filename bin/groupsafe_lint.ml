@@ -1,0 +1,66 @@
+(* groupsafe_lint: the repo's determinism / domain-safety / hygiene linter.
+
+   Usage: groupsafe_lint [--assume-lib] PATH...
+
+   Walks every .ml under the given paths (sorted, so output order is itself
+   deterministic), applies the rule catalogue in Lint (see docs/LINTING.md)
+   and prints findings as "file:line: [rule-id] message". Exit code 1 when
+   anything fires, 0 on a clean tree. Library-only rules (P-toplevel-mutable,
+   H-missing-mli) apply to files with a "lib" path component, or to every
+   file under --assume-lib (used by the fixture golden test). *)
+
+let is_lib_path path =
+  match List.rev (String.split_on_char '/' path) with
+  | _file :: dirs -> List.mem "lib" dirs
+  | [] -> false
+
+let skip_dir name =
+  String.length name > 0 && (name.[0] = '_' || name.[0] = '.')
+
+let rec collect path acc =
+  if Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if skip_dir name then acc else collect (Filename.concat path name) acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let assume_lib = ref false in
+  let roots = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--assume-lib" -> assume_lib := true
+        | "--help" | "-help" ->
+          print_endline "usage: groupsafe_lint [--assume-lib] PATH...";
+          exit 0
+        | _ -> roots := arg :: !roots)
+    Sys.argv;
+  let roots = List.rev !roots in
+  if roots = [] then begin
+    prerr_endline "groupsafe_lint: no paths given (try: groupsafe_lint lib bin bench)";
+    exit 2
+  end;
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Printf.eprintf "groupsafe_lint: no such path %s\n" root;
+        exit 2
+      end)
+    roots;
+  let files = List.sort String.compare (List.concat_map (fun r -> collect r []) roots) in
+  let findings =
+    List.concat_map
+      (fun file -> Lint.check_file ~lib:(!assume_lib || is_lib_path file) file)
+      files
+    |> List.sort Lint.compare_finding
+  in
+  List.iter (fun f -> Format.printf "%a@." Lint.pp f) findings;
+  Printf.eprintf "groupsafe_lint: %d file(s), %d finding(s)\n" (List.length files)
+    (List.length findings);
+  if findings <> [] then exit 1

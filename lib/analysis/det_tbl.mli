@@ -1,0 +1,39 @@
+(** Deterministic iteration over [Hashtbl.t].
+
+    [Hashtbl]'s own [iter]/[fold] visit bindings in bucket order, which
+    depends on the table's insertion and resize history: two tables holding
+    the {e same} bindings can enumerate them differently. Any such
+    enumeration that reaches a report, a trace, a CSV file or the simulated
+    network breaks the repo's byte-identical-determinism contract (see
+    docs/LINTING.md, rule [D-hashtbl-iter]).
+
+    This module enumerates the {e distinct keys in ascending order} instead,
+    so the result depends only on the table's contents. For keys bound
+    multiple times with [Hashtbl.add], only the most recent binding (the one
+    [Hashtbl.find] returns) is visited. The sort costs [O(n log n)] per
+    call — fine everywhere except tight per-event paths, where an
+    order-independent use of [Hashtbl.iter] with a
+    [[@lint.allow "D-hashtbl-iter" "..."]] justification is the right
+    trade. *)
+
+val sorted_keys : ?cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** [sorted_keys tbl] is the distinct keys of [tbl] in ascending [cmp]
+    order. [cmp] defaults to polymorphic [compare]. *)
+
+val iter :
+  ?cmp:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [iter f tbl] applies [f] to each distinct binding of [tbl] in ascending
+    key order. *)
+
+val fold :
+  ?cmp:('k -> 'k -> int) ->
+  ('k -> 'v -> 'acc -> 'acc) ->
+  ('k, 'v) Hashtbl.t ->
+  'acc ->
+  'acc
+(** [fold f tbl init] folds [f] over the distinct bindings of [tbl] in
+    ascending key order. *)
+
+val bindings : ?cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** [bindings tbl] is the distinct bindings of [tbl] sorted by key —
+    [Hashtbl.to_seq] made deterministic. *)

@@ -1,0 +1,325 @@
+open Parsetree
+
+type finding = { file : string; line : int; rule : string; message : string }
+
+let rules =
+  [
+    ( "D-random",
+      "Stdlib.Random breaks replayability; draw from a seeded Sim.Rng stream" );
+    ( "D-wallclock",
+      "wall-clock reads (Unix.gettimeofday/Unix.time/Sys.time) are \
+       nondeterministic; simulation logic must use Sim.Sim_time" );
+    ( "D-hashtbl-iter",
+      "Hashtbl.iter/fold order depends on the table's history; use \
+       Analysis.Det_tbl sorted iteration" );
+    ( "D-float-eq",
+      "exact float (in)equality against a literal is brittle; compare with \
+       a tolerance or use integer microseconds" );
+    ( "P-toplevel-mutable",
+      "top-level mutable state in a library is shared across Domain_pool \
+       workers; wrap it in Atomic/Mutex or allocate it per simulation" );
+    ( "H-ignored-result",
+      "ignoring a result-typed value silently drops the Error case; match \
+       on it explicitly" );
+    ( "H-catchall-exn",
+      "a catch-all exception handler also swallows Break, Stack_overflow \
+       and Assert_failure; match specific exceptions or re-raise" );
+    ("H-missing-mli", "every library module needs a reviewed .mli interface");
+    ( "L-unknown-rule",
+      "[@lint.allow] names a rule id the linter does not know" );
+    ( "L-bad-allow",
+      "[@lint.allow] must carry a rule id and a non-empty reason string" );
+    ("L-parse-error", "the file does not parse, so it cannot be linted");
+  ]
+
+let known_rule id = List.mem_assoc id rules
+
+(* Rules a [@lint.allow] may name: the lint-meta rules themselves are not
+   suppressible, otherwise a malformed suppression could hide its own
+   diagnostic. *)
+let suppressible id = known_rule id && not (String.length id > 1 && id.[0] = 'L')
+
+type ctx = {
+  file : string;
+  lib : bool;
+  mutable scopes : (string * string) list;  (** active (rule-id, reason) allows *)
+  mutable inside_expr : bool;  (** false only at module top level *)
+  mutable findings : finding list;
+}
+
+let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+let report ctx loc rule message =
+  if not (List.mem_assoc rule ctx.scopes) then
+    ctx.findings <- { file = ctx.file; line = line_of loc; rule; message } :: ctx.findings
+
+(* L-findings bypass the suppression scopes (see [suppressible]). *)
+let report_meta ctx loc rule message =
+  ctx.findings <- { file = ctx.file; line = line_of loc; rule; message } :: ctx.findings
+
+(* ---- [@lint.allow "rule-id" "reason"] ---- *)
+
+let string_const e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | _ -> None
+
+let add_allows ctx (attrs : attributes) =
+  List.iter
+    (fun (a : attribute) ->
+      if String.equal a.attr_name.txt "lint.allow" then begin
+        let payload =
+          match a.attr_payload with
+          | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> begin
+            match e.pexp_desc with
+            | Pexp_apply (f, [ (Asttypes.Nolabel, arg) ]) -> begin
+              match (string_const f, string_const arg) with
+              | Some rule, Some reason -> Some (rule, reason)
+              | _ -> None
+            end
+            | _ -> None
+          end
+          | _ -> None
+        in
+        match payload with
+        | Some (rule, reason) when suppressible rule && String.trim reason <> "" ->
+          ctx.scopes <- (rule, reason) :: ctx.scopes
+        | Some (rule, _) when not (suppressible rule) ->
+          report_meta ctx a.attr_loc "L-unknown-rule"
+            (Printf.sprintf "unknown rule id %S in [@lint.allow] (see docs/LINTING.md)" rule)
+        | Some _ | None ->
+          report_meta ctx a.attr_loc "L-bad-allow"
+            "expected [@lint.allow \"rule-id\" \"non-empty reason\"]"
+      end)
+    attrs
+
+(* ---- syntactic helpers ---- *)
+
+let rec flatten_longident = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> flatten_longident p @ [ s ]
+  | Longident.Lapply _ -> []
+
+let peel_stdlib = function "Stdlib" :: rest -> rest | path -> path
+
+let ident_path lid = peel_stdlib (flatten_longident lid)
+
+let rec peel_constraints e =
+  match e.pexp_desc with
+  | Pexp_constraint (e', _) | Pexp_coerce (e', _, _) -> peel_constraints e'
+  | _ -> e
+
+let is_float_const e =
+  match (peel_constraints e).pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+let has_suffix s suf =
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf && String.sub s (ls - lf) lf = suf
+
+let rec type_mentions_result (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, args) ->
+    (match List.rev (flatten_longident txt) with
+    | ("result" | "Result") :: _ -> true
+    | _ -> List.exists type_mentions_result args)
+  | Ptyp_arrow (_, a, b) -> type_mentions_result a || type_mentions_result b
+  | Ptyp_tuple ts -> List.exists type_mentions_result ts
+  | Ptyp_poly (_, t') | Ptyp_alias (t', _) -> type_mentions_result t'
+  | _ -> false
+
+(* Typed-AST-free approximation of "this expression has type _ result":
+   explicit annotations, Ok/Error constructions, calls into [Result], and
+   calls of functions named [*_result]. *)
+let rec result_typed e =
+  match e.pexp_desc with
+  | Pexp_constraint (e', t) -> type_mentions_result t || result_typed e'
+  | Pexp_coerce (e', _, t) -> type_mentions_result t || result_typed e'
+  | Pexp_construct ({ txt = Longident.Lident ("Ok" | "Error"); _ }, _) -> true
+  | Pexp_apply (f, _) -> begin
+    match f.pexp_desc with
+    | Pexp_ident { txt; _ } -> begin
+      match ident_path txt with
+      | "Result" :: _ :: _ -> true
+      | path -> ( match List.rev path with name :: _ -> has_suffix name "_result" | [] -> false)
+    end
+    | _ -> false
+  end
+  | _ -> false
+
+let rec catchall_pattern p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (p', _) -> catchall_pattern p'
+  | Ppat_or (a, b) -> catchall_pattern a || catchall_pattern b
+  | _ -> false
+
+let mentions_raise e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident ("raise" | "raise_notrace" | "reraise"); _ } ->
+            found := true
+          | Pexp_ident { txt; _ } -> (
+            match ident_path txt with
+            | [ "Printexc"; "raise_with_backtrace" ] -> found := true
+            | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let mutable_constructor path =
+  match path with
+  | [ "ref" ]
+  | [ "Hashtbl"; "create" ]
+  | [ "Buffer"; "create" ]
+  | [ "Queue"; "create" ]
+  | [ "Stack"; "create" ] ->
+    true
+  | _ -> false
+
+(* ---- per-expression checks ---- *)
+
+let check_ident ctx loc lid =
+  match ident_path lid with
+  | "Random" :: _ ->
+    report ctx loc "D-random"
+      "Stdlib.Random is not replayable; draw from a seeded Sim.Rng stream instead"
+  | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] ->
+    report ctx loc "D-wallclock"
+      "wall-clock reads are nondeterministic; simulation logic must use \
+       Sim.Sim_time (real timing needs a [@lint.allow] justification)"
+  | [ "Hashtbl"; (("iter" | "fold") as fn) ] ->
+    report ctx loc "D-hashtbl-iter"
+      (Printf.sprintf
+         "Hashtbl.%s order depends on the table's history; use \
+          Analysis.Det_tbl.%s or justify order-independence"
+         fn fn)
+  | _ -> ()
+
+let check_expr ctx e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; loc } -> check_ident ctx loc txt
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }, [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ])
+    when (op = "=" || op = "<>" || op = "==" || op = "!=") && (is_float_const a || is_float_const b) ->
+    report ctx e.pexp_loc "D-float-eq"
+      (Printf.sprintf
+         "(%s) against a float literal is brittle; compare with a tolerance \
+          or use integer microseconds"
+         op)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident "ignore"; _ }; _ }, [ (Asttypes.Nolabel, arg) ])
+    when result_typed (peel_constraints arg) || result_typed arg ->
+    report ctx e.pexp_loc "H-ignored-result"
+      "ignoring a result-typed value drops the Error case; match on it explicitly"
+  | Pexp_try (_, cases) ->
+    List.iter
+      (fun c ->
+        if catchall_pattern c.pc_lhs && not (mentions_raise c.pc_rhs) then
+          report ctx c.pc_lhs.ppat_loc "H-catchall-exn"
+            "catch-all handler swallows Break/Stack_overflow/Assert_failure \
+             too; match specific exceptions or re-raise")
+      cases
+  | _ -> ()
+
+let check_toplevel_mutable ctx (vb : value_binding) =
+  match (peel_constraints vb.pvb_expr).pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) when mutable_constructor (ident_path txt) ->
+    report ctx vb.pvb_loc "P-toplevel-mutable"
+      "top-level mutable state in a library is shared across Domain_pool \
+       workers; wrap it in Atomic/Mutex or justify single-domain use"
+  | _ -> ()
+
+(* ---- the walker ---- *)
+
+let iterator ctx =
+  let default = Ast_iterator.default_iterator in
+  let expr it e =
+    let saved_scopes = ctx.scopes in
+    add_allows ctx e.pexp_attributes;
+    check_expr ctx e;
+    let saved_inside = ctx.inside_expr in
+    ctx.inside_expr <- true;
+    default.expr it e;
+    ctx.inside_expr <- saved_inside;
+    ctx.scopes <- saved_scopes
+  in
+  let value_binding it vb =
+    let saved_scopes = ctx.scopes in
+    add_allows ctx vb.pvb_attributes;
+    if (not ctx.inside_expr) && ctx.lib then check_toplevel_mutable ctx vb;
+    default.value_binding it vb;
+    ctx.scopes <- saved_scopes
+  in
+  let module_binding it mb =
+    let saved_scopes = ctx.scopes in
+    add_allows ctx mb.pmb_attributes;
+    default.module_binding it mb;
+    ctx.scopes <- saved_scopes
+  in
+  let structure_item it si =
+    match si.pstr_desc with
+    | Pstr_attribute attr ->
+      (* Floating [@@@lint.allow ...]: applies from here to the end of the
+         enclosing structure (deliberately never popped within it). *)
+      add_allows ctx [ attr ]
+    | Pstr_eval (_, attrs) ->
+      let saved_scopes = ctx.scopes in
+      add_allows ctx attrs;
+      default.structure_item it si;
+      ctx.scopes <- saved_scopes
+    | _ -> default.structure_item it si
+  in
+  { default with expr; value_binding; module_binding; structure_item }
+
+let check_source ~file ~lib src =
+  let ctx = { file; lib; scopes = []; inside_expr = false; findings = [] } in
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  (match Parse.implementation lexbuf with
+  | exception Syntaxerr.Error err ->
+    let loc = Syntaxerr.location_of_error err in
+    report_meta ctx loc "L-parse-error" "syntax error; fix the file before linting"
+  | exception Lexer.Error (_, loc) ->
+    report_meta ctx loc "L-parse-error" "lexing error; fix the file before linting"
+  | str ->
+    let it = iterator ctx in
+    it.structure it str);
+  List.rev ctx.findings
+
+let check_file ~lib path =
+  let src = In_channel.with_open_bin path In_channel.input_all in
+  let findings = check_source ~file:path ~lib src in
+  if lib && not (Sys.file_exists (path ^ "i")) then
+    findings
+    @ [
+        {
+          file = path;
+          line = 1;
+          rule = "H-missing-mli";
+          message = "library module has no .mli interface; add one so the public surface is reviewed";
+        };
+      ]
+  else findings
+
+let compare_finding (a : finding) (b : finding) =
+  match String.compare a.file b.file with
+  | 0 -> begin
+    match Int.compare a.line b.line with
+    | 0 -> begin
+      match String.compare a.rule b.rule with
+      | 0 -> String.compare a.message b.message
+      | c -> c
+    end
+    | c -> c
+  end
+  | c -> c
+
+let pp ppf (f : finding) = Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message

@@ -1,0 +1,33 @@
+(** [groupsafe_lint]'s engine: repo-specific determinism, parallelism and
+    hygiene invariants enforced over parsetrees (no typing pass — the rules
+    are syntactic, cheap, and run on any file that parses).
+
+    Rule catalogue, one bad/good example per rule, and the suppression
+    policy live in docs/LINTING.md. Findings inside a lexical scope carrying
+    a [[@lint.allow "rule-id" "reason"]] attribute (expression, let-binding
+    [[@@...]], or file-level floating [[@@@...]]) are suppressed; the reason
+    string is mandatory and an unknown rule id is itself a finding, so every
+    suppression stays reviewable. *)
+
+type finding = { file : string; line : int; rule : string; message : string }
+
+val rules : (string * string) list
+(** [(id, summary)] for every rule the walker can emit, in catalogue order:
+    [D-*] determinism, [P-*] parallelism, [H-*] hygiene, [L-*] lint-meta
+    (malformed or unknown suppressions, unparseable files). *)
+
+val check_source : file:string -> lib:bool -> string -> finding list
+(** [check_source ~file ~lib src] lints the implementation source [src].
+    [file] is used for reporting only. [lib] enables the rules that apply
+    only to library code ([P-toplevel-mutable]). The missing-interface rule
+    needs the filesystem and is handled by {!check_file}. *)
+
+val check_file : lib:bool -> string -> finding list
+(** [check_file ~lib path] reads and lints [path]; when [lib] is set it also
+    requires a sibling [.mli] ([H-missing-mli]). *)
+
+val compare_finding : finding -> finding -> int
+(** Report order: file, then line, then rule id, then message. *)
+
+val pp : Format.formatter -> finding -> unit
+(** Prints [file:line: [rule-id] message]. *)

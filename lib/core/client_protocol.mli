@@ -1,0 +1,13 @@
+(** The client/server wire protocol.
+
+    Clients are ordinary network nodes and servers answer their requests; a
+    reply lost to a crash is the client's problem (timeout and retry —
+    testable transactions make retries harmless). Shared between {!System}
+    (server side) and {!Client}. *)
+
+type Net.Message.payload +=
+  | Client_request of { tx : Db.Transaction.t }
+      (** Execute [tx] on the delegate server and reply with its outcome. *)
+  | Client_reply of { tx_id : Db.Transaction.id; outcome : Db.Testable_tx.outcome }
+      (** The recorded outcome for [tx_id] — answered from the testable
+          transaction log on retries, so execution stays exactly-once. *)

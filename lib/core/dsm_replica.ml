@@ -120,7 +120,7 @@ let check_2safe_responses t =
         Gcs.Failure_detector.trusted fd
     in
     let ready_txs =
-      Hashtbl.fold
+      Analysis.Det_tbl.fold
         (fun tx w acc ->
           if List.for_all (fun n -> Net.Node_id.Set.mem n w.acks) required then tx :: acc else acc)
         t.waiting_2safe []

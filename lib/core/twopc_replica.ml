@@ -6,7 +6,15 @@ type Net.Message.payload +=
 
 (* Durable prepare records: what a recovering participant finds and must
    resolve with the coordinator. *)
-type prep_record = { p_tx : Db.Transaction.id; p_writes : (int * int) list; p_coord : int }
+type prep_record = {
+  p_tx : Db.Transaction.id;
+  (* The durable prepare format must carry the write set even though
+     recovery re-learns the writes from the coordinator's Tpc_decision:
+     dropping it from the record would be an on-disk format change, not a
+     cleanup. *)
+  p_writes : (int * int) list; [@warning "-69"]
+  p_coord : int;
+}
 
 type coord_state = {
   c_writes : (int * int) list;
@@ -255,7 +263,7 @@ let submit t tx ~on_response =
 (* ---- Recovery ---- *)
 
 let resolve_in_doubt t =
-  Hashtbl.iter
+  Analysis.Det_tbl.iter
     (fun tx_id record -> send t (node_of_index t record.p_coord) (Tpc_decision_req { tx_id }))
     t.prepared
 

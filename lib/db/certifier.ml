@@ -47,7 +47,8 @@ let reset c =
   c.commits <- 0;
   c.aborts <- 0
 
-let export c = (c.version, Hashtbl.fold (fun item v acc -> (item, v) :: acc) c.last_written [])
+let export c =
+  (c.version, Analysis.Det_tbl.fold (fun item v acc -> (item, v) :: acc) c.last_written [])
 
 let import c ~version ~bindings =
   reset c;

@@ -24,11 +24,12 @@ let find t id = Hashtbl.find_opt t id
 let already_processed t id = Hashtbl.mem t id
 let count t = Hashtbl.length t
 let reset t = Hashtbl.reset t
-let to_list t = Hashtbl.fold (fun id outcome acc -> (id, outcome) :: acc) t []
+let to_list t = Analysis.Det_tbl.fold (fun id outcome acc -> (id, outcome) :: acc) t []
 
 let replace t entries =
   Hashtbl.reset t;
   List.iter (fun (id, outcome) -> Hashtbl.replace t id outcome) entries
 
 let committed_count t =
-  Hashtbl.fold (fun _ outcome n -> match outcome with Committed -> n + 1 | Aborted -> n) t 0
+  (Hashtbl.fold (fun _ outcome n -> match outcome with Committed -> n + 1 | Aborted -> n) t 0
+  [@lint.allow "D-hashtbl-iter" "counting commits is iteration-order independent"])

@@ -51,7 +51,9 @@ module Make (V : VALUE) = struct
 
   type t = {
     ep : Net.Endpoint.t;
-    engine : Sim.Engine.t;
+    (* Never read after construction; kept so an inspected node state names
+       its engine. *)
+    engine : Sim.Engine.t; [@warning "-69"]
     uniform : bool;
     group : Net.Node_id.t list;  (* sorted, includes self *)
     others : Net.Node_id.t list;
@@ -64,6 +66,7 @@ module Make (V : VALUE) = struct
     (* Acceptor: one global promise, per-slot accepted values. *)
     mutable promised : Ballot.t option;
     accepted : (int, Ballot.t * entry) Hashtbl.t;
+    mutable max_accepted_seen : int;
     (* Learner. *)
     chosen : (int, entry) Hashtbl.t;
     mutable first_unchosen : int;
@@ -99,6 +102,25 @@ module Make (V : VALUE) = struct
         ~on_durable:(Sim.Process.guard (Net.Endpoint.process m.ep) k)
 
   let note_ballot m (b : Ballot.t) = if b.round > m.max_round then m.max_round <- b.round
+
+  let record_accepted m slot (b, e) =
+    Hashtbl.replace m.accepted slot (b, e);
+    if slot > m.max_accepted_seen then m.max_accepted_seen <- slot
+
+  (* Slots are dense integers below a tracked high-water mark, so slot
+     tables are enumerated with a bounded range scan: ascending by
+     construction (deterministic without sorting), and O(slots above
+     [from_slot]) rather than O(table) — [handle_prepare] runs on every
+     leader lease re-assertion, where a whole-table walk would grow
+     without bound over a long run. *)
+  let slot_range tbl ~from_slot ~until f =
+    let acc = ref [] in
+    for slot = until downto from_slot do
+      match Hashtbl.find_opt tbl slot with
+      | Some v -> acc := f slot v :: !acc
+      | None -> ()
+    done;
+    !acc
 
   (* Acceptor state as a Paxos_core view for one slot. *)
   let slot_acceptor m slot : entry Paxos_core.acceptor =
@@ -151,9 +173,9 @@ module Make (V : VALUE) = struct
   let resend_inflight m =
     match m.leadership with
     | Leading l ->
-      Hashtbl.fold (fun slot (e, _) acc -> (slot, e) :: acc) l.l_inflight []
-      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-      |> List.iter (fun (slot, e) -> broadcast m (Accept { b = l.l_ballot; slot; e }))
+      Analysis.Det_tbl.iter
+        (fun slot (e, _) -> broadcast m (Accept { b = l.l_ballot; slot; e }))
+        l.l_inflight
     | Preparing _ | Follower -> ()
 
   let assign_and_send m (l : leading_state) e =
@@ -221,14 +243,11 @@ module Make (V : VALUE) = struct
     | Paxos_core.Promise (state, _) ->
       m.promised <- state.Paxos_core.promised;
       let accepted =
-        Hashtbl.fold
-          (fun slot (ab, ae) acc -> if slot >= from_slot then (slot, ab, ae) :: acc else acc)
-          m.accepted []
+        slot_range m.accepted ~from_slot ~until:m.max_accepted_seen (fun slot (ab, ae) ->
+            (slot, ab, ae))
       in
       let chosen =
-        Hashtbl.fold
-          (fun slot e acc -> if slot >= from_slot then (slot, e) :: acc else acc)
-          m.chosen []
+        slot_range m.chosen ~from_slot ~until:m.max_chosen_seen (fun slot e -> (slot, e))
       in
       let reply () = send m src (Promise { b; accepted; chosen }) in
       if already_promised then reply () else persist m (D_promised b) reply
@@ -242,9 +261,12 @@ module Make (V : VALUE) = struct
     m.leadership <- Leading l;
     (* Determine the highest slot any report or local state mentions. *)
     let top = ref (m.first_unchosen - 1) in
-    Hashtbl.iter (fun slot _ -> if slot > !top then top := slot) ps.p_reports;
-    Hashtbl.iter (fun slot _ -> if slot > !top then top := slot) m.accepted;
-    Hashtbl.iter (fun slot _ -> if slot > !top then top := slot) m.chosen;
+    (Hashtbl.iter (fun slot _ -> if slot > !top then top := slot) ps.p_reports
+    [@lint.allow "D-hashtbl-iter" "max over slot keys is iteration-order independent"]);
+    (Hashtbl.iter (fun slot _ -> if slot > !top then top := slot) m.accepted
+    [@lint.allow "D-hashtbl-iter" "max over slot keys is iteration-order independent"]);
+    (Hashtbl.iter (fun slot _ -> if slot > !top then top := slot) m.chosen
+    [@lint.allow "D-hashtbl-iter" "max over slot keys is iteration-order independent"]);
     for slot = ps.p_from to !top do
       match Hashtbl.find_opt m.chosen slot with
       | Some e -> broadcast m (Chosen { slot; e })
@@ -286,7 +308,7 @@ module Make (V : VALUE) = struct
     | Paxos_core.Accepted state ->
       m.promised <- state.Paxos_core.promised;
       (match state.Paxos_core.accepted with
-       | Some (ab, ae) -> Hashtbl.replace m.accepted slot (ab, ae)
+       | Some (ab, ae) -> record_accepted m slot (ab, ae)
        | None -> ());
       persist m (D_accepted (slot, b, e)) (fun () -> send m src (Accept_ok { b; slot }));
       if not m.uniform then add_chosen m slot e
@@ -348,7 +370,7 @@ module Make (V : VALUE) = struct
 
   let handle_catchup_req m src from_slot =
     let entries =
-      Hashtbl.fold (fun slot e acc -> if slot >= from_slot then (slot, e) :: acc else acc) m.chosen []
+      slot_range m.chosen ~from_slot ~until:m.max_chosen_seen (fun slot e -> (slot, e))
     in
     if entries <> [] then send m src (Catchup_reply { entries })
 
@@ -357,6 +379,7 @@ module Make (V : VALUE) = struct
   let wipe_volatile m =
     m.promised <- None;
     Hashtbl.reset m.accepted;
+    m.max_accepted_seen <- -1;
     Hashtbl.reset m.chosen;
     m.leadership <- Follower;
     Queue.clear m.pending;
@@ -385,7 +408,7 @@ module Make (V : VALUE) = struct
             note_ballot m b;
             match Hashtbl.find_opt m.accepted slot with
             | Some (prev, _) when Ballot.compare prev b >= 0 -> ()
-            | Some _ | None -> Hashtbl.replace m.accepted slot (b, e)
+            | Some _ | None -> record_accepted m slot (b, e)
           end)
       (Store.Stable_storage.durable_records st);
     match m.promised with Some b -> note_ballot m b | None -> ()
@@ -506,6 +529,7 @@ module Make (V : VALUE) = struct
         status = Active;
         promised = None;
         accepted = Hashtbl.create 64;
+        max_accepted_seen = -1;
         chosen = Hashtbl.create 64;
         first_unchosen = 0;
         next_deliver = 0;

@@ -1095,11 +1095,21 @@ let nemesis ?(seed = 42L) ?(budget = 500) ?(counterexample_path = "nemesis-count
    [Report]'s timing registry so the benchmark trajectory (BENCH_*.json)
    gets per-section visibility rather than one end-to-end total. *)
 let timed section f =
-  let t0 = Unix.gettimeofday () in
+  let t0 =
+    (Unix.gettimeofday ()
+    [@lint.allow "D-wallclock"
+      "per-section timings report real elapsed time to the benchmark \
+       trajectory; they never feed back into simulation logic"])
+  in
   let e0 = Sim.Engine.global_executed () in
   f ();
   Report.record_timing ~section
-    ~wall_s:(Unix.gettimeofday () -. t0)
+    ~wall_s:
+      ((Unix.gettimeofday ()
+       [@lint.allow "D-wallclock"
+         "per-section timings report real elapsed time to the benchmark \
+          trajectory; they never feed back into simulation logic"])
+      -. t0)
     ~events:(Sim.Engine.global_executed () - e0)
 
 let all ?(seed = 1L) ?(fast = false) () =

@@ -38,7 +38,11 @@ let csv ~path ~header rows =
 
 type timing = { section : string; wall_s : float; events : int }
 
-let recorded : timing list ref = ref []
+let recorded : timing list ref =
+  ref []
+[@@lint.allow "P-toplevel-mutable"
+  "Experiment.timed records sections sequentially on the driver domain; \
+   Domain_pool workers never touch the registry"]
 
 let reset_timings () = recorded := []
 let record_timing ~section ~wall_s ~events = recorded := { section; wall_s; events } :: !recorded

@@ -1,6 +1,8 @@
 type 'a t = {
-  engine : Sim.Engine.t;
-  name : string;
+  (* engine and name are never read on the hot path; they identify the cell
+     when a simulation state is inspected post-mortem. *)
+  engine : Sim.Engine.t; [@warning "-69"]
+  name : string; [@warning "-69"]
   disk : Sim.Resource.t;
   write_time : unit -> Sim.Sim_time.span;
   mutable durable : 'a;

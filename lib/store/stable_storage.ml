@@ -5,8 +5,10 @@ let default_config = { group_commit = true }
 type 'a pending = { record : 'a; on_durable : unit -> unit }
 
 type 'a t = {
-  engine : Sim.Engine.t;
-  name : string;
+  (* engine and name are never read on the hot path; they identify the log
+     when a simulation state is inspected post-mortem. *)
+  engine : Sim.Engine.t; [@warning "-69"]
+  name : string; [@warning "-69"]
   disk : Sim.Resource.t;
   write_time : unit -> Sim.Sim_time.span;
   config : config;

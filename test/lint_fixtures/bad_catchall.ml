@@ -1,0 +1,4 @@
+(* Fixture: must trigger exactly H-catchall-exn. *)
+let swallow f = try f () with _ -> ()
+let swallow_named f = try f () with e -> Printf.eprintf "%s" (Printexc.to_string e)
+let fine f = try f () with Not_found -> () | e -> raise e

@@ -1,0 +1,3 @@
+(* Fixture: must trigger exactly D-float-eq. *)
+let is_unit x = x = 1.0
+let nonzero x = 0. <> x

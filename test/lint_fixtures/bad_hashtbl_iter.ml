@@ -1,0 +1,3 @@
+(* Fixture: must trigger exactly D-hashtbl-iter. *)
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%d=%d\n" k v) tbl
+let sum tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0

@@ -1,0 +1,3 @@
+(* Fixture: must trigger exactly H-ignored-result. *)
+let drop r = ignore (Result.map succ r)
+let drop_annotated r = ignore (r : (int, string) result)

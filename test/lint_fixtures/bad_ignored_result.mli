@@ -1,0 +1,1 @@
+(* Interface stub: fixtures are lint inputs, never compiled. *)

@@ -1,0 +1,2 @@
+(* Fixture: must trigger exactly H-missing-mli (no sibling interface). *)
+let id x = x

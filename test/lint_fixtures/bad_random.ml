@@ -1,0 +1,3 @@
+(* Fixture: must trigger exactly D-random. *)
+let roll () = Random.int 6
+let seeded () = Stdlib.Random.self_init ()

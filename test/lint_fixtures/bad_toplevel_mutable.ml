@@ -1,0 +1,3 @@
+(* Fixture: must trigger exactly P-toplevel-mutable. *)
+let counter = ref 0
+let cache : (int, string) Hashtbl.t = Hashtbl.create 16

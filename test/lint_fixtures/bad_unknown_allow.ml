@@ -1,0 +1,2 @@
+(* Fixture: must trigger exactly L-unknown-rule. *)
+let answer () = (42 [@lint.allow "X-bogus" "no such rule"])

@@ -1,0 +1,3 @@
+(* Fixture: must trigger exactly D-wallclock. *)
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

@@ -401,7 +401,7 @@ let () =
         :: Alcotest.test_case "stale read aborts" `Quick test_certifier_stale_read_aborts
         :: Alcotest.test_case "blind writes commit" `Quick test_certifier_write_write_no_abort
         :: Alcotest.test_case "deterministic" `Quick test_certifier_determinism_across_replicas
-        :: List.map QCheck_alcotest.to_alcotest
+        :: List.map (fun t -> QCheck_alcotest.to_alcotest t)
              [ prop_certifier_admits_only_serialisable_histories; prop_lock_table_exclusion ] );
       ("testable_tx", [ Alcotest.test_case "dedup" `Quick test_testable_dedup ]);
       ( "db_engine",

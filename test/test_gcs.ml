@@ -313,7 +313,9 @@ module Abcast = Atomic_broadcast.Make (V) (Snapshot)
 type ab_node = {
   ab : Abcast.t;
   state : int list ref;  (** volatile application state *)
-  durable_db : int list ref;  (** what the app's own disk holds *)
+  durable_db : int list ref; [@warning "-69"]
+      (** what the app's own disk holds; read only through the cold_start
+          closure, never via the field. *)
 }
 
 let make_abcast_cluster n =
@@ -761,7 +763,7 @@ let test_retransmit_crash_silences_until_rearmed () =
     [ 100_000; 1_100_000 ]
     (fires ())
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "gcs"

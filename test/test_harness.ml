@@ -172,7 +172,7 @@ let prop_two_safe_survives_any_storm =
       let report = Safety_checker.analyse sys in
       report.Safety_checker.lost = [])
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "harness"

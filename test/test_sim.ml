@@ -445,7 +445,7 @@ let test_trace_render_and_diff () =
     Alcotest.(check (option string)) "right attr" (Some "2") (Trace.attr y "tx")
   | _ -> Alcotest.fail "expected divergence at index 1"
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "sim"

@@ -23,6 +23,20 @@ let replications =
   let doc = "Independent runs per Figure 9 point (reports 95% confidence)." in
   Arg.(value & opt int 1 & info [ "replications" ] ~docv:"N" ~doc)
 
+let trace_out =
+  let doc =
+    "Also write a Chrome trace-event JSON (open in chrome://tracing or Perfetto) of each \
+     technique's first-load cell."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"PATH" ~doc)
+
+let metrics_out =
+  let doc =
+    "Also write the merged per-technique metrics dump (counters, gauges, latency histograms); \
+     JSON, or CSV when PATH ends in .csv."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"PATH" ~doc)
+
 let fast =
   let doc = "Shrink the sweeps for a quick smoke run." in
   Arg.(value & flag & info [ "fast" ] ~doc)
@@ -87,14 +101,43 @@ let cmds =
     Cmd.v
       (Cmd.info "fig9" ~doc:"Response time vs offered load (Figure 9).")
       Term.(
-        const (fun seed loads measure_s replications csv_path jobs ->
+        const (fun seed loads measure_s replications csv_path trace_out metrics_out jobs ->
             apply_jobs jobs;
-            Harness.Experiment.fig9 ~seed ~loads ~measure_s ~replications ~csv_path ())
-        $ seed $ loads $ measure $ replications $ csv $ jobs);
+            Harness.Experiment.fig9 ~seed ~loads ~measure_s ~replications ~csv_path ?trace_out
+              ?metrics_out ())
+        $ seed $ loads $ measure $ replications $ csv $ trace_out $ metrics_out $ jobs);
     simple "closedloop" "Figure 9 under the closed-loop Table 4 client model."
       (fun seed -> Harness.Experiment.closed_loop ~seed ());
     simple "latency" "Disk-write vs atomic-broadcast latency (Section 6)."
       (fun seed -> Harness.Experiment.latency ~seed ());
+    simple "observability" "Per-phase latency percentiles and ack-path counters per technique."
+      (fun seed -> Harness.Experiment.observability ~seed ());
+    Cmd.v
+      (Cmd.info "obs"
+         ~doc:
+           "Write the fixed observability demo artifacts: a Chrome trace-event JSON and a \
+            metrics dump from a deterministic 3-server group-safe scenario (byte-stable per \
+            seed; used as the CI sample artifact).")
+      Term.(
+        const (fun seed trace_path metrics_path ->
+            let trace, metrics = Harness.Experiment.obs_demo ~seed () in
+            let write path s =
+              let oc = open_out path in
+              output_string oc s;
+              close_out oc;
+              Printf.printf "wrote %s (%d bytes)\n" path (String.length s)
+            in
+            write trace_path trace;
+            write metrics_path metrics)
+        $ Arg.(value & opt int64 7L & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario seed.")
+        $ Arg.(
+            value
+            & opt string "obs-trace.json"
+            & info [ "trace-out" ] ~docv:"PATH" ~doc:"Where to write the Chrome trace.")
+        $ Arg.(
+            value
+            & opt string "obs-metrics.json"
+            & info [ "metrics-out" ] ~docv:"PATH" ~doc:"Where to write the metrics JSON."));
     Cmd.v (Cmd.info "section7" ~doc:"Scaling analysis: lazy risk vs group risk (Section 7).")
       Term.(
         const (fun _ jobs ->

@@ -47,7 +47,23 @@ type Net.Message.payload += Logged of { tx : Db.Transaction.id; origin : int }
 
 type bcast = Classical of Abcast.t | End_to_end of E2e.t
 
-type pending = { cws : Cert_ws.t; token : E2e.token option }
+type pending = { cws : Cert_ws.t; token : E2e.token option; enq_at : Sim.Sim_time.t }
+
+(* Observability handles, resolved once at construction. [bcast_at] holds,
+   per transaction this replica delegated, the instant its writeset was
+   handed to the broadcast — consumed when the writeset comes back ordered,
+   giving the broadcast-phase span. Keyed lookups only (never iterated), so
+   it cannot leak enumeration order anywhere. *)
+type obs_state = {
+  o_tracer : Obs.Tracer.t;
+  h_read : Obs.Histogram.t;  (* submit -> read phase done (delegate) *)
+  h_abcast : Obs.Histogram.t;  (* broadcast -> ordered delivery (delegate) *)
+  h_certify : Obs.Histogram.t;  (* delivery -> certification decision *)
+  h_wal : Obs.Histogram.t;  (* decision -> commit record durable *)
+  c_ack_before_disk : Obs.Registry.counter;  (* commit acks sent before WAL flush *)
+  c_ack_after_disk : Obs.Registry.counter;  (* commit acks gated on the disk *)
+  bcast_at : (int, Sim.Sim_time.t) Hashtbl.t;
+}
 
 type waiting_2safe = { mutable acks : Net.Node_id.Set.t }
 
@@ -69,9 +85,22 @@ type t = {
   apply_write_factor : float;
   certify_cpu : Sim.Sim_time.span;
   mutable cold_start_count : int;
+  obs : obs_state;
 }
 
 let tr t kind attrs = Sim.Trace.record t.trace ~source:(Server.label t.server) ~kind attrs
+let now t = Sim.Engine.now (Net.Network.engine (Net.Endpoint.network t.server.Server.endpoint))
+
+(* Record one lifecycle phase [from_, until) into its histogram and, when
+   tracing, as a complete span on this server's track. *)
+let observe_phase t h ~name ~tx ~from_ ~until =
+  let dur = Sim.Sim_time.diff until from_ in
+  Obs.Histogram.add h (Sim.Sim_time.span_to_us dur);
+  Obs.Tracer.complete t.obs.o_tracer ~name
+    ~cat:(Safety.to_string (mode_level t.mode))
+    ~tid:t.server.Server.index ~ts:from_ ~dur
+    ~args:[ ("tx", string_of_int tx) ]
+    ()
 
 let outcome_of = function
   | Db.Certifier.Commit -> Db.Testable_tx.Committed
@@ -128,6 +157,7 @@ let check_2safe_responses t =
     List.iter
       (fun tx ->
         Hashtbl.remove t.waiting_2safe tx;
+        Obs.Registry.inc t.obs.c_ack_after_disk;
         respond t tx Db.Testable_tx.Committed)
       ready_txs
 
@@ -180,6 +210,15 @@ and process t item =
   else
     Sim.Resource.request t.server.Server.cpus ~duration:t.certify_cpu
       (guard t (fun () ->
+           let decided_at = now t in
+           observe_phase t t.obs.h_certify ~name:"certify" ~tx ~from_:item.enq_at
+             ~until:decided_at;
+           (match Hashtbl.find_opt t.obs.bcast_at tx with
+           | Some sent_at ->
+             Hashtbl.remove t.obs.bcast_at tx;
+             observe_phase t t.obs.h_abcast ~name:"abcast" ~tx ~from_:sent_at
+               ~until:item.enq_at
+           | None -> ());
            let decision = Db.Certifier.certify t.cert ~start:cws.Cert_ws.start ~ws in
            let outcome = outcome_of decision in
            Db.Testable_tx.record t.view tx outcome;
@@ -209,10 +248,18 @@ and process t item =
              (match t.mode with
               | Group_safe_mode ->
                 (* Fig. 8: answer at the decision; durability is the
-                   group's business, disk work happens behind it. *)
+                   group's business, disk work happens behind it. Only the
+                   delegate holds the pending response, so only it counts
+                   the acknowledgement. *)
+                if Hashtbl.mem t.pending_responses tx then
+                  Obs.Registry.inc t.obs.c_ack_before_disk;
                 respond t tx Db.Testable_tx.Committed;
                 Db.Db_engine.log_commit db ~tx ~decision ~writes
-                  ~k:(guard t (fun () -> tr t "logged" [ ("tx", string_of_int tx) ]));
+                  ~k:
+                    (guard t (fun () ->
+                         observe_phase t t.obs.h_wal ~name:"wal" ~tx ~from_:decided_at
+                           ~until:(now t);
+                         tr t "logged" [ ("tx", string_of_int tx) ]));
                 Db.Db_engine.write_io db ~count ~factor:t.apply_write_factor
                   ~k:(guard t (advance t))
               | Group_one_safe_mode ->
@@ -220,11 +267,17 @@ and process t item =
                    and flushing the decision record. *)
                 let applied = ref false and flushed = ref false in
                 let maybe_respond () =
-                  if !applied && !flushed then respond t tx Db.Testable_tx.Committed
+                  if !applied && !flushed then begin
+                    if Hashtbl.mem t.pending_responses tx then
+                      Obs.Registry.inc t.obs.c_ack_after_disk;
+                    respond t tx Db.Testable_tx.Committed
+                  end
                 in
                 Db.Db_engine.log_commit db ~tx ~decision ~writes
                   ~k:
                     (guard t (fun () ->
+                         observe_phase t t.obs.h_wal ~name:"wal" ~tx ~from_:decided_at
+                           ~until:(now t);
                          tr t "logged" [ ("tx", string_of_int tx) ];
                          flushed := true;
                          maybe_respond ()));
@@ -244,6 +297,8 @@ and process t item =
                          Db.Db_engine.log_commit db ~tx ~decision ~writes
                            ~k:
                              (guard t (fun () ->
+                                  observe_phase t t.obs.h_wal ~name:"wal" ~tx
+                                    ~from_:decided_at ~until:(now t);
                                   tr t "logged" [ ("tx", string_of_int tx) ];
                                   ack_token t token;
                                   announce_logged t cws));
@@ -251,7 +306,7 @@ and process t item =
 
 let deliver t cws token =
   tr t "deliver" [ ("tx", string_of_int cws.Cert_ws.ws.Db.Transaction.tx_id) ];
-  Queue.push { cws; token } t.pipe;
+  Queue.push { cws; token; enq_at = now t } t.pipe;
   pump t
 
 (* ---- Recovery ---- *)
@@ -297,7 +352,7 @@ let install_snapshot t (s : Snapshot.t) =
   Db.Db_engine.install_snapshot t.server.Server.db s.Snapshot.values;
   Db.Testable_tx.replace t.view s.Snapshot.view;
   Db.Certifier.import t.cert ~version:s.Snapshot.cert_version ~bindings:s.Snapshot.cert_bindings;
-  List.iter (fun cws -> Queue.push { cws; token = None } t.pipe) s.Snapshot.pending;
+  List.iter (fun cws -> Queue.push { cws; token = None; enq_at = now t } t.pipe) s.Snapshot.pending;
   tr t "state_transfer" [];
   t.ready <- true;
   pump t
@@ -340,6 +395,7 @@ let submit t tx ~on_response =
   if serving t then begin
     let id = tx.Db.Transaction.id in
     tr t "submit" [ ("tx", string_of_int id) ];
+    let submitted_at = now t in
     Hashtbl.replace t.pending_responses id on_response;
     let read_items = Db.Transaction.read_set tx in
     (* The certification snapshot is taken when the read phase begins:
@@ -349,6 +405,8 @@ let submit t tx ~on_response =
     Db.Db_engine.read_seq t.server.Server.db ~items:read_items
       ~k:
         (guard t (fun () ->
+             observe_phase t t.obs.h_read ~name:"read" ~tx:id ~from_:submitted_at
+               ~until:(now t);
              if Db.Transaction.is_update tx then begin
                let cws =
                  {
@@ -362,6 +420,7 @@ let submit t tx ~on_response =
                   Hashtbl.replace t.waiting_2safe id { acks = Net.Node_id.Set.empty }
                 | Group_safe_mode | Group_one_safe_mode -> ());
                tr t "broadcast" [ ("tx", string_of_int id) ];
+               Hashtbl.replace t.obs.bcast_at id (now t);
                broadcast_cws t cws
              end
              else respond t id Db.Testable_tx.Committed))
@@ -370,12 +429,25 @@ let submit t tx ~on_response =
 (* ---- Construction ---- *)
 
 let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) ?uniform
-    ?delivery_delay ~trace () =
+    ?delivery_delay ?registry ?tracer ~trace () =
   ignore params;
   let delay_gate =
     match delivery_delay with
     | None -> Gcs.Delivery_delay.pass
     | Some delay -> Gcs.Delivery_delay.create server.Server.process ~delay
+  in
+  let registry = match registry with Some r -> r | None -> Obs.Registry.create () in
+  let obs =
+    {
+      o_tracer = (match tracer with Some tr -> tr | None -> Obs.Tracer.create ~enabled:false ());
+      h_read = Obs.Registry.histogram registry "phase.read_us";
+      h_abcast = Obs.Registry.histogram registry "phase.broadcast_us";
+      h_certify = Obs.Registry.histogram registry "phase.certify_us";
+      h_wal = Obs.Registry.histogram registry "phase.wal_us";
+      c_ack_before_disk = Obs.Registry.counter registry "txn.ack_before_disk";
+      c_ack_after_disk = Obs.Registry.counter registry "txn.ack_after_disk";
+      bcast_at = Hashtbl.create 64;
+    }
   in
   let t =
     {
@@ -396,6 +468,7 @@ let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) 
       apply_write_factor;
       certify_cpu = Sim.Sim_time.span_ms 0.1;
       cold_start_count = 0;
+      obs;
     }
   in
   let endpoint = server.Server.endpoint in
@@ -403,6 +476,7 @@ let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) 
    | `Classical ->
      let ab =
        Abcast.create endpoint ~group ?fd_config ?uniform ~delivery_delay:delay_gate
+         ~metrics:registry
          ~deliver:(fun cws -> deliver t cws None)
          ~get_snapshot:(get_snapshot t) ~install_snapshot:(install_snapshot t)
          ~cold_start:(cold_start t) ()
@@ -418,7 +492,7 @@ let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) 
            Sim.Rng.uniform_span server.Server.rng
              (Db.Db_engine.config server.Server.db).Db.Db_engine.io_time_min
              (Db.Db_engine.config server.Server.db).Db.Db_engine.io_time_max)
-         ?fd_config ~delivery_delay:delay_gate
+         ?fd_config ~delivery_delay:delay_gate ~metrics:registry
          ~deliver:(fun token cws -> deliver t cws (Some token))
          ()
      in

@@ -42,6 +42,8 @@ val create :
   ?apply_write_factor:float ->
   ?uniform:bool ->
   ?delivery_delay:(unit -> Sim.Sim_time.span) ->
+  ?registry:Obs.Registry.t ->
+  ?tracer:Obs.Tracer.t ->
   trace:Sim.Trace.t ->
   unit ->
   t
@@ -55,7 +57,15 @@ val create :
     [delivery_delay], when given, installs a deterministic
     {!Gcs.Delivery_delay} gate between the broadcast's decide point and
     this replica's processing pipeline — the schedule explorer's message
-    delay knob; absent, delivery is immediate as in production. *)
+    delay knob; absent, delivery is immediate as in production.
+
+    [registry] collects this replica's lifecycle histograms
+    ([phase.read_us], [phase.broadcast_us], [phase.certify_us],
+    [phase.wal_us]), the Fig.-9 ack-path counters ([txn.ack_before_disk]
+    vs [txn.ack_after_disk]) and the broadcast stack's [abcast.*]/
+    [e2e.*]/[log.*] counters; omitted, they land in a private registry.
+    [tracer], when enabled, additionally records each phase as a
+    Chrome-trace span on this server's track. *)
 
 val submit : t -> Db.Transaction.t -> on_response:(Db.Testable_tx.outcome -> unit) -> unit
 (** Run the transaction with this server as delegate. [on_response] fires

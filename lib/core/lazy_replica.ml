@@ -22,6 +22,10 @@ type t = {
   mutable deadlock_aborts : int;
   mutable propagations : int;
   mutable cross_site_conflicts : int;
+  c_ack_before_disk : Obs.Registry.counter;
+  c_ack_after_disk : Obs.Registry.counter;
+  c_propagations : Obs.Registry.counter;
+  c_remote_applies : Obs.Registry.counter;
 }
 
 let tr t kind attrs = Sim.Trace.record t.trace ~source:(Server.label t.server) ~kind attrs
@@ -38,6 +42,7 @@ let respond t tx outcome ~on_response =
 let now t = Sim.Engine.now (Db.Db_engine.engine t.server.Server.db)
 
 let propagate t ws ~started_at =
+  Obs.Registry.inc t.c_propagations;
   tr t "propagate" [ ("tx", string_of_int ws.Db.Transaction.tx_id) ];
   Net.Endpoint.broadcast t.server.Server.endpoint ~to_:t.others
     (Lazy_ws { ws; started_at; committed_at = now t })
@@ -68,6 +73,7 @@ let apply_remote t ws ~started_at ~committed_at =
     Db.Db_engine.write_io db ~count:(List.length writes) ~factor:(Db.Db_engine.async_factor db)
       ~k:(fun () -> ());
     t.propagations <- t.propagations + 1;
+    Obs.Registry.inc t.c_remote_applies;
     tr t "apply" [ ("tx", string_of_int tx) ]
   end
 
@@ -112,6 +118,7 @@ let finish_commit t tx ~started_at ~on_response =
   match t.mode with
   | Zero_safe_mode ->
     (* Answer before anything is durable. *)
+    Obs.Registry.inc t.c_ack_before_disk;
     respond t id Db.Testable_tx.Committed ~on_response;
     Db.Db_engine.log_commit db ~tx:id ~decision:Db.Certifier.Commit ~writes
       ~k:(guard t (fun () -> tr t "logged" [ ("tx", string_of_int id) ]));
@@ -123,6 +130,7 @@ let finish_commit t tx ~started_at ~on_response =
     let written = ref false and flushed = ref false in
     let maybe_finish () =
       if !written && !flushed then begin
+        Obs.Registry.inc t.c_ack_after_disk;
         respond t id Db.Testable_tx.Committed ~on_response;
         release ();
         if writes <> [] then propagate t ws ~started_at
@@ -166,8 +174,9 @@ let recover t =
   tr t "recovered_local" [];
   t.ready <- true
 
-let create server ~group ~mode ~params ~trace () =
+let create server ~group ~mode ~params ?registry ~trace () =
   ignore params;
+  let registry = match registry with Some r -> r | None -> Obs.Registry.create () in
   let self = Net.Endpoint.id server.Server.endpoint in
   let others = List.filter (fun n -> not (Net.Node_id.equal n self)) group in
   let t =
@@ -182,6 +191,10 @@ let create server ~group ~mode ~params ~trace () =
       deadlock_aborts = 0;
       propagations = 0;
       cross_site_conflicts = 0;
+      c_ack_before_disk = Obs.Registry.counter registry "txn.ack_before_disk";
+      c_ack_after_disk = Obs.Registry.counter registry "txn.ack_after_disk";
+      c_propagations = Obs.Registry.counter registry "lazy.propagations";
+      c_remote_applies = Obs.Registry.counter registry "lazy.remote_applies";
     }
   in
   Net.Endpoint.add_handler server.Server.endpoint (fun message ->

@@ -23,9 +23,13 @@ val create :
   group:Net.Node_id.t list ->
   mode:mode ->
   params:Workload.Params.t ->
+  ?registry:Obs.Registry.t ->
   trace:Sim.Trace.t ->
   unit ->
   t
+(** [registry] collects the ack-path counters ([txn.ack_before_disk] for
+    0-safe, [txn.ack_after_disk] for 1-safe) plus [lazy.propagations] and
+    [lazy.remote_applies]; omitted, they land in a private registry. *)
 
 val submit : t -> Db.Transaction.t -> on_response:(Db.Testable_tx.outcome -> unit) -> unit
 (** Execute with this server as delegate. Local deadlocks abort the

@@ -55,6 +55,13 @@ type t = {
   recoveries : Sim.Sim_time.t list ref array;
   mutable max_simultaneously_down : int;
   mutable currently_down : int;
+  obs_registry : Obs.Registry.t;
+  obs_tracer : Obs.Tracer.t;
+  c_submitted : Obs.Registry.counter;
+  c_committed : Obs.Registry.counter;
+  c_aborted : Obs.Registry.counter;
+  h_commit_us : Obs.Histogram.t;
+  h_abort_us : Obs.Histogram.t;
 }
 
 let engine t = t.engine
@@ -65,6 +72,8 @@ let metrics t = t.metrics
 let technique t = t.technique
 let level t = technique_level t.technique
 let n_servers t = Array.length t.servers
+let obs_registry t = t.obs_registry
+let obs_tracer t = t.obs_tracer
 
 let serving t i =
   match t.replicas.(i) with
@@ -76,23 +85,44 @@ let alive t i = Server.alive t.servers.(i)
 
 let submit t ?on_response ~delegate tx =
   t.submitted <- t.submitted + 1;
+  Obs.Registry.inc t.c_submitted;
   let submitted_at = Sim.Engine.now t.engine in
   let respond outcome =
     (* Retried transactions answer at most once into the books. *)
     if not (Hashtbl.mem t.acked_ids tx.Db.Transaction.id) then begin
+      let acked_at = Sim.Engine.now t.engine in
       Hashtbl.replace t.acked_ids tx.Db.Transaction.id ();
       t.acked_rev <-
         {
           tx = tx.Db.Transaction.id;
           outcome;
-          at = Sim.Engine.now t.engine;
+          at = acked_at;
           update = Db.Transaction.is_update tx;
         }
         :: t.acked_rev;
       Workload.Metrics.record_response t.metrics ~submitted:submitted_at;
+      let latency = Sim.Sim_time.diff acked_at submitted_at in
+      Obs.Tracer.complete t.obs_tracer ~name:"txn"
+        ~cat:(technique_name t.technique)
+        ~tid:delegate ~ts:submitted_at ~dur:latency
+        ~args:
+          [
+            ("tx", string_of_int tx.Db.Transaction.id);
+            ( "outcome",
+              match outcome with
+              | Db.Testable_tx.Committed -> "committed"
+              | Db.Testable_tx.Aborted -> "aborted" );
+          ]
+        ();
       match outcome with
-      | Db.Testable_tx.Committed -> Workload.Metrics.record_commit t.metrics
-      | Db.Testable_tx.Aborted -> Workload.Metrics.record_abort t.metrics
+      | Db.Testable_tx.Committed ->
+        Obs.Registry.inc t.c_committed;
+        Obs.Histogram.add t.h_commit_us (Sim.Sim_time.span_to_us latency);
+        Workload.Metrics.record_commit t.metrics
+      | Db.Testable_tx.Aborted ->
+        Obs.Registry.inc t.c_aborted;
+        Obs.Histogram.add t.h_abort_us (Sim.Sim_time.span_to_us latency);
+        Workload.Metrics.record_abort t.metrics
     end;
     match on_response with Some k -> k outcome | None -> ()
   in
@@ -145,7 +175,8 @@ let attach_frontends t =
     t.servers
 
 let create ?(seed = 1L) ?(params = Workload.Params.table4) ?fd_config ?apply_write_factor
-    ?uniform ?(trace_enabled = true) ?(delivery_delay = fun _ -> None) technique =
+    ?uniform ?(trace_enabled = true) ?(obs_trace = false) ?(delivery_delay = fun _ -> None)
+    technique =
   let engine = Sim.Engine.create ~seed () in
   let net_config =
     {
@@ -160,6 +191,11 @@ let create ?(seed = 1L) ?(params = Workload.Params.table4) ?fd_config ?apply_wri
   let n = params.Workload.Params.servers in
   let servers = Array.init n (fun index -> Server.create engine network params ~index) in
   let group = Array.to_list (Array.map (fun s -> s.Server.id) servers) in
+  (* One registry and one tracer per system: all replicas share them, so
+     per-server observations of the same metric aggregate (tracer spans
+     stay distinguishable through their tid = server index). *)
+  let obs_registry = Obs.Registry.create () in
+  let obs_tracer = Obs.Tracer.create ~enabled:obs_trace () in
   let replicas =
     Array.mapi
       (fun index server ->
@@ -167,9 +203,11 @@ let create ?(seed = 1L) ?(params = Workload.Params.table4) ?fd_config ?apply_wri
         | Dsm mode ->
           Dsm_r
             (Dsm_replica.create server ~group ~mode ~params ?fd_config ?apply_write_factor
-               ?uniform ?delivery_delay:(delivery_delay index) ~trace ())
-        | Lazy mode -> Lazy_r (Lazy_replica.create server ~group ~mode ~params ~trace ())
-        | Two_pc -> Tpc_r (Twopc_replica.create server ~group ~params ~trace ()))
+               ?uniform ?delivery_delay:(delivery_delay index) ~registry:obs_registry
+               ~tracer:obs_tracer ~trace ())
+        | Lazy mode ->
+          Lazy_r (Lazy_replica.create server ~group ~mode ~params ~registry:obs_registry ~trace ())
+        | Two_pc -> Tpc_r (Twopc_replica.create server ~group ~params ~registry:obs_registry ~trace ()))
       servers
   in
   let t = {
@@ -188,10 +226,30 @@ let create ?(seed = 1L) ?(params = Workload.Params.table4) ?fd_config ?apply_wri
     recoveries = Array.init n (fun _ -> ref []);
     max_simultaneously_down = 0;
     currently_down = 0;
+    obs_registry;
+    obs_tracer;
+    c_submitted = Obs.Registry.counter obs_registry "txn.submitted";
+    c_committed = Obs.Registry.counter obs_registry "txn.committed";
+    c_aborted = Obs.Registry.counter obs_registry "txn.aborted";
+    h_commit_us = Obs.Registry.histogram obs_registry "txn.commit_us";
+    h_abort_us = Obs.Registry.histogram obs_registry "txn.abort_us";
   }
   in
   attach_frontends t;
   t
+
+(* Queue-depth / utilisation sampling for every server's CPU and disk.
+   Metric names are shared across servers, so the samples aggregate into
+   one system-wide distribution per resource kind. Sampler ticks read but
+   never mutate simulation state, so results are unchanged. *)
+let attach_obs_samplers ?(every = Sim.Sim_time.span_ms 100.) t =
+  Array.iter
+    (fun server ->
+      Obs.Sampler.attach t.engine ~registry:t.obs_registry ~name:"res.cpu" ~every
+        server.Server.cpus;
+      Obs.Sampler.attach t.engine ~registry:t.obs_registry ~name:"res.disk" ~every
+        server.Server.disks)
+    t.servers
 
 
 let run_for t span = Sim.Engine.run ~until:(Sim.Sim_time.add (Sim.Engine.now t.engine) span) t.engine

@@ -34,18 +34,22 @@ val create :
   ?apply_write_factor:float ->
   ?uniform:bool ->
   ?trace_enabled:bool ->
+  ?obs_trace:bool ->
   ?delivery_delay:(int -> (unit -> Sim.Sim_time.span) option) ->
   technique ->
   t
 (** [create technique] builds the full system: [params.servers] servers on
     a LAN per the parameters, each running the technique's replica stack.
     [trace_enabled] (default [true]) can be switched off for long
-    performance runs. [uniform] (default [true]) keeps uniform delivery in
-    the ordering protocol; [false] is the DESIGN.md ablation.
-    [delivery_delay], given a server index, may return a deterministic
-    extra-delay thunk installed as that server's broadcast delivery gate
-    (see {!Gcs.Delivery_delay}); it only affects the DSM techniques — lazy
-    propagation and 2PC have no ordering layer to gate. *)
+    performance runs. [obs_trace] (default [false]) arms the observability
+    tracer: every transaction and per-phase span is then captured for
+    Chrome-trace export (see {!obs_tracer}). [uniform] (default [true])
+    keeps uniform delivery in the ordering protocol; [false] is the
+    DESIGN.md ablation. [delivery_delay], given a server index, may return
+    a deterministic extra-delay thunk installed as that server's broadcast
+    delivery gate (see {!Gcs.Delivery_delay}); it only affects the DSM
+    techniques — lazy propagation and 2PC have no ordering layer to
+    gate. *)
 
 val partition : t -> int list list -> unit
 (** Install a network partition between server groups (by index); servers
@@ -74,6 +78,27 @@ val metrics : t -> Workload.Metrics.t
 val technique : t -> technique
 val level : t -> Safety.level
 val n_servers : t -> int
+
+val obs_registry : t -> Obs.Registry.t
+(** The system-wide metrics registry. All replicas share it: protocol
+    counters ([abcast.*], [log.*], [e2e.*], [lazy.*], [2pc.*]), the
+    ack-path discriminators ([txn.ack_before_disk] / [txn.ack_after_disk])
+    and per-phase latency histograms ([phase.*]) aggregate here, next to
+    the system-level [txn.submitted]/[txn.committed]/[txn.aborted] counters
+    and [txn.commit_us]/[txn.abort_us] histograms. *)
+
+val obs_tracer : t -> Obs.Tracer.t
+(** The span tracer (enabled iff [create ~obs_trace:true]). Feed its
+    events to {!Obs.Chrome_trace} for a chrome://tracing / Perfetto
+    timeline. *)
+
+val attach_obs_samplers : ?every:Sim.Sim_time.span -> t -> unit
+(** Sample every server's CPU and disk queue depth and utilisation into
+    the registry ([res.cpu.*], [res.disk.*]) every [every] (default
+    100 ms) of virtual time. Samplers reschedule themselves forever, so
+    only attach before bounded [run_for] advances. Sampling reads resource
+    state without consuming randomness or mutating anything: simulation
+    results are byte-identical with or without it. *)
 
 val submit :
   t -> ?on_response:(Db.Testable_tx.outcome -> unit) -> delegate:int -> Db.Transaction.t -> unit

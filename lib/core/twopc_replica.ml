@@ -37,6 +37,9 @@ type t = {
   mutable ready : bool;
   mutable deadlock_aborts : int;
   mutable vote_timeouts : int;
+  c_prepares_sent : Obs.Registry.counter;
+  c_votes : Obs.Registry.counter;
+  c_ack_after_disk : Obs.Registry.counter;
 }
 
 let tr t kind attrs = Sim.Trace.record t.trace ~source:(Server.label t.server) ~kind attrs
@@ -84,6 +87,7 @@ let coordinator_decide t tx_id commit =
           ~k:
             (guard t (fun () ->
                  tr t "respond" [ ("tx", string_of_int tx_id); ("outcome", "committed") ];
+                 Obs.Registry.inc t.c_ack_after_disk;
                  c.c_respond Db.Testable_tx.Committed;
                  List.iter
                    (fun p -> send t p (Tpc_decision { tx_id; commit = true; writes = c.c_writes }))
@@ -111,6 +115,7 @@ let start_two_phase_commit t tx ~on_response =
   Store.Stable_storage.append t.prepared_log { p_tx = tx_id; p_writes = writes; p_coord = self }
     ~on_durable:
       (guard t (fun () ->
+           Obs.Registry.inc t.c_prepares_sent;
            List.iter (fun p -> send t p (Tpc_prepare { tx_id; writes; coordinator = self })) t.others));
   ignore
     (Sim.Process.after t.server.Server.process t.vote_timeout (fun () ->
@@ -122,6 +127,7 @@ let start_two_phase_commit t tx ~on_response =
          | Some _ | None -> ()))
 
 let handle_vote t src tx_id yes =
+  Obs.Registry.inc t.c_votes;
   match Hashtbl.find_opt t.coordinating tx_id with
   | None -> ()
   | Some c ->
@@ -302,8 +308,9 @@ and arm_in_doubt_retry t =
       if Hashtbl.length t.prepared > 0 then resolve_in_doubt t)
 
 let create server ~group ~params ?(lock_timeout = Sim.Sim_time.span_ms 300.)
-    ?(vote_timeout = Sim.Sim_time.span_s 1.) ~trace () =
+    ?(vote_timeout = Sim.Sim_time.span_s 1.) ?registry ~trace () =
   ignore params;
+  let registry = match registry with Some r -> r | None -> Obs.Registry.create () in
   let self = Net.Endpoint.id server.Server.endpoint in
   let group = List.sort Net.Node_id.compare group in
   let others = List.filter (fun n -> not (Net.Node_id.equal n self)) group in
@@ -333,6 +340,9 @@ let create server ~group ~params ?(lock_timeout = Sim.Sim_time.span_ms 300.)
       ready = true;
       deadlock_aborts = 0;
       vote_timeouts = 0;
+      c_prepares_sent = Obs.Registry.counter registry "2pc.prepares_sent";
+      c_votes = Obs.Registry.counter registry "2pc.votes";
+      c_ack_after_disk = Obs.Registry.counter registry "txn.ack_after_disk";
     }
   in
   Net.Endpoint.add_handler server.Server.endpoint (fun message ->

@@ -28,13 +28,16 @@ val create :
   params:Workload.Params.t ->
   ?lock_timeout:Sim.Sim_time.span ->
   ?vote_timeout:Sim.Sim_time.span ->
+  ?registry:Obs.Registry.t ->
   trace:Sim.Trace.t ->
   unit ->
   t
 (** [create server ~group ~params ~trace ()] attaches the replica.
     [lock_timeout] (default 300 ms) bounds a participant's wait for write
     locks before voting no; [vote_timeout] (default 1 s) bounds the
-    coordinator's wait for votes before aborting. *)
+    coordinator's wait for votes before aborting. [registry] collects
+    [2pc.prepares_sent], [2pc.votes] and [txn.ack_after_disk]; omitted,
+    they land in a private registry. *)
 
 val submit : t -> Db.Transaction.t -> on_response:(Db.Testable_tx.outcome -> unit) -> unit
 (** Execute with this server as coordinator. The response arrives after

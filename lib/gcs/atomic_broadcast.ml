@@ -71,6 +71,9 @@ struct
     fd : Failure_detector.t;
     delivery_delay : Delivery_delay.t;
     mutable retransmit : Retransmit.t option;  (* set right after [create]'s record *)
+    m_broadcasts : Obs.Registry.counter;
+    m_delivered : Obs.Registry.counter;
+    m_retransmit_ticks : Obs.Registry.counter;
   }
 
   let recovering t = t.recovering
@@ -116,6 +119,7 @@ struct
         match content with
         | LV.App value ->
           t.delivered <- t.delivered + 1;
+          Obs.Registry.inc t.m_delivered;
           t.deliver value
         | LV.View_evt { joined; left } -> apply_view_event t ~joined ~left
       end
@@ -146,6 +150,7 @@ struct
 
   let broadcast_entry t content =
     let entry = { LV.uid = fresh_uid t; content } in
+    Obs.Registry.inc t.m_broadcasts;
     Uid_tbl.replace t.unstable entry.LV.uid entry;
     Log.propose t.log entry
 
@@ -264,10 +269,14 @@ struct
       true
     | _ -> false
 
-  let create ep ~group ?fd_config ?uniform ?(delivery_delay = Delivery_delay.pass) ~deliver
-      ~get_snapshot ~install_snapshot ~cold_start () =
+  let create ep ~group ?fd_config ?uniform ?(delivery_delay = Delivery_delay.pass) ?metrics
+      ~deliver ~get_snapshot ~install_snapshot ~cold_start () =
     let group = List.sort_uniq Net.Node_id.compare group in
-    let log = Log.create ep ~group ~mode:Log.Volatile ?fd_config ?uniform () in
+    (* Metric handles are resolved once here; without a caller-supplied
+       registry the increments land in a private throwaway one, keeping the
+       hot path identical whether or not anyone is observing. *)
+    let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
+    let log = Log.create ep ~group ~mode:Log.Volatile ?fd_config ?uniform ~metrics () in
     let self = Net.Endpoint.id ep in
     let others = List.filter (fun p -> not (Net.Node_id.equal p self)) group in
     let fd = Failure_detector.create ep ~peers:group ?config:fd_config () in
@@ -294,6 +303,9 @@ struct
         fd;
         delivery_delay;
         retransmit = None;
+        m_broadcasts = Obs.Registry.counter metrics "abcast.broadcasts";
+        m_delivered = Obs.Registry.counter metrics "abcast.delivered";
+        m_retransmit_ticks = Obs.Registry.counter metrics "abcast.retransmit_ticks";
       }
     in
     let engine = Net.Network.engine (Net.Endpoint.network ep) in
@@ -303,7 +315,9 @@ struct
            ~process:(Net.Endpoint.process ep)
            ~rng:(Sim.Rng.split (Sim.Engine.rng engine))
            ~pending:(fun () -> (not t.recovering) && Uid_tbl.length t.unstable > 0)
-           ~action:(fun () -> Uid_tbl.iter (fun _ entry -> Log.propose t.log entry) t.unstable)
+           ~action:(fun () ->
+             Obs.Registry.inc t.m_retransmit_ticks;
+             Uid_tbl.iter (fun _ entry -> Log.propose t.log entry) t.unstable)
            ());
     Log.on_decide log (on_log_decide t);
     Failure_detector.on_change fd (fun () -> propose_view_repairs t);

@@ -29,6 +29,7 @@ module Make
     ?fd_config:Failure_detector.config ->
     ?uniform:bool ->
     ?delivery_delay:Delivery_delay.t ->
+    ?metrics:Obs.Registry.t ->
     deliver:(V.t -> unit) ->
     get_snapshot:(unit -> S.t) ->
     install_snapshot:(S.t -> unit) ->
@@ -53,7 +54,12 @@ module Make
       entry — application messages and view events alike, order preserved —
       for a deterministic extra span between decide and deliver; schedule
       explorers use it to widen the decided-but-unprocessed window. Snapshot
-      donors flush the gate first, so state transfer is unaffected. *)
+      donors flush the gate first, so state transfer is unaffected.
+
+      [metrics] receives the broadcast's counters ([abcast.broadcasts],
+      [abcast.delivered], [abcast.retransmit_ticks]) plus the ordering
+      log's ([log.*]); omitted, they accumulate in a private registry so
+      the hot path is identical either way. *)
 
   val broadcast : t -> V.t -> unit
   (** A-broadcast. Retransmits internally until ordered, so a message

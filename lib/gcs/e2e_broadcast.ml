@@ -31,6 +31,10 @@ module Make (V : Replicated_log.VALUE) = struct
     mutable delivered : int;
     delivery_delay : Delivery_delay.t;
     mutable retransmit : Retransmit.t option;  (* set right after [create]'s record *)
+    m_broadcasts : Obs.Registry.counter;
+    m_delivered : Obs.Registry.counter;
+    m_retransmit_ticks : Obs.Registry.counter;
+    m_acks : Obs.Registry.counter;
   }
 
   let delivered_count t = t.delivered
@@ -46,6 +50,7 @@ module Make (V : Replicated_log.VALUE) = struct
        a crash: recorded for deduplication but not redelivered. *)
     if (not duplicate) && slot >= Store.Durable_cell.read t.cursor then begin
       t.delivered <- t.delivered + 1;
+      Obs.Registry.inc t.m_delivered;
       t.deliver slot value
     end
 
@@ -61,7 +66,10 @@ module Make (V : Replicated_log.VALUE) = struct
 
   let ack t token =
     let current = Store.Durable_cell.read t.cursor in
-    if token + 1 > current then Store.Durable_cell.write_quiet t.cursor (token + 1)
+    if token + 1 > current then begin
+      Obs.Registry.inc t.m_acks;
+      Store.Durable_cell.write_quiet t.cursor (token + 1)
+    end
 
   let broadcast t value =
     let uid =
@@ -73,14 +81,18 @@ module Make (V : Replicated_log.VALUE) = struct
     in
     t.next_seq <- t.next_seq + 1;
     let entry = { LV.uid; value } in
+    Obs.Registry.inc t.m_broadcasts;
     Uid_tbl.replace t.unstable uid entry;
     Log.propose t.log entry
 
   let arm_retransmit t = Option.iter Retransmit.arm t.retransmit
 
   let create ep ~group ~disk ~write_time ?fd_config ?(delivery_delay = Delivery_delay.pass)
-      ~deliver () =
-    let log = Log.create ep ~group ~mode:(Log.Durable { disk; write_time }) ?fd_config () in
+      ?metrics ~deliver () =
+    let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
+    let log =
+      Log.create ep ~group ~mode:(Log.Durable { disk; write_time }) ?fd_config ~metrics ()
+    in
     let engine = Net.Network.engine (Net.Endpoint.network ep) in
     let cursor =
       Store.Durable_cell.create engine
@@ -99,6 +111,10 @@ module Make (V : Replicated_log.VALUE) = struct
         delivered = 0;
         delivery_delay;
         retransmit = None;
+        m_broadcasts = Obs.Registry.counter metrics "e2e.broadcasts";
+        m_delivered = Obs.Registry.counter metrics "e2e.delivered";
+        m_retransmit_ticks = Obs.Registry.counter metrics "e2e.retransmit_ticks";
+        m_acks = Obs.Registry.counter metrics "e2e.acks";
       }
     in
     t.retransmit <-
@@ -106,7 +122,9 @@ module Make (V : Replicated_log.VALUE) = struct
         (Retransmit.create ~process:(Net.Endpoint.process ep)
            ~rng:(Sim.Rng.split (Sim.Engine.rng engine))
            ~pending:(fun () -> Uid_tbl.length t.unstable > 0)
-           ~action:(fun () -> Uid_tbl.iter (fun _ entry -> Log.propose t.log entry) t.unstable)
+           ~action:(fun () ->
+             Obs.Registry.inc t.m_retransmit_ticks;
+             Uid_tbl.iter (fun _ entry -> Log.propose t.log entry) t.unstable)
            ());
     Log.on_decide log (on_log_decide t);
     let process = Net.Endpoint.process ep in

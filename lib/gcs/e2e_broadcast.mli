@@ -31,6 +31,7 @@ module Make (V : Replicated_log.VALUE) : sig
     write_time:(unit -> Sim.Sim_time.span) ->
     ?fd_config:Failure_detector.config ->
     ?delivery_delay:Delivery_delay.t ->
+    ?metrics:Obs.Registry.t ->
     deliver:(token -> V.t -> unit) ->
     unit ->
     t
@@ -43,7 +44,12 @@ module Make (V : Replicated_log.VALUE) : sig
       entry for a deterministic extra span before the deliver upcall, order
       preserved — the schedule explorer's knob. An entry still held at a
       crash is simply replayed later: end-to-end delivery makes the gate
-      harmless here. *)
+      harmless here.
+
+      [metrics] receives [e2e.broadcasts], [e2e.delivered],
+      [e2e.retransmit_ticks] and [e2e.acks] plus the ordering log's
+      [log.*] counters; omitted, they accumulate in a private registry so
+      the hot path is identical either way. *)
 
   val broadcast : t -> V.t -> unit
   (** A-broadcast with internal retransmission until ordered. *)

@@ -78,6 +78,10 @@ module Make (V : VALUE) = struct
     pending : V.t Queue.t;
     mutable deliver_hook : slot:int -> V.t option -> unit;
     mutable accept_rt : Retransmit.t option;  (* set right after [create]'s record *)
+    m_prepares : Obs.Registry.counter;
+    m_accepts_sent : Obs.Registry.counter;
+    m_accept_resends : Obs.Registry.counter;
+    m_chosen : Obs.Registry.counter;
   }
 
   let id m = m.self
@@ -140,6 +144,7 @@ module Make (V : VALUE) = struct
 
   let add_chosen m slot e =
     if not (Hashtbl.mem m.chosen slot) then begin
+      Obs.Registry.inc m.m_chosen;
       Hashtbl.replace m.chosen slot e;
       if slot > m.max_chosen_seen then m.max_chosen_seen <- slot;
       while Hashtbl.mem m.chosen m.first_unchosen do
@@ -154,6 +159,7 @@ module Make (V : VALUE) = struct
   (* ---- Proposer ---- *)
 
   let send_accept m (l : leading_state) slot e =
+    Obs.Registry.inc m.m_accepts_sent;
     Hashtbl.replace l.l_inflight slot (e, ref []);
     broadcast m (Accept { b = l.l_ballot; slot; e });
     (* Non-uniform delivery (ablation): the leader treats its own proposal
@@ -174,7 +180,9 @@ module Make (V : VALUE) = struct
     match m.leadership with
     | Leading l ->
       Analysis.Det_tbl.iter
-        (fun slot (e, _) -> broadcast m (Accept { b = l.l_ballot; slot; e }))
+        (fun slot (e, _) ->
+          Obs.Registry.inc m.m_accept_resends;
+          broadcast m (Accept { b = l.l_ballot; slot; e }))
         l.l_inflight
     | Preparing _ | Follower -> ()
 
@@ -196,6 +204,7 @@ module Make (V : VALUE) = struct
     | Preparing _ -> ()
 
   and start_prepare m =
+    Obs.Registry.inc m.m_prepares;
     let b = { Ballot.round = m.max_round + 1; proposer = Net.Node_id.index m.self } in
     m.max_round <- b.round;
     let ps = { p_ballot = b; p_from = m.first_unchosen; p_voters = []; p_reports = Hashtbl.create 16 } in
@@ -497,7 +506,8 @@ module Make (V : VALUE) = struct
           end
         end)
 
-  let create ep ~group ~mode ?fd_config ?(uniform = true) () =
+  let create ep ~group ~mode ?fd_config ?(uniform = true) ?metrics () =
+    let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
     let self = Net.Endpoint.id ep in
     let group = List.sort_uniq Net.Node_id.compare group in
     if not (List.exists (Net.Node_id.equal self) group) then
@@ -539,6 +549,10 @@ module Make (V : VALUE) = struct
         pending = Queue.create ();
         deliver_hook = (fun ~slot:_ _ -> ());
         accept_rt = None;
+        m_prepares = Obs.Registry.counter metrics "log.prepares";
+        m_accepts_sent = Obs.Registry.counter metrics "log.accepts_sent";
+        m_accept_resends = Obs.Registry.counter metrics "log.accept_resends";
+        m_chosen = Obs.Registry.counter metrics "log.chosen";
       }
     in
     Net.Endpoint.add_handler ep (handle_message m);

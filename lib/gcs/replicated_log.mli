@@ -52,6 +52,7 @@ module Make (V : VALUE) : sig
     mode:mode ->
     ?fd_config:Failure_detector.config ->
     ?uniform:bool ->
+    ?metrics:Obs.Registry.t ->
     unit ->
     t
   (** [create ep ~group ~mode ()] attaches a member to endpoint [ep].
@@ -63,7 +64,12 @@ module Make (V : VALUE) : sig
       delivered only once a majority accepted them. Setting it to [false]
       is the paper-motivated ablation — deliver optimistically as soon as
       accepted locally, saving a round trip but allowing a delivery at a
-      process that fails before anyone else learns the entry. *)
+      process that fails before anyone else learns the entry.
+
+      [metrics] receives the protocol counters [log.prepares],
+      [log.accepts_sent], [log.accept_resends] and [log.chosen]; omitted,
+      they accumulate in a private registry so the hot path is identical
+      either way. *)
 
   val id : t -> Net.Node_id.t
   val status : t -> status

@@ -17,14 +17,17 @@ type load_point = {
   abort_rate : float;
   throughput_tps : float;
   completed : int;
+  registry : Obs.Registry.t;
+  trace_events : Obs.Tracer.event list;
 }
 
 let run_load_point ?(seed = 1L) ?(params = Workload.Params.table4) ?(warmup_s = 5.)
-    ?(measure_s = 60.) ?apply_write_factor technique ~load_tps =
+    ?(measure_s = 60.) ?apply_write_factor ?(obs_trace = false) technique ~load_tps =
   let sys =
     System.create ~seed ~params ~fd_config:light_fd ?apply_write_factor ~trace_enabled:false
-      technique
+      ~obs_trace technique
   in
+  System.attach_obs_samplers sys;
   let engine = System.engine sys in
   let rng = Sim.Rng.split (Sim.Engine.rng engine) in
   let generator = Workload.Generator.create params (Sim.Rng.split rng) in
@@ -52,6 +55,8 @@ let run_load_point ?(seed = 1L) ?(params = Workload.Params.table4) ?(warmup_s = 
     abort_rate = Workload.Metrics.abort_rate m;
     throughput_tps = Workload.Metrics.throughput_tps m ~since:warmup_at;
     completed = Sim.Stats.count (Workload.Metrics.responses m);
+    registry = System.obs_registry sys;
+    trace_events = Obs.Tracer.events (System.obs_tracer sys);
   }
 
 (* Closed-loop variant of a load point: the paper's Table 4 client model —
@@ -121,7 +126,7 @@ let cell_of_runs ~replications runs =
 let replication_seed seed r = Int64.add seed (Int64.of_int (r * 7919))
 
 let fig9 ?(seed = 1L) ?(loads = default_loads) ?measure_s ?(replications = 1)
-    ?(csv_path = "fig9.csv") () =
+    ?(csv_path = "fig9.csv") ?trace_out ?metrics_out () =
   Report.section "Figure 9: response time vs offered load (Table 4 system)";
   Report.note "paper shape: group-safe best below ~38 tps, then crossed by lazy;";
   Report.note "group-1-safe clearly worst and degrading fastest; group-safe abort";
@@ -138,20 +143,25 @@ let fig9 ?(seed = 1L) ?(loads = default_loads) ?measure_s ?(replications = 1)
   (* Every (load, technique, replication) is one independent simulation
      with its seed assigned up front; the pool joins them by index and the
      rows are assembled afterwards, so the printed table and the CSV are
-     byte-identical at any worker count. *)
+     byte-identical at any worker count. With [trace_out], the first-load
+     replication-0 cell of each technique also records tracer spans —
+     chosen by index, so the selection is worker-count independent too. *)
+  let trace_on = trace_out <> None in
   let items =
-    List.concat_map
-      (fun load_tps ->
-        List.concat_map
-          (fun technique -> List.init replications (fun r -> (load_tps, technique, r)))
-          fig9_techniques)
-      loads
+    List.concat
+      (List.mapi
+         (fun li load_tps ->
+           List.concat_map
+             (fun technique -> List.init replications (fun r -> (li, load_tps, technique, r)))
+             fig9_techniques)
+         loads)
   in
   let points =
     Array.of_list
       (Pool.map
-         (fun (load_tps, technique, r) ->
-           run_load_point ~seed:(replication_seed seed r) ?measure_s technique ~load_tps)
+         (fun (li, load_tps, technique, r) ->
+           run_load_point ~seed:(replication_seed seed r) ?measure_s
+             ~obs_trace:(trace_on && li = 0 && r = 0) technique ~load_tps)
          items)
   in
   let ntech = List.length fig9_techniques in
@@ -177,7 +187,46 @@ let fig9 ?(seed = 1L) ?(loads = default_loads) ?measure_s ?(replications = 1)
   in
   Report.table ~header rows;
   Report.csv ~path:csv_path ~header rows;
-  Report.note (Printf.sprintf "raw series written to %s" csv_path)
+  Report.note (Printf.sprintf "raw series written to %s" csv_path);
+  (* Observability exports fold the joined [points] array in fixed
+     (technique, load, replication) index order, so both files are
+     byte-identical at any worker count. *)
+  (match metrics_out with
+   | None -> ()
+   | Some path ->
+     let sections =
+       List.mapi
+         (fun ti technique ->
+           let merged = Obs.Registry.create () in
+           List.iteri
+             (fun li _ ->
+               for r = 0 to replications - 1 do
+                 Obs.Registry.merge_into ~into:merged
+                   points.((((li * ntech) + ti) * replications) + r).registry
+               done)
+             loads;
+           { Obs.Export.name = System.technique_name technique; registry = merged })
+         fig9_techniques
+     in
+     Obs.Export.write ~path sections;
+     Report.note (Printf.sprintf "metrics written to %s" path));
+  match trace_out with
+  | None -> ()
+  | Some path ->
+    let first_load = match loads with l :: _ -> l | [] -> 0. in
+    let processes =
+      List.mapi
+        (fun ti technique ->
+          {
+            Obs.Chrome_trace.pid = ti;
+            name =
+              Printf.sprintf "%s @ %.0f tps" (System.technique_name technique) first_load;
+            events = points.(ti * replications).trace_events;
+          })
+        fig9_techniques
+    in
+    Obs.Chrome_trace.write ~path processes;
+    Report.note (Printf.sprintf "chrome trace written to %s" path)
 
 (* ---- Table 1 ---- *)
 
@@ -618,6 +667,92 @@ let latency ?seed () =
     ];
   Report.note "moving the log write off the commit path and relying on the group is";
   Report.note "worth the difference between these two numbers per transaction."
+
+(* ---- Observability: per-phase latency and the acknowledgement path ---- *)
+
+let observability ?(seed = 1L) () =
+  Report.section "Observability: per-phase latency and the ack path per technique";
+  Report.note "one 20 s run per technique at 24 tps; percentiles are log-bucketed";
+  Report.note "histogram midpoints (<= 1/16 relative error), phases delegate-side.";
+  let points =
+    Pool.map
+      (fun technique -> run_load_point ~seed ~measure_s:20. technique ~load_tps:24.)
+      System.all_techniques
+  in
+  let header =
+    [
+      "technique"; "commit p50"; "commit p95"; "read p50"; "abcast p50"; "certify p50";
+      "wal p50"; "ack<disk"; "ack>disk";
+    ]
+  in
+  let rows =
+    List.map2
+      (fun technique p ->
+        let h name =
+          match Obs.Registry.find_histogram p.registry name with
+          | Some h -> h
+          | None -> Obs.Histogram.create ()
+        in
+        [
+          System.technique_name technique;
+          Report.hist_pctl_ms (h "txn.commit_us") 0.5;
+          Report.hist_pctl_ms (h "txn.commit_us") 0.95;
+          Report.hist_pctl_ms (h "phase.read_us") 0.5;
+          Report.hist_pctl_ms (h "phase.broadcast_us") 0.5;
+          Report.hist_pctl_ms (h "phase.certify_us") 0.5;
+          Report.hist_pctl_ms (h "phase.wal_us") 0.5;
+          string_of_int (Obs.Registry.counter_value p.registry "txn.ack_before_disk");
+          string_of_int (Obs.Registry.counter_value p.registry "txn.ack_after_disk");
+        ])
+      System.all_techniques points
+  in
+  Report.table ~header rows;
+  Report.note "the ack-path counters are the paper's mechanism in two columns:";
+  Report.note "group-safe (and 0-safe) acknowledge every update before any disk";
+  Report.note "write (ack<disk), group-1-safe and stronger only after a flush";
+  Report.note "(ack>disk) — the wal histogram stays populated either way, it just";
+  Report.note "moves off the commit critical path."
+
+(* A fixed, fully deterministic observability scenario: 3 servers running
+   group-safe, ten staggered handwritten update transactions, samplers on.
+   The golden exporter test and the CLI [obs] command both render exactly
+   this run, so the artifacts are byte-stable across worker counts and
+   machines. *)
+let obs_demo ?(seed = 7L) () =
+  let sys =
+    System.create ~seed ~params:scenario_params ~obs_trace:true
+      (System.Dsm Dsm_replica.Group_safe_mode)
+  in
+  System.attach_obs_samplers ~every:(ms 25.) sys;
+  for i = 0 to 9 do
+    let tx =
+      Db.Transaction.make ~id:(1000 + i) ~client:(i mod 3)
+        [ Db.Op.Read (3 * i mod 20); Db.Op.Write (i, i + 1); Db.Op.Write (20 + i, 1) ]
+    in
+    System.submit sys ~delegate:(i mod 3) tx;
+    System.run_for sys (ms 40.)
+  done;
+  System.run_for sys (sec 1.);
+  let trace =
+    Obs.Chrome_trace.to_string
+      [
+        {
+          Obs.Chrome_trace.pid = 0;
+          name = System.technique_name (System.technique sys);
+          events = Obs.Tracer.events (System.obs_tracer sys);
+        };
+      ]
+  in
+  let metrics =
+    Obs.Export.to_json
+      [
+        {
+          Obs.Export.name = System.technique_name (System.technique sys);
+          registry = System.obs_registry sys;
+        };
+      ]
+  in
+  (trace, metrics)
 
 (* ---- §7 scaling analysis ---- *)
 
@@ -1121,6 +1256,7 @@ let all ?(seed = 1L) ?(fast = false) () =
   timed "fig5" (fun () -> fig5 ~seed ());
   timed "fig7" (fun () -> fig7 ~seed ());
   timed "latency" (fun () -> latency ~seed ());
+  timed "observability" (fun () -> observability ~seed ());
   timed "fig9" (fun () ->
       if fast then fig9 ~seed ~loads:[ 20.; 30.; 40. ] ~measure_s:20. () else fig9 ~seed ());
   if not fast then timed "closed_loop" (fun () -> closed_loop ~seed ());

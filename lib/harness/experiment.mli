@@ -22,6 +22,11 @@ type load_point = {
   abort_rate : float;  (** certification aborts / decided. *)
   throughput_tps : float;  (** committed per second, post-warm-up. *)
   completed : int;  (** responses measured. *)
+  registry : Obs.Registry.t;
+      (** the run's metrics registry (counters, gauges, histograms),
+          including the [res.cpu]/[res.disk] sampler series. *)
+  trace_events : Obs.Tracer.event list;
+      (** recorded spans; empty unless the run traced ([obs_trace]). *)
 }
 
 val run_load_point :
@@ -30,12 +35,15 @@ val run_load_point :
   ?warmup_s:float ->
   ?measure_s:float ->
   ?apply_write_factor:float ->
+  ?obs_trace:bool ->
   Groupsafe.System.technique ->
   load_tps:float ->
   load_point
 (** One simulated run: open Poisson arrivals at [load_tps] over the
     Table 4 system, [warmup_s] (default 5) discarded, [measure_s]
-    (default 60) measured. *)
+    (default 60) measured. Resource samplers are always attached;
+    [obs_trace] (default [false]) additionally records tracer spans into
+    [trace_events]. *)
 
 val default_loads : float list
 (** The paper's X axis: 20..40 tps in steps of 2. *)
@@ -46,13 +54,20 @@ val fig9 :
   ?measure_s:float ->
   ?replications:int ->
   ?csv_path:string ->
+  ?trace_out:string ->
+  ?metrics_out:string ->
   unit ->
   unit
 (** Figure 9: response time vs offered load (default 20..40 tps in steps
     of 2) for group-safe, group-1-safe and lazy 1-safe replication, plus
     the group-safe abort rate the paper quotes (§6). With
     [replications > 1] each point averages that many independently seeded
-    runs and reports a 95% confidence half-width. *)
+    runs and reports a 95% confidence half-width. [metrics_out] writes
+    every cell's metrics, merged per technique in fixed index order, as a
+    {!Obs.Export} dump (JSON, or CSV for a [.csv] path); [trace_out]
+    records each technique's first-load replication-0 cell and writes a
+    Chrome trace-event file. Both are byte-identical at any [--jobs]
+    count. *)
 
 val run_closed_point :
   ?seed:int64 ->
@@ -101,6 +116,20 @@ val latency : ?seed:int64 -> unit -> unit
 (** §6's two numbers: mean atomic-broadcast latency vs mean disk (log)
     write latency under the Fig. 9 settings — the gap that makes
     group-safety pay on a LAN. *)
+
+val observability : ?seed:int64 -> unit -> unit
+(** The observability layer's own section: one moderate-load run per
+    technique, reporting commit-latency percentiles, the delegate-side
+    phase breakdown (read / broadcast / certify / wal) and the
+    acknowledgement-path counters — disk write before vs after the client
+    answer, the mechanism behind Fig. 9's group-safe advantage. *)
+
+val obs_demo : ?seed:int64 -> unit -> string * string
+(** The fixed observability demo: ten handwritten staggered update
+    transactions on a 3-server group-safe system with samplers attached.
+    Returns [(chrome_trace_json, metrics_json)] — fully deterministic, so
+    the golden exporter test diffs these bytes and the CLI [obs] command
+    writes the same artifacts. *)
 
 val section7 : unit -> unit
 (** §7: analytic scaling of lazy's inconsistency risk vs group-safe's

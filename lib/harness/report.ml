@@ -74,3 +74,9 @@ let timing_summary () =
 let f1 x = if Float.is_nan x then "-" else Printf.sprintf "%.1f" x
 let f2 x = if Float.is_nan x then "-" else Printf.sprintf "%.2f" x
 let pct x = if Float.is_nan x then "-" else Printf.sprintf "%.1f%%" (100. *. x)
+
+let hist_pctl_ms h q =
+  if Obs.Histogram.count h = 0 then "-"
+  else
+    let lo, hi = Obs.Histogram.quantile_bounds h q in
+    f2 (float_of_int (lo + hi) /. 2. /. 1000.)

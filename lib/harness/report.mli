@@ -52,3 +52,9 @@ val f2 : float -> string
 
 val pct : float -> string
 (** Percentage with one decimal from a ratio, e.g. [0.0712] -> ["7.1%"]. *)
+
+val hist_pctl_ms : Obs.Histogram.t -> float -> string
+(** [hist_pctl_ms h q] renders quantile [q] of a microsecond latency
+    histogram in milliseconds: the midpoint of the histogram's quantile
+    bounds (so within the bucketing's 1/16 relative error), or ["-"] for
+    an empty histogram. *)

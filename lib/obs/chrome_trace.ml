@@ -1,0 +1,81 @@
+(* Chrome trace-event JSON ("JSON object format"), loadable in
+   chrome://tracing and https://ui.perfetto.dev. Timestamps and durations
+   are microseconds, matching Sim_time natively.
+
+   Serialisation walks processes and events in list order with a fixed
+   key layout, so identical inputs render byte-identical files. *)
+
+type process = { pid : int; name : string; events : Tracer.event list }
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_args buf args =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      add_json_string buf v)
+    args;
+  Buffer.add_char buf '}'
+
+let add_event buf ~first ~pid (e : Tracer.event) =
+  if not first then Buffer.add_string buf ",\n";
+  Buffer.add_string buf "{\"name\":";
+  add_json_string buf e.Tracer.name;
+  Buffer.add_string buf ",\"cat\":";
+  add_json_string buf e.Tracer.cat;
+  (match e.Tracer.ph with
+  | Tracer.Complete ->
+    Buffer.add_string buf ",\"ph\":\"X\"";
+    Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid e.Tracer.tid);
+    Buffer.add_string buf (Printf.sprintf ",\"ts\":%d,\"dur\":%d" e.Tracer.ts_us e.Tracer.dur_us)
+  | Tracer.Instant ->
+    Buffer.add_string buf ",\"ph\":\"i\",\"s\":\"t\"";
+    Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid e.Tracer.tid);
+    Buffer.add_string buf (Printf.sprintf ",\"ts\":%d" e.Tracer.ts_us));
+  if e.Tracer.args <> [] then begin
+    Buffer.add_string buf ",\"args\":";
+    add_args buf e.Tracer.args
+  end;
+  Buffer.add_char buf '}'
+
+let to_string processes =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  let first = ref true in
+  List.iter
+    (fun p ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":"
+           p.pid);
+      add_json_string buf p.name;
+      Buffer.add_string buf "}}";
+      List.iter
+        (fun e ->
+          add_event buf ~first:false ~pid:p.pid e)
+        p.events)
+    processes;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write ~path processes =
+  let oc = open_out path in
+  output_string oc (to_string processes);
+  close_out oc

@@ -1,0 +1,21 @@
+(** Chrome trace-event JSON exporter.
+
+    Produces the trace-event "JSON object format" understood by
+    [chrome://tracing] and Perfetto (https://ui.perfetto.dev): one
+    [process_name] metadata record per process followed by its events —
+    ["X"] complete spans with [ts]/[dur] and ["i"] instants, all in
+    microseconds (Sim_time's native unit). Identical inputs serialise to
+    byte-identical output. *)
+
+type process = {
+  pid : int;  (** trace pid; e.g. a fig9 cell index *)
+  name : string;  (** shown as the process label in the viewer *)
+  events : Tracer.event list;
+}
+
+val to_string : process list -> string
+val write : path:string -> process list -> unit
+
+(** Append [s] to [buf] as a JSON string literal (quoted, escaped).
+    Shared with {!Export}. *)
+val add_json_string : Buffer.t -> string -> unit

@@ -1,0 +1,95 @@
+(* Metrics dump: JSON ("groupsafe-metrics/1") or CSV, chosen by file
+   extension. Sections and metric names render in the caller-given /
+   sorted-name order respectively, so output is byte-identical for equal
+   registry contents regardless of how they were built or merged. *)
+
+type section = { name : string; registry : Registry.t }
+
+let schema = "groupsafe-metrics/1"
+
+let add_json_string buf s =
+  Chrome_trace.add_json_string buf s
+
+let hist_json buf h =
+  let pct q =
+    if Histogram.count h = 0 then "[0,0]"
+    else
+      let lo, hi = Histogram.quantile_bounds h q in
+      Printf.sprintf "[%d,%d]" lo hi
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d" (Histogram.count h)
+       (Histogram.sum h) (Histogram.min_value h) (Histogram.max_value h));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"p50\":%s,\"p95\":%s,\"p99\":%s" (pct 0.50) (pct 0.95) (pct 0.99));
+  Buffer.add_string buf ",\"buckets\":[";
+  List.iteri
+    (fun i (lo, hi, c) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "[%d,%d,%d]" lo hi c))
+    (Histogram.buckets h);
+  Buffer.add_string buf "]}"
+
+let to_json sections =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":";
+  add_json_string buf schema;
+  Buffer.add_string buf ",\"sections\":[\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "{\"name\":";
+      add_json_string buf s.name;
+      Buffer.add_string buf ",\"metrics\":{";
+      List.iteri
+        (fun j (name, view) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf "\n  ";
+          add_json_string buf name;
+          Buffer.add_char buf ':';
+          match view with
+          | Registry.V_counter n -> Buffer.add_string buf (string_of_int n)
+          | Registry.V_gauge n -> Buffer.add_string buf (Printf.sprintf "{\"max\":%d}" n)
+          | Registry.V_hist h -> hist_json buf h)
+        (Registry.bindings s.registry);
+      Buffer.add_string buf "}}")
+    sections;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv sections =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "section,metric,kind,value,count,sum,min,max,p50_lo,p50_hi,p95_lo,p95_hi,p99_lo,p99_hi\n";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (name, view) ->
+          let prefix = Printf.sprintf "%s,%s," (csv_cell s.name) (csv_cell name) in
+          match view with
+          | Registry.V_counter n ->
+            Buffer.add_string buf (Printf.sprintf "%scounter,%d,,,,,,,,,,\n" prefix n)
+          | Registry.V_gauge n ->
+            Buffer.add_string buf (Printf.sprintf "%sgauge,%d,,,,,,,,,,\n" prefix n)
+          | Registry.V_hist h ->
+            let pct q = if Histogram.count h = 0 then (0, 0) else Histogram.quantile_bounds h q in
+            let p50l, p50h = pct 0.50 and p95l, p95h = pct 0.95 and p99l, p99h = pct 0.99 in
+            Buffer.add_string buf
+              (Printf.sprintf "%shistogram,,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n" prefix
+                 (Histogram.count h) (Histogram.sum h) (Histogram.min_value h)
+                 (Histogram.max_value h) p50l p50h p95l p95h p99l p99h))
+        (Registry.bindings s.registry))
+    sections;
+  Buffer.contents buf
+
+let to_string ~path sections =
+  if Filename.check_suffix path ".csv" then to_csv sections else to_json sections
+
+let write ~path sections =
+  let oc = open_out path in
+  output_string oc (to_string ~path sections);
+  close_out oc

@@ -1,0 +1,20 @@
+(** Metrics dump exporter.
+
+    A dump is an ordered list of named sections, each wrapping one
+    registry. {!write} picks the format from the file extension:
+    [.csv] gets a flat one-metric-per-row table, anything else the
+    ["groupsafe-metrics/1"] JSON document (counters as numbers, gauges as
+    [{"max":n}], histograms with count/sum/min/max, p50/p95/p99 bounds
+    and the full bucket list). Equal registry contents always serialise
+    byte-identically. *)
+
+type section = { name : string; registry : Registry.t }
+
+val schema : string
+val to_json : section list -> string
+val to_csv : section list -> string
+
+(** Serialise in the format implied by [path]'s extension. *)
+val to_string : path:string -> section list -> string
+
+val write : path:string -> section list -> unit

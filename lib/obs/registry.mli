@@ -1,0 +1,50 @@
+(** Named-metric registry: counters, max-gauges, and latency histograms.
+
+    Resolve handles once at component-creation time ({!counter},
+    {!gauge_max}, {!histogram}), then update them on the hot path with
+    {!inc}/{!add}/{!observe_max}/[Histogram.add]. A registry belongs to
+    one domain; fold per-domain registries with {!merge_into} after the
+    worker join — metric names are walked in sorted order, so the merged
+    result is identical at any worker count. *)
+
+type t
+
+(** Handle to a monotone counter. *)
+type counter
+
+(** Handle to a gauge that keeps the maximum observed value. *)
+type gauge
+
+val create : unit -> t
+
+(** Find-or-create by name. Each raises [Invalid_argument] if the name is
+    already registered with a different metric kind. *)
+
+val counter : t -> string -> counter
+
+val gauge_max : t -> string -> gauge
+val histogram : t -> string -> Histogram.t
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val observe_max : gauge -> int -> unit
+
+(** Read accessors; counters and gauges read 0 when absent. *)
+
+val counter_value : t -> string -> int
+
+val gauge_value : t -> string -> int
+val find_histogram : t -> string -> Histogram.t option
+
+type view = V_counter of int | V_gauge of int | V_hist of Histogram.t
+
+(** All metrics in sorted name order. *)
+val bindings : t -> (string * view) list
+
+(** [merge_into ~into src] folds [src] into [into]: counters sum, gauges
+    take the max, histograms merge bucket-wise. [src] is unchanged.
+    @raise Invalid_argument on a metric-kind mismatch between the two. *)
+val merge_into : into:t -> t -> unit
+
+(** Fresh registry holding the fold of both arguments. *)
+val merge : t -> t -> t

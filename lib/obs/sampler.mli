@@ -1,0 +1,18 @@
+(** Periodic resource sampling on the virtual clock.
+
+    [attach engine ~registry ~name ~every resource] schedules a
+    self-rescheduling tick every [every] of simulated time that records
+    [<name>.queue] (depth histogram), [<name>.queue_max] (gauge) and
+    [<name>.util_permille] (per-interval utilisation histogram, 0–1000)
+    into [registry]. Sampler ticks read but never mutate simulation
+    state and draw no randomness, so they cannot perturb results. The
+    chain never terminates on its own: attach only to engines driven
+    with a bounded [Engine.run ~until].
+    @raise Invalid_argument if [every] is the zero span. *)
+val attach :
+  Sim.Engine.t ->
+  registry:Registry.t ->
+  name:string ->
+  every:Sim.Sim_time.span ->
+  Sim.Resource.t ->
+  unit

@@ -122,3 +122,14 @@ let clear q =
   q.seqs <- [||];
   q.values <- [||];
   q.size <- 0
+
+let heap_ok q =
+  let ok = ref true in
+  for i = 1 to q.size - 1 do
+    if precedes q i ((i - 1) / 2) then ok := false
+  done;
+  (* Vacated slots must hold the dummy, or popped values leak. *)
+  for i = q.size to Array.length q.values - 1 do
+    if q.values.(i) != dummy then ok := false
+  done;
+  !ok

@@ -42,3 +42,9 @@ val pop_value : 'a t -> 'a
 
 val clear : 'a t -> unit
 (** Removes every event and drops every reference the queue held. *)
+
+val heap_ok : 'a t -> bool
+(** Test hook: whether the internal [(time, sequence)] min-heap property
+    holds and every slot beyond the live size has been cleared back to the
+    dummy (the space-leak guard). Always [true] unless the implementation
+    is broken — the fuzz tests call it after every operation. *)

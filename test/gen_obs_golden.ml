@@ -1,0 +1,12 @@
+(* Renders the fixed observability demo scenario (3 servers, group-safe,
+   ten staggered transactions, samplers on) for the golden-file tests:
+   argv.(1) selects which artifact goes to stdout. The same scenario backs
+   the CLI's [obs] command, so the goldens also pin the CI sample
+   artifacts byte for byte. *)
+
+let () =
+  let trace, metrics = Harness.Experiment.obs_demo () in
+  match Sys.argv.(1) with
+  | "trace" -> print_string trace
+  | "metrics" -> print_string metrics
+  | other -> failwith ("gen_obs_golden: unknown artifact " ^ other)

@@ -749,6 +749,63 @@ let test_retransmit_jitter_deterministic () =
      check_bool "jitter bounded by the fraction" true (first < 110_000)
    | [] -> Alcotest.fail "no ticks recorded")
 
+let test_retransmit_rearm_collapses_chains () =
+  let e, _, rt, fires = retransmit_fixture ~pending:(fun () -> true) () in
+  (* Two arms back to back must leave ONE live chain: the first chain's
+     tick is due at the same instant as the second's, and only the epoch
+     check stops it from double-firing the action. *)
+  Retransmit.arm rt;
+  Retransmit.arm rt;
+  run_for e (ms 350.);
+  Alcotest.(check (list int)) "no duplicate ticks" [ 100_000; 300_000 ] (fires ());
+  (* Re-arming an already-backed-off driver starts over from base. *)
+  Retransmit.arm rt;
+  run_for e (ms 150.);
+  Alcotest.(check (list int)) "re-arm restarts from base"
+    [ 100_000; 300_000; 450_000 ]
+    (fires ())
+
+let test_retransmit_jitter_respects_cap () =
+  let e, _, rt, fires = retransmit_fixture ~jitter:0.25 ~seed:9L ~pending:(fun () -> true) () in
+  Retransmit.arm rt;
+  run_for e (sec 8.);
+  let ticks = fires () in
+  check_bool "kept firing" true (List.length ticks >= 6);
+  (* Every gap is one jittered interval: at least the base, at most the
+     cap stretched by the full jitter fraction — the jitter multiplies
+     the un-jittered interval, so it can never push past cap * 1.25. *)
+  let rec gaps_ok prev = function
+    | [] -> true
+    | tick :: rest ->
+      let gap = tick - prev in
+      gap >= 100_000 && gap <= 1_000_000 && gaps_ok tick rest
+  in
+  check_bool "gaps within [base, cap * (1 + jitter)]" true (gaps_ok 0 ticks);
+  check_bool "stored interval never exceeds the cap" true
+    (Sim.Sim_time.span_to_us (Retransmit.current_interval rt)
+    <= Sim.Sim_time.span_to_us (ms 800.))
+
+let test_retransmit_progress_at_cap_restarts_base_chain () =
+  let e, _, rt, fires = retransmit_fixture ~pending:(fun () -> true) () in
+  Retransmit.arm rt;
+  run_for e (sec 2.);
+  Alcotest.(check (list int)) "backed off to the cap"
+    [ 100_000; 300_000; 700_000; 1_500_000 ]
+    (fires ());
+  check_int "interval at the cap"
+    (Sim.Sim_time.span_to_us (ms 800.))
+    (Sim.Sim_time.span_to_us (Retransmit.current_interval rt));
+  Retransmit.progress rt;
+  check_int "progress unwinds the cap"
+    (Sim.Sim_time.span_to_us (ms 100.))
+    (Sim.Sim_time.span_to_us (Retransmit.current_interval rt));
+  run_for e (ms 150.);
+  (* One base interval after progress (t = 2000), not the capped chain's
+     horizon (t = 2300) — the stale capped tick must stay dead. *)
+  Alcotest.(check (list int)) "fresh base chain replaces the capped one"
+    [ 100_000; 300_000; 700_000; 1_500_000; 2_100_000 ]
+    (fires ())
+
 let test_retransmit_crash_silences_until_rearmed () =
   let e, p, rt, fires = retransmit_fixture ~pending:(fun () -> true) () in
   Retransmit.arm rt;
@@ -791,6 +848,11 @@ let () =
           Alcotest.test_case "idle resets" `Quick test_retransmit_idle_resets_interval;
           Alcotest.test_case "jitter determinism" `Quick test_retransmit_jitter_deterministic;
           Alcotest.test_case "crash silences" `Quick test_retransmit_crash_silences_until_rearmed;
+          Alcotest.test_case "re-arm collapses chains" `Quick
+            test_retransmit_rearm_collapses_chains;
+          Alcotest.test_case "jitter respects cap" `Quick test_retransmit_jitter_respects_cap;
+          Alcotest.test_case "progress at cap restarts base chain" `Quick
+            test_retransmit_progress_at_cap_restarts_base_chain;
         ] );
       ( "replicated_log",
         Alcotest.test_case "orders and agrees" `Quick test_log_orders_and_agrees

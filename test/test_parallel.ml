@@ -93,24 +93,60 @@ let capture_stdout f =
   s
 
 (* The report echoes the CSV path, so both runs must share one. *)
-let fig9_output jobs csv_path =
+let fig9_output jobs csv_path trace_out metrics_out =
   Pool.set_default_jobs jobs;
   let table =
     capture_stdout (fun () ->
         Harness.Experiment.fig9 ~seed:11L ~loads:[ 20.; 30. ] ~measure_s:2. ~replications:2
-          ~csv_path ())
+          ~csv_path ~trace_out ~metrics_out ())
   in
-  (table, read_file csv_path)
+  (table, read_file csv_path, read_file trace_out, read_file metrics_out)
 
 let test_fig9_identical_across_jobs () =
   let csv_path = Filename.temp_file "groupsafe_fig9" ".csv" in
-  let table_1, csv_1 = fig9_output 1 csv_path in
-  let table_4, csv_4 = fig9_output 4 csv_path in
+  let trace_out = Filename.temp_file "groupsafe_fig9" ".trace.json" in
+  let metrics_out = Filename.temp_file "groupsafe_fig9" ".metrics.json" in
+  let table_1, csv_1, trace_1, metrics_1 = fig9_output 1 csv_path trace_out metrics_out in
+  let table_4, csv_4, trace_4, metrics_4 = fig9_output 4 csv_path trace_out metrics_out in
   Sys.remove csv_path;
+  Sys.remove trace_out;
+  Sys.remove metrics_out;
   Pool.set_default_jobs 1;
   check_bool "table is non-trivial" true (String.length table_1 > 100);
+  check_bool "trace is non-trivial" true (String.length trace_1 > 100);
+  check_bool "metrics are non-trivial" true (String.length metrics_1 > 100);
   Alcotest.(check string) "report table byte-identical" table_1 table_4;
-  Alcotest.(check string) "fig9 csv byte-identical" csv_1 csv_4
+  Alcotest.(check string) "fig9 csv byte-identical" csv_1 csv_4;
+  Alcotest.(check string) "chrome trace byte-identical" trace_1 trace_4;
+  Alcotest.(check string) "metrics dump byte-identical" metrics_1 metrics_4
+
+(* The per-cell registries are merged in index order after the worker
+   join; folding them must give one byte string at any worker count. *)
+let merged_metrics jobs =
+  Pool.set_default_jobs jobs;
+  let points =
+    Pool.map
+      (fun (technique, load_tps) ->
+        Harness.Experiment.run_load_point ~seed:13L ~measure_s:2. technique ~load_tps)
+      [
+        (Groupsafe.System.Dsm Groupsafe.Dsm_replica.Group_safe_mode, 20.);
+        (Groupsafe.System.Dsm Groupsafe.Dsm_replica.Group_safe_mode, 30.);
+        (Groupsafe.System.Dsm Groupsafe.Dsm_replica.Group_one_safe_mode, 20.);
+        (Groupsafe.System.Dsm Groupsafe.Dsm_replica.Group_one_safe_mode, 30.);
+      ]
+  in
+  let merged = Obs.Registry.create () in
+  List.iter
+    (fun p -> Obs.Registry.merge_into ~into:merged p.Harness.Experiment.registry)
+    points;
+  Obs.Export.to_json [ { Obs.Export.name = "sweep"; registry = merged } ]
+
+let test_merged_registry_identical_across_jobs () =
+  let m1 = merged_metrics 1 in
+  let m4 = merged_metrics 4 in
+  Pool.set_default_jobs 1;
+  check_bool "merged metrics non-trivial" true (String.length m1 > 100);
+  Alcotest.(check string) "merged registry byte-identical" m1 m4
 
 let explorer_verdict jobs technique =
   Pool.set_default_jobs jobs;
@@ -150,6 +186,8 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "fig9 sweep across jobs" `Quick test_fig9_identical_across_jobs;
+          Alcotest.test_case "merged obs registry across jobs" `Quick
+            test_merged_registry_identical_across_jobs;
           Alcotest.test_case "nemesis storms across jobs" `Quick
             test_explorer_storms_identical_across_jobs;
         ] );

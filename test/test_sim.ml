@@ -62,6 +62,51 @@ let prop_queue_pops_sorted =
       && List.for_all2 Sim_time.equal popped
            (List.sort Sim_time.compare (List.map Sim_time.of_us times)))
 
+(* Model-based fuzz: drive the heap with a random add/pop script and check
+   every observable — pop order and payload pairing, length, next_time_us —
+   against a naive sorted-list model after every single operation, along
+   with the structural heap invariant and the cleared-slot guard
+   ([Event_queue.heap_ok]). [Some t] adds at time [t], [None] pops; the
+   small time bound forces many equal-time ties so the FIFO sequence
+   numbers do real work. *)
+let prop_queue_matches_naive_model =
+  QCheck2.Test.make ~name:"event queue agrees with a sorted-list model" ~count:300
+    QCheck2.Gen.(list (option (int_bound 1_000)))
+    (fun script ->
+      let q = Event_queue.create () in
+      let model = ref [] in
+      let next_seq = ref 0 in
+      let ok = ref true in
+      let require b = if not b then ok := false in
+      let step op =
+        (match op with
+        | Some t ->
+          let payload = !next_seq in
+          Event_queue.add q ~time:(Sim_time.of_us t) payload;
+          (* (time, seq) is a total order — no ties survive the merge. *)
+          model := List.merge compare !model [ (t, payload) ];
+          incr next_seq
+        | None -> (
+          match (Event_queue.pop q, !model) with
+          | None, [] -> ()
+          | Some (time, v), (t, payload) :: rest ->
+            model := rest;
+            require (Sim_time.to_us time = t && v = payload)
+          | Some _, [] | None, _ :: _ -> require false));
+        require (Event_queue.length q = List.length !model);
+        require (Event_queue.heap_ok q);
+        require
+          (Event_queue.next_time_us q
+          = (match !model with [] -> max_int | (t, _) :: _ -> t))
+      in
+      List.iter step script;
+      (* Drain what the script left behind, then pop once on empty. *)
+      while !model <> [] do
+        step None
+      done;
+      step None;
+      !ok)
+
 (* Popped and cleared events must become unreachable: a binary heap that
    moves the last entry to the root on pop leaves the old closure reachable
    at the vacated slot unless it is explicitly cleared — a space leak when
@@ -463,7 +508,7 @@ let () =
         :: Alcotest.test_case "fast-path accessors" `Quick test_queue_fast_path_accessors
         :: Alcotest.test_case "steady-state add allocates nothing" `Quick
              test_queue_add_steady_state_no_alloc
-        :: qsuite [ prop_queue_pops_sorted ] );
+        :: qsuite [ prop_queue_pops_sorted; prop_queue_matches_naive_model ] );
       ( "rng",
         Alcotest.test_case "determinism" `Quick test_rng_determinism
         :: Alcotest.test_case "copy and split" `Quick test_rng_copy_and_split

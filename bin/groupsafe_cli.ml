@@ -53,12 +53,21 @@ let nemesis =
   in
   Arg.(value & flag & info [ "nemesis" ] ~doc)
 
+let liveness_flag =
+  let doc =
+    "Explore fairness-constrained liveness schedules instead: every storm is a fair schedule \
+     (crashes recovered, partitions healed, loss windows closed), every run must decide all owed \
+     submissions and re-elect a working leader, and the oracle-mutation hooks prove the checker \
+     rediscovers the known wedging bugs."
+  in
+  Arg.(value & flag & info [ "liveness" ] ~doc)
+
 let counterexample_path =
-  let doc = "Where --nemesis writes the shrunk counterexample trace on failure." in
-  Arg.(
-    value
-    & opt string "nemesis-counterexample.txt"
-    & info [ "counterexample" ] ~docv:"PATH" ~doc)
+  let doc =
+    "Where --nemesis / --liveness write the shrunk counterexample trace on failure (default \
+     nemesis-counterexample.txt, or liveness-counterexample.txt with --liveness)."
+  in
+  Arg.(value & opt (some string) None & info [ "counterexample" ] ~docv:"PATH" ~doc)
 
 let jobs =
   let doc =
@@ -163,17 +172,26 @@ let cmds =
            "Explore crash/recover/delay schedules: rediscover the Fig. 5 loss, certify the safe \
             configurations loss-free, and sweep every level for forbidden losses. With --nemesis, \
             explore network-fault storms (partitions, loss windows, duplications) and certify \
-            healing convergence instead. Exits non-zero if any check fails.")
+            healing convergence instead. With --liveness, explore fair storms and certify every \
+            owed submission decided and leadership re-established. Exits non-zero if any check \
+            fails.")
       Term.(
-        const (fun seed budget nemesis counterexample_path jobs ->
+        const (fun seed budget nemesis liveness counterexample_path jobs ->
             apply_jobs jobs;
+            let path default = Option.value counterexample_path ~default in
             let ok =
-              if nemesis then
-                Harness.Experiment.nemesis ~seed ~budget ~counterexample_path ()
+              if liveness then
+                Harness.Experiment.liveness ~seed ~budget
+                  ~counterexample_path:(path "liveness-counterexample.txt")
+                  ()
+              else if nemesis then
+                Harness.Experiment.nemesis ~seed ~budget
+                  ~counterexample_path:(path "nemesis-counterexample.txt")
+                  ()
               else Harness.Experiment.explore ~seed ~budget ()
             in
             if not ok then Stdlib.exit 1)
-        $ seed $ budget $ nemesis $ counterexample_path $ jobs);
+        $ seed $ budget $ nemesis $ liveness_flag $ counterexample_path $ jobs);
     Cmd.v (Cmd.info "all" ~doc:"Everything, in paper order.")
       Term.(
         const (fun seed fast jobs ->

@@ -17,6 +17,8 @@ type config = {
   system_seed : int64;
   delays : bool;
   nemesis : bool;
+  liveness : bool;
+  mutate : System.t -> unit;
 }
 
 (* Same light failure detector as the harness's long runs: 10 ms
@@ -34,7 +36,8 @@ let default_params =
     hot_items = 0;
   }
 
-let default_config ?(predicate = Violation) ?(nemesis = false) technique =
+let default_config ?(predicate = Violation) ?(nemesis = false) ?(liveness = false)
+    ?(mutate = fun (_ : System.t) -> ()) technique =
   {
     technique;
     predicate;
@@ -46,13 +49,18 @@ let default_config ?(predicate = Violation) ?(nemesis = false) technique =
     quiescence = sec 4.;
     system_seed = 7L;
     delays = (match technique with System.Dsm _ -> true | System.Lazy _ | System.Two_pc -> false);
-    nemesis;
+    (* Liveness mode needs the full fault mix (partitions, loss windows)
+       and the convergence probe, so it implies nemesis. *)
+    nemesis = nemesis || liveness;
+    liveness;
+    mutate;
   }
 
 type outcome = {
   schedule : Schedule.t;
   report : Safety_checker.report;
   converge : Convergence.verdict option;
+  liveness : Liveness.verdict option;
   failed : bool;
   trace : string;
   highlights : string;
@@ -107,6 +115,9 @@ let run ?(trace = false) config schedule =
     System.create ~seed:config.system_seed ~params ~fd_config:config.fd ~trace_enabled:trace
       ~delivery_delay config.technique
   in
+  (* Oracle-mutation hook: deliberate protocol breakage installed before
+     any load, so mutation tests exercise the whole run. *)
+  config.mutate sys;
   let engine = System.engine sys in
   let at delay f = ignore (Sim.Engine.schedule engine ~delay f) in
   (* The fixed load: write-only transactions on disjoint items, delegates
@@ -180,10 +191,19 @@ let run ?(trace = false) config schedule =
   let failed =
     failed || match converge with Some v -> not v.Convergence.converged | None -> false
   in
+  (* The liveness oracle is observation-only, so it stacks last: the
+     convergence probe has already run (liveness implies nemesis) and
+     lands in the submission books — a probe that never came back shows up
+     as a wedged transaction here too. *)
+  let liveness = if config.liveness then Some (Liveness.certify sys) else None in
+  let failed =
+    failed || match liveness with Some v -> not v.Liveness.live | None -> false
+  in
   {
     schedule;
     report;
     converge;
+    liveness;
     failed;
     trace = (if trace then Sim.Trace.render (System.trace sys) else "");
     highlights = (if trace then render_highlights sys else "");
@@ -311,6 +331,70 @@ let random_schedule config rng ~max_events =
     Schedule.make ~servers ~txs:config.txs ~spacing:config.spacing (crashes @ faults)
   end
 
+(* ---- fair storms (liveness mode) ---- *)
+
+(* Deterministic repair of an unfair candidate: discard events the run
+   would never fire, clamp loss windows and delays to the horizon, then
+   append the missing repairs (a recovery per still-down server, a heal
+   for a dangling partition) at the horizon. The result is always fair,
+   and reuses as much of the rejected candidate as possible so the storm
+   still probes the fault pattern the RNG drew. *)
+let repair_fair ~horizon t =
+  let horizon_us = Sim.Sim_time.span_to_us horizon in
+  let clamp s = if Sim.Sim_time.span_to_us s > horizon_us then horizon else s in
+  let events =
+    List.filter_map
+      (fun e ->
+        if Sim.Sim_time.span_to_us e.Schedule.at > horizon_us then None
+        else
+          match e.Schedule.kind with
+          | Schedule.Drop_window { prob; until } ->
+            Some { e with Schedule.kind = Schedule.Drop_window { prob; until = clamp until } }
+          | Schedule.Delay (i, d) ->
+            Some { e with Schedule.kind = Schedule.Delay (i, clamp d) }
+          | Schedule.Crash _ | Schedule.Recover _ | Schedule.Partition _ | Schedule.Heal
+          | Schedule.Duplicate_next _ ->
+            Some e)
+      t.Schedule.events
+  in
+  let down = ref [] in
+  let open_partition = ref false in
+  List.iter
+    (fun e ->
+      match e.Schedule.kind with
+      | Schedule.Crash i -> if not (List.mem i !down) then down := i :: !down
+      | Schedule.Recover i -> down := List.filter (fun j -> j <> i) !down
+      | Schedule.Partition _ -> open_partition := true
+      | Schedule.Heal -> open_partition := false
+      | Schedule.Delay _ | Schedule.Drop_window _ | Schedule.Duplicate_next _ -> ())
+    events;
+  let repairs =
+    List.map
+      (fun i -> { Schedule.at = horizon; kind = Schedule.Recover i })
+      (List.sort Int.compare !down)
+    @ if !open_partition then [ { Schedule.at = horizon; kind = Schedule.Heal } ] else []
+  in
+  Schedule.make ~servers:t.Schedule.servers ~txs:t.Schedule.txs ~spacing:t.Schedule.spacing
+    (events @ repairs)
+
+(* Draw storm candidates until one is fair, telling [note] why each
+   rejected candidate was unfair (the storm summary prints the tally —
+   silent regeneration would hide how much of the search space the
+   fairness constraint cuts away). After a few rejections, repair the
+   last candidate instead of drawing again, so a pathological RNG stretch
+   cannot stall generation. *)
+let random_fair_schedule ?(max_attempts = 3) config rng ~max_events ~note =
+  let rec attempt n =
+    let candidate = random_schedule config rng ~max_events in
+    match Schedule.fairness_violation ~horizon:config.horizon candidate with
+    | None -> candidate
+    | Some reason ->
+      note reason;
+      if n >= max_attempts then repair_fair ~horizon:config.horizon candidate
+      else attempt (n + 1)
+  in
+  attempt 1
+
 (* ---- search ---- *)
 
 type phase = Exhaustive | Random_storm
@@ -330,20 +414,31 @@ type result = {
   seed : int64;
   budget : int;
   runs : int;
+  rejections : (string * int) list;
   counterexample : counterexample option;
 }
 
 (* Greedy fixpoint: keep the first shrink candidate that still fails,
    restart from it, stop when none of them do. Biased by the candidate
-   order of [Schedule.shrink] towards structurally smaller schedules. *)
-let shrink_failing config schedule =
+   order of [Schedule.shrink] towards structurally smaller schedules. In
+   liveness mode, candidates that would break fairness are refused before
+   they run: dropping a lone Heal (keeping its partition) could "shrink"
+   into an unfair schedule that wedges any correct protocol, and a
+   liveness counterexample that is not fair is vacuous. *)
+let shrink_failing (config : config) schedule =
   let shrink_runs = ref 0 in
+  let admissible candidate =
+    (not config.liveness) || Schedule.fair ~horizon:config.horizon candidate
+  in
   let rec fix schedule rounds =
     match
       List.find_opt
         (fun candidate ->
-          incr shrink_runs;
-          (run config candidate).failed)
+          admissible candidate
+          && begin
+               incr shrink_runs;
+               (run config candidate).failed
+             end)
         (Schedule.shrink schedule)
     with
     | Some smaller -> fix smaller (rounds + 1)
@@ -357,6 +452,15 @@ let explore ?(slots = [ ms 2.; ms 30. ]) ?(max_exhaustive_events = 3) ?(max_rand
   let rng = Sim.Rng.create seed in
   let runs = ref 0 in
   let found = ref None in
+  (* Fairness-rejection tally, reason -> count, in first-seen order.
+     Candidates are generated sequentially on this domain (see below), so
+     the tally is byte-identical at any worker count. *)
+  let rejections = ref [] in
+  let note_rejection reason =
+    match List.assoc_opt reason !rejections with
+    | Some n -> rejections := List.map (fun (r, c) -> if r = reason then (r, n + 1) else (r, c)) !rejections
+    | None -> rejections := !rejections @ [ (reason, 1) ]
+  in
   let try_one phase schedule =
     incr runs;
     if (run config schedule).failed then begin
@@ -364,13 +468,17 @@ let explore ?(slots = [ ms 2.; ms 30. ]) ?(max_exhaustive_events = 3) ?(max_rand
       raise Exit
     end
   in
-  (try
-     Seq.iter
-       (fun schedule ->
-         if !runs >= budget then raise Exit;
-         try_one Exhaustive schedule)
-       (exhaustive config ~slots ~max_events:max_exhaustive_events ~recoveries)
-   with Exit -> ());
+  (* The bounded-exhaustive universe is crash-heavy and almost entirely
+     unfair (lone crashes, lone partitions); liveness is a storm mode. *)
+  if not config.liveness then begin
+    try
+      Seq.iter
+        (fun schedule ->
+          if !runs >= budget then raise Exit;
+          try_one Exhaustive schedule)
+        (exhaustive config ~slots ~max_events:max_exhaustive_events ~recoveries)
+    with Exit -> ()
+  end;
   (* Random storms, fanned out over the domain pool. Every storm schedule
      is generated up front on this domain — the RNG draws happen in index
      order, so storm [k] is the same schedule a sequential loop would have
@@ -385,7 +493,10 @@ let explore ?(slots = [ ms 2.; ms 30. ]) ?(max_exhaustive_events = 3) ?(max_rand
     (* Explicit ascending fill: the storm stream must consume [rng] in
        index order (Array.init's evaluation order is unspecified). *)
     for k = 0 to remaining - 1 do
-      storms.(k) <- random_schedule config rng ~max_events:max_random_events
+      storms.(k) <-
+        (if config.liveness then
+           random_fair_schedule config rng ~max_events:max_random_events ~note:note_rejection
+         else random_schedule config rng ~max_events:max_random_events)
     done;
     let jobs = Parallel.Domain_pool.default_jobs () in
     let batch = Int.max 1 (jobs * 2) in
@@ -418,7 +529,7 @@ let explore ?(slots = [ ms 2.; ms 30. ]) ?(max_exhaustive_events = 3) ?(max_rand
       Some
         { original; found_in; runs_to_find = !runs; shrunk; shrink_rounds; shrink_runs; outcome }
   in
-  { config; seed; budget; runs = !runs; counterexample }
+  { config; seed; budget; runs = !runs; rejections = !rejections; counterexample }
 
 (* ---- directed scenario: the minority must stall, not diverge ---- *)
 
@@ -480,6 +591,77 @@ let minority_stall ?(cut = sec 2.) config =
       && majority_committed_during && resumed && verdict.Convergence.converged;
   }
 
+(* ---- directed scenario: kill leaders mid-broadcast, takeover must follow ---- *)
+
+type takeover_outcome = {
+  kills : int;
+  killed : int list;
+  takeovers : int;
+  submitted_txs : int;
+  liveness : Liveness.verdict;
+  converge : Convergence.verdict;
+  ok : bool;
+}
+
+(* The takeover family hunts the wedge the storms reach only by luck:
+   every round finds the current ordering leader, puts a transaction in
+   flight through a *different* delegate, kills the leader mid-broadcast,
+   and demands a successor before reviving it. The delegate stays up
+   throughout, so the liveness oracle owes a decision for every round's
+   transaction — a successor that never re-drives the dead leader's
+   in-flight slots wedges them all. *)
+let leader_takeover ?(kills = 3) config =
+  let n = config.params.Workload.Params.servers in
+  if n < 3 then invalid_arg "Explorer.leader_takeover: needs at least 3 servers";
+  let sys =
+    System.create ~seed:config.system_seed ~params:config.params ~fd_config:config.fd
+      config.technique
+  in
+  config.mutate sys;
+  (* Settle: first election, first empty heartbeat rounds. *)
+  System.run_for sys (sec 1.);
+  let killed = ref [] in
+  let takeovers = ref 0 in
+  let submitted = ref 0 in
+  for round = 0 to kills - 1 do
+    match System.leaders sys with
+    | [] ->
+      (* No established leader right now (previous revival still
+         settling); give the election time instead of killing blind. *)
+      System.run_for sys (sec 1.)
+    | leader :: _ ->
+      let delegate = (leader + 1) mod n in
+      incr submitted;
+      System.submit sys ~delegate
+        (Db.Transaction.make ~id:round ~client:0 [ Db.Op.Write (round mod 8, round + 1) ]);
+      (* Half a millisecond: the writeset broadcast is on the wire or in
+         the leader's in-flight table, but nothing is decided yet. *)
+      System.run_for sys (ms 0.5);
+      System.crash sys leader;
+      killed := leader :: !killed;
+      (* Detector timeout, new prepare phase, re-driven slots. *)
+      System.run_for sys (sec 2.);
+      (match System.leaders sys with
+      | successor :: _ when successor <> leader -> incr takeovers
+      | _ -> ());
+      System.recover sys leader;
+      System.run_for sys (sec 1.)
+  done;
+  System.run_for sys config.quiescence;
+  let converge = Convergence.certify sys in
+  let liveness = Liveness.certify sys in
+  {
+    kills;
+    killed = List.rev !killed;
+    takeovers = !takeovers;
+    submitted_txs = !submitted;
+    liveness;
+    converge;
+    ok =
+      !takeovers = !submitted && !submitted = kills && liveness.Liveness.live
+      && converge.Convergence.converged;
+  }
+
 (* ---- printing ---- *)
 
 let pp_phase ppf = function
@@ -494,6 +676,14 @@ let pp_result ppf r =
   Format.fprintf ppf "@[<v>%s, predicate: %a, seed %Ld, budget %d@,"
     (System.technique_name r.config.technique)
     pp_predicate r.config.predicate r.seed r.budget;
+  (match r.rejections with
+  | [] -> ()
+  | tally ->
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 tally in
+    Format.fprintf ppf "  %d unfair storm candidate(s) rejected:@," total;
+    List.iter
+      (fun (reason, count) -> Format.fprintf ppf "    %dx %s@," count reason)
+      tally);
   match r.counterexample with
   | None ->
     Format.fprintf ppf "  no counterexample in %d schedules@]" r.runs
@@ -511,6 +701,9 @@ let pp_result ppf r =
     (match c.outcome.converge with
     | Some v -> Format.fprintf ppf "  @[<v>healing:  %a@]@," Convergence.pp v
     | None -> ());
+    (match c.outcome.liveness with
+    | Some v -> Format.fprintf ppf "  @[<v>liveness: %a@]@," Liveness.pp v
+    | None -> ());
     Format.fprintf ppf "  trace of the shrunk run (protocol events):@,";
     List.iter
       (fun line -> Format.fprintf ppf "    %s@," line)
@@ -527,5 +720,15 @@ let pp_stall ppf s =
     s.minority_acked_during s.minority_applied_during s.majority_committed_during s.resumed
     Convergence.pp s.verdict
     (if s.ok then "stalled, no divergence, converged after heal" else "FAILED")
+
+let pp_takeover ppf t =
+  Format.fprintf ppf
+    "@[<v>killed %d leader(s) {%s}, %d takeover(s), %d transaction(s) in flight@ %a@ %a@ \
+     verdict: %s@]"
+    (List.length t.killed)
+    (String.concat " " (List.map (fun i -> "S" ^ string_of_int i) t.killed))
+    t.takeovers t.submitted_txs Liveness.pp t.liveness Convergence.pp t.converge
+    (if t.ok then "every kill handed over, every transaction decided"
+     else "FAILED")
 
 let render_result r = Format.asprintf "%a" pp_result r

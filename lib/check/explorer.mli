@@ -49,21 +49,45 @@ type config = {
       (** generate network faults (partitions, loss windows, duplications)
           alongside crashes, and certify healing convergence after every
           run. *)
+  liveness : bool;
+      (** fairness-constrained liveness mode: storms draw only {e fair}
+          schedules ({!Schedule.fairness_violation}; unfair candidates are
+          rejected, tallied and redrawn or repaired), the exhaustive pass
+          is skipped (its universe is almost entirely unfair), the
+          {!Liveness} oracle is certified after every run and folded into
+          [failed], and shrinking refuses candidates that would break
+          fairness. Implies [nemesis]. *)
+  mutate : Groupsafe.System.t -> unit;
+      (** oracle-mutation hook, applied to every freshly built system
+          before any load (default: nothing). Used to re-break fixed
+          protocol bugs ({!Groupsafe.System.break_no_accept_retransmit},
+          {!Groupsafe.System.break_early_decision}) and prove the oracles
+          would have caught them. *)
 }
 
 val default_config :
-  ?predicate:predicate -> ?nemesis:bool -> Groupsafe.System.technique -> config
+  ?predicate:predicate ->
+  ?nemesis:bool ->
+  ?liveness:bool ->
+  ?mutate:(Groupsafe.System.t -> unit) ->
+  Groupsafe.System.technique ->
+  config
 (** 3 servers, a small database, a light failure detector, 2 transactions
     5 ms apart, a 60 ms fault window and 4 s of quiescence. [predicate]
-    defaults to {!Violation}, [nemesis] to [false]; delivery-delay events
-    are enabled for the broadcast-based (Dsm) techniques only. *)
+    defaults to {!Violation}, [nemesis] and [liveness] to [false]
+    ([liveness:true] turns [nemesis] on too); delivery-delay events are
+    enabled for the broadcast-based (Dsm) techniques only. *)
 
 type outcome = {
   schedule : Schedule.t;
   report : Groupsafe.Safety_checker.report;
   converge : Groupsafe.Convergence.verdict option;
       (** the healing-convergence verdict; [None] unless [config.nemesis]. *)
-  failed : bool;  (** the predicate fired, or convergence failed. *)
+  liveness : Liveness.verdict option;
+      (** the liveness verdict; [None] unless [config.liveness]. Certified
+          after the safety and convergence oracles — it is observation-only,
+          so the stacking order cannot perturb them. *)
+  failed : bool;  (** the predicate fired, or convergence or liveness failed. *)
   trace : string;  (** full rendered {!Sim.Trace}; [""] unless traced. *)
   highlights : string;  (** protocol-level trace lines only. *)
 }
@@ -93,6 +117,11 @@ type result = {
   seed : int64;
   budget : int;
   runs : int;  (** schedules executed in the search phases. *)
+  rejections : (string * int) list;
+      (** liveness mode: fairness-violation reason -> number of storm
+          candidates rejected for it, in first-seen order. Candidates are
+          drawn sequentially up front, so the tally is byte-identical at
+          any worker count. Empty outside liveness mode. *)
   counterexample : counterexample option;
 }
 
@@ -110,6 +139,24 @@ val exhaustive :
     each slot additionally offers a single-server partition per server, a
     heal, and a duplicate-next per server (loss windows are storm-only:
     their probability has no natural small universe). *)
+
+val repair_fair : horizon:Sim.Sim_time.span -> Schedule.t -> Schedule.t
+(** Deterministically turn any schedule into a fair one: drop events past
+    the horizon, clamp loss windows and delays to it, and append the
+    missing recoveries and heal at the horizon. Used as the storm
+    generator's fallback after repeated unfair draws. *)
+
+val random_fair_schedule :
+  ?max_attempts:int ->
+  config ->
+  Sim.Rng.t ->
+  max_events:int ->
+  note:(string -> unit) ->
+  Schedule.t
+(** One fair random storm: draw {!random_schedule} candidates, reject
+    unfair ones (reporting each {!Schedule.fairness_violation} reason to
+    [note]), and after [max_attempts] (default 3) rejected draws repair
+    the last candidate with {!repair_fair} instead of drawing again. *)
 
 val random_schedule : config -> Sim.Rng.t -> max_events:int -> Schedule.t
 (** One random storm. Without [config.nemesis]: crashes, recoveries and
@@ -165,9 +212,37 @@ val minority_stall : ?cut:Sim.Sim_time.span -> config -> stall_outcome
     either side with a member unreachable, so [ok] is honestly [false]
     there. *)
 
+(** {2 Directed scenario family: repeated leader kills mid-broadcast} *)
+
+type takeover_outcome = {
+  kills : int;  (** rounds requested. *)
+  killed : int list;  (** leaders killed, in kill order. *)
+  takeovers : int;  (** rounds where a {e different} leader was established
+                        before the dead one was revived. *)
+  submitted_txs : int;  (** transactions put in flight (one per kill round). *)
+  liveness : Liveness.verdict;
+  converge : Groupsafe.Convergence.verdict;
+  ok : bool;
+      (** every kill round submitted and handed over, every transaction
+          decided, converged. *)
+}
+
+val leader_takeover : ?kills:int -> config -> takeover_outcome
+(** [leader_takeover config] settles the group for 1 s, then [kills]
+    (default 3) times over: finds the current ordering leader, submits a
+    transaction through a {e different} delegate (which stays up, so the
+    liveness oracle owes its decision), crashes the leader half a
+    millisecond later — mid-broadcast — waits for a successor, revives
+    the dead leader, and finally certifies liveness and convergence after
+    [config.quiescence]. One server is down at a time, so the group never
+    fails: a correct ordering protocol must re-drive the dead leader's
+    in-flight slots and decide every round's transaction. Needs at least
+    3 servers and an ordering layer (Dsm techniques). *)
+
 val pp_phase : Format.formatter -> phase -> unit
 val pp_predicate : Format.formatter -> predicate -> unit
 val pp_stall : Format.formatter -> stall_outcome -> unit
+val pp_takeover : Format.formatter -> takeover_outcome -> unit
 
 val pp_result : Format.formatter -> result -> unit
 (** Search statistics; on failure, the original and shrunk schedules, the

@@ -1,0 +1,58 @@
+(** The liveness oracle: every submission decided, a leader back in charge.
+
+    Safety ({!Groupsafe.Safety_checker}) asks whether anything acknowledged
+    was lost; convergence ({!Groupsafe.Convergence}) asks whether the healed
+    group agrees with itself. Neither notices a system that simply stops
+    answering — a leader that abandons an in-flight Accept, a participant
+    blocked forever on a decision request. This oracle closes that gap: run
+    after the explorer's quiescence period on a {e fair} schedule
+    ({!Schedule.fairness_violation} — every crash recovered, every
+    partition healed, every loss window closed), it certifies that
+
+    - every transaction submitted to a then-serving delegate that stayed up
+      reached a commit/abort decision by certification time (the bounded
+      post-quiescence decision requirement), and
+    - whenever the technique runs an ordering protocol and a quorum of
+      servers is serving again, at least one of them holds an established
+      leadership — the partitioned-then-healed group re-elected a working
+      leader.
+
+    Fairness is the contract that makes the verdict meaningful: on an
+    unfair schedule (a crash never repaired, a partition never healed) any
+    correct protocol wedges, so the explorer's liveness mode only searches
+    fair schedules and refuses shrink steps that would break fairness. *)
+
+type undecided = {
+  u_tx : Db.Transaction.id;
+  u_delegate : int;
+  u_submitted_at : Sim.Sim_time.t;
+}
+(** One wedged transaction: owed a decision, never answered. *)
+
+type verdict = {
+  checked_at : Sim.Sim_time.t;
+  owed : int;  (** distinct transaction ids ever submitted. *)
+  decided : int;  (** of those, answered (committed or aborted). *)
+  exempt : int;
+      (** submissions owed nothing: the delegate was dead or recovering at
+          submission time (the submission was dropped), or crashed later
+          (taking the response callback with it — the client's retry
+          problem, not the protocol's). *)
+  undecided : undecided list;  (** owed, not exempt, never decided. *)
+  max_decision_us : int;
+      (** slowest submission-to-decision latency among the decided, in
+          microseconds — the bound the certification actually observed. *)
+  leaders : int list;  (** serving replicas holding an established leadership. *)
+  leader_expected : bool;
+      (** the technique has an ordering layer and a quorum is serving. *)
+  leader_ok : bool;  (** [leaders <> []] whenever [leader_expected]. *)
+  live : bool;  (** no undecided transaction and [leader_ok]. *)
+}
+
+val certify : Groupsafe.System.t -> verdict
+(** Observation-only: reads the system's submission/acknowledgement books,
+    crash histories and ordering-layer leadership; submits nothing and
+    advances no virtual time, so it can be stacked after the safety and
+    convergence oracles without perturbing either. *)
+
+val pp : Format.formatter -> verdict -> unit

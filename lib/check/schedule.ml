@@ -132,6 +132,57 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* ---- fairness ---- *)
+
+(* Events are sorted (see [make]), so walking the list is walking the
+   execution: at equal instants Crash ranks before Recover and Partition
+   before Heal, which is also the order the explorer fires them. *)
+let fairness_violation ~horizon t =
+  let horizon_us = Sim.Sim_time.span_to_us horizon in
+  let spf = Printf.sprintf in
+  let pp_at at = spf "%dus" (Sim.Sim_time.span_to_us at) in
+  let down = ref [] in
+  let open_partition = ref None in
+  let rec walk = function
+    | [] -> (
+      match (List.sort Int.compare !down, !open_partition) with
+      | i :: _, _ -> Some (spf "S%d crashes and never recovers" i)
+      | [], Some at -> Some (spf "partition at %s never heals" (pp_at at))
+      | [], None -> None)
+    | e :: rest ->
+      if Sim.Sim_time.span_to_us e.at > horizon_us then
+        Some (spf "event at %s is past the %s horizon and never fires" (pp_at e.at)
+            (pp_at horizon))
+      else begin
+        match e.kind with
+        | Crash i ->
+          if not (List.mem i !down) then down := i :: !down;
+          walk rest
+        | Recover i ->
+          down := List.filter (fun j -> j <> i) !down;
+          walk rest
+        | Partition _ ->
+          open_partition := Some e.at;
+          walk rest
+        | Heal ->
+          open_partition := None;
+          walk rest
+        | Drop_window { until; _ } ->
+          if Sim.Sim_time.span_to_us until > horizon_us then
+            Some (spf "drop window at %s stays open past the horizon (until %s)"
+                (pp_at e.at) (pp_at until))
+          else walk rest
+        | Delay (i, d) ->
+          if Sim.Sim_time.span_to_us d > horizon_us then
+            Some (spf "delivery delay of %s on S%d exceeds the horizon" (pp_at d) i)
+          else walk rest
+        | Duplicate_next _ -> walk rest
+      end
+  in
+  walk t.events
+
+let fair ~horizon t = fairness_violation ~horizon t = None
+
 (* ---- shrinking ---- *)
 
 let drop_nth n l = List.filteri (fun i _ -> i <> n) l
@@ -262,3 +313,115 @@ let pp ppf t =
   Format.fprintf ppf "@]"
 
 let render t = Format.asprintf "%a" pp t
+
+(* ---- corpus format ----
+
+   One key or event per line; all times in integer microseconds so files
+   round-trip exactly. Lines starting with '#' are comments — the corpus
+   runner uses them for replay directives (technique, nemesis) that are
+   not part of the schedule value itself. *)
+
+let serialize t =
+  let b = Buffer.create 256 in
+  let put fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  put "servers %d" t.servers;
+  put "txs %d" t.txs;
+  put "spacing_us %d" (Sim.Sim_time.span_to_us t.spacing);
+  List.iter
+    (fun e ->
+      let at = Sim.Sim_time.span_to_us e.at in
+      match e.kind with
+      | Crash i -> put "event %d crash %d" at i
+      | Recover i -> put "event %d recover %d" at i
+      | Delay (i, d) -> put "event %d delay %d %d" at i (Sim.Sim_time.span_to_us d)
+      | Partition groups ->
+        put "event %d partition %s" at
+          (String.concat "|"
+             (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups))
+      | Heal -> put "event %d heal" at
+      | Drop_window { prob; until } ->
+        put "event %d drop %.6f %d" at prob (Sim.Sim_time.span_to_us until)
+      | Duplicate_next i -> put "event %d dup %d" at i)
+    t.events;
+  Buffer.contents b
+
+let parse text =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let lines = String.split_on_char '\n' text in
+  let servers = ref None and txs = ref None and spacing = ref None in
+  let events = ref [] in
+  let parse_line lineno line =
+    let line = String.trim line in
+    if line = "" || String.length line > 0 && line.[0] = '#' then Ok ()
+    else
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ "servers"; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> servers := Some n; Ok ()
+        | None -> err "line %d: bad server count %S" lineno n)
+      | [ "txs"; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> txs := Some n; Ok ()
+        | None -> err "line %d: bad tx count %S" lineno n)
+      | [ "spacing_us"; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> spacing := Some (Sim.Sim_time.span_us n); Ok ()
+        | None -> err "line %d: bad spacing %S" lineno n)
+      | "event" :: at :: rest -> (
+        match int_of_string_opt at with
+        | None -> err "line %d: bad event time %S" lineno at
+        | Some at -> (
+          let at = Sim.Sim_time.span_us at in
+          let int_arg name s k =
+            match int_of_string_opt s with
+            | Some i -> k i
+            | None -> err "line %d: bad %s %S" lineno name s
+          in
+          let add kind = events := { at; kind } :: !events; Ok () in
+          match rest with
+          | [ "crash"; i ] -> int_arg "server" i (fun i -> add (Crash i))
+          | [ "recover"; i ] -> int_arg "server" i (fun i -> add (Recover i))
+          | [ "delay"; i; d ] ->
+            int_arg "server" i (fun i ->
+                int_arg "delay" d (fun d -> add (Delay (i, Sim.Sim_time.span_us d))))
+          | [ "partition"; groups ] -> (
+            let parse_group g =
+              String.split_on_char ',' g |> List.map int_of_string_opt
+              |> List.fold_left
+                   (fun acc i ->
+                     match (acc, i) with Some acc, Some i -> Some (i :: acc) | _ -> None)
+                   (Some [])
+            in
+            match
+              String.split_on_char '|' groups |> List.map parse_group
+              |> List.fold_left
+                   (fun acc g ->
+                     match (acc, g) with Some acc, Some g -> Some (List.rev g :: acc) | _ -> None)
+                   (Some [])
+            with
+            | Some gs -> add (Partition (List.rev gs))
+            | None -> err "line %d: bad partition groups %S" lineno groups)
+          | [ "heal" ] -> add Heal
+          | [ "drop"; prob; until ] -> (
+            match float_of_string_opt prob with
+            | Some prob ->
+              int_arg "window close" until (fun u ->
+                  add (Drop_window { prob; until = Sim.Sim_time.span_us u }))
+            | None -> err "line %d: bad drop probability %S" lineno prob)
+          | [ "dup"; i ] -> int_arg "server" i (fun i -> add (Duplicate_next i))
+          | _ -> err "line %d: unknown event %S" lineno line))
+      | _ -> err "line %d: unknown directive %S" lineno line
+  in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest -> ( match parse_line lineno line with Ok () -> go (lineno + 1) rest | e -> e)
+  in
+  match go 1 lines with
+  | Error _ as e -> e
+  | Ok () -> (
+    match (!servers, !txs, !spacing) with
+    | Some servers, Some txs, Some spacing ->
+      Ok (make ~servers ~txs ~spacing (List.rev !events))
+    | None, _, _ -> Error "missing 'servers' line"
+    | _, None, _ -> Error "missing 'txs' line"
+    | _, _, None -> Error "missing 'spacing_us' line")

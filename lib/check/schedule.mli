@@ -63,5 +63,29 @@ val shrink : t -> t list
     greedily re-runs candidates and keeps the first that still fails, so
     the order here biases towards structurally smaller counterexamples. *)
 
+val fairness_violation : horizon:Sim.Sim_time.span -> t -> string option
+(** [fairness_violation ~horizon t] is [None] when the schedule is {e
+    fair}: every crash is followed by a recovery of the same server, every
+    partition by a heal, every drop window closes by [horizon], no
+    delivery delay exceeds [horizon], and no event fires after [horizon]
+    (a repair scheduled past the horizon never happens). Liveness is only
+    falsifiable on fair schedules — an unfair schedule can wedge any
+    correct protocol — so the explorer's liveness mode rejects unfair
+    candidates and refuses shrink steps that would break fairness.
+    Returns the first violation, in execution order, as a human-readable
+    reason for the storm report. *)
+
+val fair : horizon:Sim.Sim_time.span -> t -> bool
+
+val serialize : t -> string
+(** Machine-readable one-line-per-fact form (integer microseconds
+    throughout, so values round-trip exactly) for the checked-in
+    counterexample corpus. Lines starting with ['#'] are comments;
+    {!parse} skips them, and the corpus runner reads replay directives
+    (technique, nemesis) from them. *)
+
+val parse : string -> (t, string) result
+(** Inverse of {!serialize}, canonicalising through {!make}. *)
+
 val pp : Format.formatter -> t -> unit
 val render : t -> string

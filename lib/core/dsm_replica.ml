@@ -43,7 +43,12 @@ end
 module Abcast = Gcs.Atomic_broadcast.Make (Cert_ws) (Snapshot)
 module E2e = Gcs.E2e_broadcast.Make (Cert_ws)
 
-type Net.Message.payload += Logged of { tx : Db.Transaction.id; origin : int }
+type Net.Message.payload +=
+  | Logged of { tx : Db.Transaction.id; origin : int }
+  | Logged_query of { tx : Db.Transaction.id }
+        (** delegate asking a peer to re-announce durability: the one-shot
+            [Logged] ack can be lost to a drop window, and a commit waiting
+            on it would otherwise wedge forever. *)
 
 type bcast = Classical of Abcast.t | End_to_end of E2e.t
 
@@ -76,6 +81,11 @@ type t = {
   view : Db.Testable_tx.t;
   pending_responses : (int, Db.Testable_tx.outcome -> unit) Hashtbl.t;
   waiting_2safe : (int, waiting_2safe) Hashtbl.t;
+  logged_local : (int, unit) Hashtbl.t;
+      (* transactions this replica has durably logged (2-safe family);
+         volatile cache of the WAL, rebuilt from it on restart. Keyed
+         lookups only. *)
+  mutable ack_poll_armed : bool;  (* a [Logged_query] sweep is scheduled *)
   mutable fd : Gcs.Failure_detector.t option;  (* 2-safe response rule only *)
   pipe : pending Queue.t;
   mutable pipe_busy : bool;
@@ -130,6 +140,18 @@ let ack_token t token = match (t.bcast, token) with
   | Some (End_to_end e), Some tok -> E2e.ack e tok
   | Some (End_to_end _), None | Some (Classical _), _ | None, _ -> ()
 
+let is_leading t =
+  match t.bcast with
+  | Some (Classical a) -> Abcast.is_leading a
+  | Some (End_to_end e) -> E2e.is_leading e
+  | None -> false
+
+let break_no_accept_retransmit t =
+  match t.bcast with
+  | Some (Classical a) -> Abcast.break_no_accept_retransmit a
+  | Some (End_to_end e) -> E2e.break_no_accept_retransmit e
+  | None -> ()
+
 let node_of_index t index = List.find (fun n -> Net.Node_id.index n = index) t.group
 
 (* ---- 2-safe response rule: answer once every available server logged ---- *)
@@ -175,6 +197,38 @@ let announce_logged t cws =
     Net.Endpoint.send t.server.Server.endpoint
       ~dst:(node_of_index t cws.Cert_ws.delegate)
       (Logged { tx = cws.Cert_ws.ws.Db.Transaction.tx_id; origin = self })
+
+(* The [Logged] announcement is a single message: dropped, it would leave
+   the delegate waiting on an ack the peer will never resend, wedging that
+   commit forever even after the network heals. While any response is
+   waiting on acks, the delegate sweeps the peers it has not heard from
+   with [Logged_query]; peers answer from [logged_local], which the WAL
+   backs across crashes. The sweep disarms itself once nothing waits, so a
+   quiesced system goes quiet. *)
+
+let ack_poll_interval = Sim.Sim_time.span_ms 120.
+
+let rec arm_ack_poll t =
+  if (not t.ack_poll_armed) && Hashtbl.length t.waiting_2safe > 0 then begin
+    t.ack_poll_armed <- true;
+    ignore
+      (Sim.Process.after t.server.Server.process ack_poll_interval (fun () ->
+           t.ack_poll_armed <- false;
+           poll_missing_acks t;
+           arm_ack_poll t))
+  end
+
+and poll_missing_acks t =
+  let self = t.server.Server.index in
+  let waiting = Analysis.Det_tbl.fold (fun tx w acc -> (tx, w) :: acc) t.waiting_2safe [] in
+  List.iter
+    (fun (tx, w) ->
+      List.iter
+        (fun n ->
+          if Net.Node_id.index n <> self && not (Net.Node_id.Set.mem n w.acks) then
+            Net.Endpoint.send t.server.Server.endpoint ~dst:n (Logged_query { tx }))
+        t.group)
+    waiting
 
 (* ---- The in-order processing pipeline ---- *)
 
@@ -225,6 +279,10 @@ and process t item =
            tr t "decide" [ ("tx", string_of_int tx); ("outcome", outcome_string outcome) ];
            match decision with
            | Db.Certifier.Abort -> begin
+               (* An abort needs no durability quorum: answer now and drop
+                  the waiting entry so the ack sweep never polls for acks
+                  that will never come. *)
+               Hashtbl.remove t.waiting_2safe tx;
                respond t tx Db.Testable_tx.Aborted;
                match t.mode with
                | Two_safe_mode | Very_safe_mode ->
@@ -235,6 +293,7 @@ and process t item =
                    ~k:
                      (guard t (fun () ->
                           tr t "logged" [ ("tx", string_of_int tx) ];
+                          Hashtbl.replace t.logged_local tx ();
                           ack_token t token));
                  advance t ()
                | Group_safe_mode | Group_one_safe_mode ->
@@ -300,6 +359,7 @@ and process t item =
                                   observe_phase t t.obs.h_wal ~name:"wal" ~tx
                                     ~from_:decided_at ~until:(now t);
                                   tr t "logged" [ ("tx", string_of_int tx) ];
+                                  Hashtbl.replace t.logged_local tx ();
                                   ack_token t token;
                                   announce_logged t cws));
                          advance t ())))))
@@ -374,6 +434,8 @@ let on_kill t () =
   Queue.clear t.pipe;
   Hashtbl.reset t.pending_responses;
   Hashtbl.reset t.waiting_2safe;
+  Hashtbl.reset t.logged_local;
+  t.ack_poll_armed <- false;
   Db.Certifier.reset t.cert;
   Db.Testable_tx.reset t.view
 
@@ -383,6 +445,12 @@ let on_restart_two_safe t () =
      order); the end-to-end broadcast replays whatever was not yet
      successfully delivered on top of it. *)
   rebuild_from_local_log t ~with_cert:true;
+  (* Everything in the WAL is durably logged here: repopulate the table the
+     [Logged_query] handler answers from, so a delegate still waiting on
+     this server's ack can complete after the restart. *)
+  List.iter
+    (fun r -> Hashtbl.replace t.logged_local r.Db.Db_engine.w_tx ())
+    (Db.Db_engine.wal_records t.server.Server.db);
   tr t "recovered_local" [];
   t.ready <- true;
   pump t
@@ -417,7 +485,8 @@ let submit t tx ~on_response =
                in
                (match t.mode with
                 | Two_safe_mode | Very_safe_mode ->
-                  Hashtbl.replace t.waiting_2safe id { acks = Net.Node_id.Set.empty }
+                  Hashtbl.replace t.waiting_2safe id { acks = Net.Node_id.Set.empty };
+                  arm_ack_poll t
                 | Group_safe_mode | Group_one_safe_mode -> ());
                tr t "broadcast" [ ("tx", string_of_int id) ];
                Hashtbl.replace t.obs.bcast_at id (now t);
@@ -459,6 +528,8 @@ let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) 
       view = Db.Testable_tx.create ();
       pending_responses = Hashtbl.create 64;
       waiting_2safe = Hashtbl.create 64;
+      logged_local = Hashtbl.create 64;
+      ack_poll_armed = false;
       fd = None;
       pipe = Queue.create ();
       pipe_busy = false;
@@ -507,6 +578,11 @@ let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) 
       match message.Net.Message.payload with
       | Logged { tx; origin } ->
         note_logged t tx origin;
+        true
+      | Logged_query { tx } ->
+        if Hashtbl.mem t.logged_local tx then
+          Net.Endpoint.send endpoint ~dst:message.Net.Message.src
+            (Logged { tx; origin = server.Server.index });
         true
       | _ -> false);
   t

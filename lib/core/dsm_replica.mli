@@ -96,3 +96,12 @@ val cold_starts : t -> int
 
 val pipeline_depth : t -> int
 (** Writesets queued for in-order processing right now. *)
+
+val is_leading : t -> bool
+(** Whether this replica's broadcast stack currently leads the ordering
+    protocol — progress evidence for the liveness oracle. *)
+
+val break_no_accept_retransmit : t -> unit
+(** Oracle-mutation hook: disable in-flight Accept retransmission in this
+    replica's ordering log, reintroducing the PR 2 wedged-slot bug for the
+    liveness storms to rediscover. Test-only. *)

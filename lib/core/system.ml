@@ -37,6 +37,13 @@ type ack = {
   update : bool;
 }
 
+type submission = {
+  sub_tx : Db.Transaction.id;
+  sub_at : Sim.Sim_time.t;
+  sub_delegate : int;
+  sub_delegate_serving : bool;
+}
+
 
 
 type t = {
@@ -51,6 +58,8 @@ type t = {
   mutable submitted : int;
   mutable acked_rev : ack list;
   acked_ids : (Db.Transaction.id, unit) Hashtbl.t;
+  mutable subs_rev : submission list;
+  sub_ids : (Db.Transaction.id, unit) Hashtbl.t;
   crashes : Sim.Sim_time.t list ref array;
   recoveries : Sim.Sim_time.t list ref array;
   mutable max_simultaneously_down : int;
@@ -87,6 +96,19 @@ let submit t ?on_response ~delegate tx =
   t.submitted <- t.submitted + 1;
   Obs.Registry.inc t.c_submitted;
   let submitted_at = Sim.Engine.now t.engine in
+  (* First submission of each id wins: a client retry of a decided tx must
+     not resurrect it as "undecided" in the liveness oracle's books. *)
+  if not (Hashtbl.mem t.sub_ids tx.Db.Transaction.id) then begin
+    Hashtbl.replace t.sub_ids tx.Db.Transaction.id ();
+    t.subs_rev <-
+      {
+        sub_tx = tx.Db.Transaction.id;
+        sub_at = submitted_at;
+        sub_delegate = delegate;
+        sub_delegate_serving = serving t delegate;
+      }
+      :: t.subs_rev
+  end;
   let respond outcome =
     (* Retried transactions answer at most once into the books. *)
     if not (Hashtbl.mem t.acked_ids tx.Db.Transaction.id) then begin
@@ -222,6 +244,8 @@ let create ?(seed = 1L) ?(params = Workload.Params.table4) ?fd_config ?apply_wri
     submitted = 0;
     acked_rev = [];
     acked_ids = Hashtbl.create 1024;
+    subs_rev = [];
+    sub_ids = Hashtbl.create 1024;
     crashes = Array.init n (fun _ -> ref []);
     recoveries = Array.init n (fun _ -> ref []);
     max_simultaneously_down = 0;
@@ -275,6 +299,21 @@ let recover t i =
 
 let submitted t = t.submitted
 let acked t = List.rev t.acked_rev
+let submissions t = List.rev t.subs_rev
+let acked_id t id = Hashtbl.mem t.acked_ids id
+
+let has_ordering_layer t =
+  match t.technique with Dsm _ -> true | Lazy _ | Two_pc -> false
+
+let leaders t =
+  let out = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Dsm_r r -> if Dsm_replica.serving r && Dsm_replica.is_leading r then out := i :: !out
+      | Lazy_r _ | Tpc_r _ -> ())
+    t.replicas;
+  List.rev !out
 
 let committed_on t ~server id =
   match t.replicas.(server) with
@@ -300,6 +339,20 @@ let break_amnesiac t i =
   (* Registered after the database's own kill hook, so the WAL is first
      crashed (pending flushes dropped), then its durable records wiped. *)
   Sim.Process.on_kill server.Server.process (fun () -> Db.Db_engine.wipe_wal server.Server.db)
+
+let break_no_accept_retransmit t i =
+  match t.replicas.(i) with
+  | Dsm_r r ->
+    Sim.Trace.record t.trace ~source:(Server.label t.servers.(i)) ~kind:"no_accept_retransmit" [];
+    Dsm_replica.break_no_accept_retransmit r
+  | Lazy_r _ | Tpc_r _ -> ()
+
+let break_early_decision t i =
+  match t.replicas.(i) with
+  | Tpc_r r ->
+    Sim.Trace.record t.trace ~source:(Server.label t.servers.(i)) ~kind:"early_decision" [];
+    Twopc_replica.break_early_decision r
+  | Dsm_r _ | Lazy_r _ -> ()
 
 let dsm_replica t i = match t.replicas.(i) with Dsm_r r -> Some r | Lazy_r _ | Tpc_r _ -> None
 let lazy_replica t i = match t.replicas.(i) with Lazy_r r -> Some r | Dsm_r _ | Tpc_r _ -> None

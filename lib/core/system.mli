@@ -143,6 +143,35 @@ val acked : t -> ack list
 (** Every response ever given to a client (the god's-eye record the safety
     checker starts from), in response order. *)
 
+type submission = {
+  sub_tx : Db.Transaction.id;
+  sub_at : Sim.Sim_time.t;  (** when the client submitted. *)
+  sub_delegate : int;
+  sub_delegate_serving : bool;
+      (** whether the delegate was serving at submission time: a
+          submission to a dead or recovering server is dropped silently
+          (the client would time out), so no decision is owed for it. *)
+}
+
+val submissions : t -> submission list
+(** Every distinct transaction id ever submitted (first submission wins;
+    client retries do not duplicate), in submission order — the other half
+    of the liveness oracle's books: [submissions] owed, {!acked} paid. *)
+
+val acked_id : t -> Db.Transaction.id -> bool
+(** Whether a response for this transaction id was ever given. *)
+
+val has_ordering_layer : t -> bool
+(** Whether the technique runs an ordering (broadcast) protocol whose
+    leadership the liveness oracle can observe — true for the DSM stack,
+    false for lazy propagation and 2PC. *)
+
+val leaders : t -> int list
+(** Indices of serving replicas whose ordering log currently holds an
+    established leadership (empty for techniques without an ordering
+    layer). After quiescence on a healed majority there must be at least
+    one — the takeover evidence the liveness oracle checks. *)
+
 val committed_on : t -> server:int -> Db.Transaction.id -> bool
 (** Whether server [server]'s current replica view has the transaction
     committed. *)
@@ -168,6 +197,19 @@ val break_amnesiac : t -> int -> unit
     mutation-test the safety oracle itself (a checker that cannot catch an
     amnesiac 2-safe replica losing an acknowledged transaction is not
     checking anything). Traced as ["amnesia"]. *)
+
+val break_no_accept_retransmit : t -> int -> unit
+(** Oracle-mutation hook: disable in-flight Accept retransmission in
+    server [i]'s ordering log (no-op for techniques without one),
+    reintroducing the PR 2 wedged-slot liveness bug. A liveness oracle
+    that cannot catch a leader silently abandoning a dropped Accept is not
+    checking anything. Traced as ["no_accept_retransmit"]. *)
+
+val break_early_decision : t -> int -> unit
+(** Oracle-mutation hook: make server [i]'s 2PC replica answer decision
+    requests from its in-memory view with an empty write set (no-op for
+    other techniques), reintroducing the PR 2 early-decision divergence
+    bug. Traced as ["early_decision"]. *)
 
 val set_dsm_mode : t -> Dsm_replica.mode -> unit
 (** Switch every DSM replica's response rule at runtime (paper §5.2): e.g.

@@ -37,6 +37,7 @@ type t = {
   mutable ready : bool;
   mutable deadlock_aborts : int;
   mutable vote_timeouts : int;
+  mutable early_decision_broken : bool;  (* oracle-mutation hook; see mli *)
   c_prepares_sent : Obs.Registry.counter;
   c_votes : Obs.Registry.counter;
   c_ack_after_disk : Obs.Registry.counter;
@@ -207,6 +208,12 @@ let handle_decision t tx_id commit writes =
 
 let handle_decision_req t src tx_id =
   match Db.Testable_tx.find t.view tx_id with
+  | Some Db.Testable_tx.Committed when t.early_decision_broken ->
+    (* Mutated (pre-fix) behaviour: answer from the in-memory view before
+       the commit record is durable, with whatever writes we have — none.
+       The requester then commits the transaction without its writes and
+       discards the real decision as a duplicate. *)
+    send t src (Tpc_decision { tx_id; commit = true; writes = [] })
   | Some Db.Testable_tx.Committed -> begin
       (* Answer commits from the durable WAL only: between deciding and
          forcing the commit record, the write set is not yet on disk, and
@@ -340,6 +347,7 @@ let create server ~group ~params ?(lock_timeout = Sim.Sim_time.span_ms 300.)
       ready = true;
       deadlock_aborts = 0;
       vote_timeouts = 0;
+      early_decision_broken = false;
       c_prepares_sent = Obs.Registry.counter registry "2pc.prepares_sent";
       c_votes = Obs.Registry.counter registry "2pc.votes";
       c_ack_after_disk = Obs.Registry.counter registry "txn.ack_after_disk";
@@ -383,3 +391,4 @@ let committed_count t = Db.Testable_tx.committed_count t.view
 let deadlock_aborts t = t.deadlock_aborts
 let vote_timeouts t = t.vote_timeouts
 let in_doubt t = Hashtbl.length t.prepared
+let break_early_decision t = t.early_decision_broken <- true

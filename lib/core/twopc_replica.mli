@@ -60,3 +60,9 @@ val vote_timeouts : t -> int
 val in_doubt : t -> int
 (** Transactions currently prepared on this replica without a known
     decision (blocked if the coordinator is down). *)
+
+val break_early_decision : t -> unit
+(** Oracle-mutation hook: answer decision requests for committed
+    transactions from the in-memory view (with an empty write set) instead
+    of the durable WAL, reintroducing the PR 2 divergence bug for the
+    liveness storms to rediscover. Test-only. *)

@@ -79,6 +79,8 @@ struct
   let recovering t = t.recovering
   let cold_started t = t.cold_started
   let delivered_count t = t.delivered
+  let is_leading t = Log.is_leading t.log
+  let break_no_accept_retransmit t = Log.break_no_accept_retransmit t.log
   let current_view t = t.view
   let on_view_change t f = t.view_hooks <- f :: t.view_hooks
 

@@ -89,4 +89,12 @@ module Make
   val on_view_change : t -> (View.t -> unit) -> unit
   (** [on_view_change t f] calls [f] at every view installation, in
       delivery order. *)
+
+  val is_leading : t -> bool
+  (** Whether this member's ordering log currently holds leadership —
+      progress evidence for the liveness oracle. *)
+
+  val break_no_accept_retransmit : t -> unit
+  (** Oracle-mutation hook: forwarded to the ordering log (see
+      {!Replicated_log.Make.break_no_accept_retransmit}). Test-only. *)
 end

@@ -39,6 +39,8 @@ module Make (V : Replicated_log.VALUE) = struct
 
   let delivered_count t = t.delivered
   let acked_slot t = Store.Durable_cell.read t.cursor
+  let is_leading t = Log.is_leading t.log
+  let break_no_accept_retransmit t = Log.break_no_accept_retransmit t.log
 
   (* Deduplication is decided at release time: an entry held in the delay
      gate at a crash is dropped with the gate's queue and replayed by the

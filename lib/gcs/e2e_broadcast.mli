@@ -64,4 +64,12 @@ module Make (V : Replicated_log.VALUE) : sig
 
   val acked_slot : t -> int
   (** Durable cursor: every slot below it was successfully delivered. *)
+
+  val is_leading : t -> bool
+  (** Whether this member's ordering log currently holds leadership —
+      progress evidence for the liveness oracle. *)
+
+  val break_no_accept_retransmit : t -> unit
+  (** Oracle-mutation hook: forwarded to the ordering log (see
+      {!Replicated_log.Make.break_no_accept_retransmit}). Test-only. *)
 end

@@ -13,9 +13,12 @@ type t = {
   last_heard : (int, Sim.Sim_time.t) Hashtbl.t;
   mutable suspected : Net.Node_id.Set.t;
   mutable change_hooks : (unit -> unit) list;
+  mutable changes : int;
 }
 
-let notify_change fd = List.iter (fun f -> f ()) (List.rev fd.change_hooks)
+let notify_change fd =
+  fd.changes <- fd.changes + 1;
+  List.iter (fun f -> f ()) (List.rev fd.change_hooks)
 
 let heard fd peer =
   Hashtbl.replace fd.last_heard (Net.Node_id.index peer) (Sim.Engine.now fd.engine);
@@ -66,6 +69,7 @@ let create endpoint ~peers ?(config = default_config) () =
       last_heard = Hashtbl.create 16;
       suspected = Net.Node_id.Set.empty;
       change_hooks = [];
+      changes = 0;
     }
   in
   (* Observe heartbeats without consuming them: several detectors can
@@ -90,3 +94,4 @@ let trusted fd =
   List.sort Net.Node_id.compare (self :: up)
 
 let on_change fd f = fd.change_hooks <- f :: fd.change_hooks
+let changes fd = fd.changes

@@ -37,3 +37,9 @@ val trusted : t -> Net.Node_id.t list
 
 val on_change : t -> (unit -> unit) -> unit
 (** [on_change fd f] calls [f] whenever the suspect set changes. *)
+
+val changes : t -> int
+(** Number of suspect-set transitions (suspicions raised or cleared) this
+    detector has observed since creation. Evidence counter for the
+    liveness oracle and property tests: silence must eventually raise it,
+    a heal must eventually raise it again as suspicion clears. *)

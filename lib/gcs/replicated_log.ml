@@ -78,6 +78,7 @@ module Make (V : VALUE) = struct
     pending : V.t Queue.t;
     mutable deliver_hook : slot:int -> V.t option -> unit;
     mutable accept_rt : Retransmit.t option;  (* set right after [create]'s record *)
+    mutable accept_retransmit_broken : bool;  (* oracle-mutation hook; see mli *)
     m_prepares : Obs.Registry.counter;
     m_accepts_sent : Obs.Registry.counter;
     m_accept_resends : Obs.Registry.counter;
@@ -91,6 +92,7 @@ module Make (V : VALUE) = struct
   let decided_prefix m = m.next_deliver
   let leader_hint m = match Failure_detector.trusted m.fd with [] -> None | l :: _ -> Some l
   let is_leading m = match m.leadership with Leading _ -> true | Follower | Preparing _ -> false
+  let break_no_accept_retransmit m = m.accept_retransmit_broken <- true
 
   let chosen_at m slot =
     match Hashtbl.find_opt m.chosen slot with
@@ -177,6 +179,8 @@ module Make (V : VALUE) = struct
      accept; acceptors treat a repeat of an already-promised ballot
      idempotently and simply re-send their [Accept_ok]. *)
   let resend_inflight m =
+    if m.accept_retransmit_broken then ()
+    else
     match m.leadership with
     | Leading l ->
       Analysis.Det_tbl.iter
@@ -549,6 +553,7 @@ module Make (V : VALUE) = struct
         pending = Queue.create ();
         deliver_hook = (fun ~slot:_ _ -> ());
         accept_rt = None;
+        accept_retransmit_broken = false;
         m_prepares = Obs.Registry.counter metrics "log.prepares";
         m_accepts_sent = Obs.Registry.counter metrics "log.accepts_sent";
         m_accept_resends = Obs.Registry.counter metrics "log.accept_resends";

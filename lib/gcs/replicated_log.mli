@@ -106,4 +106,10 @@ module Make (V : VALUE) : sig
 
   val is_leading : t -> bool
   (** Whether this member currently holds an established leadership. *)
+
+  val break_no_accept_retransmit : t -> unit
+  (** Oracle-mutation hook: disable the leader's periodic retransmission of
+      in-flight Accepts, reintroducing the wedged-forever bug the liveness
+      storms must rediscover (a dropped Accept then stalls its slot until
+      a leader change). Test-only; never call in production paths. *)
 end

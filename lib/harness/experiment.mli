@@ -195,6 +195,25 @@ val nemesis :
     artifact upload. [true] iff every check passed; deterministic per
     [seed] (default 42). *)
 
+val liveness :
+  ?seed:int64 -> ?budget:int -> ?counterexample_path:string -> unit -> bool
+(** The liveness acceptance run ({!Check.Liveness}): [budget] (default 500)
+    fairness-constrained storms per configuration, every run certified by
+    the safety, convergence {e and} liveness oracles. First the
+    oracle-mutation rediscoveries — re-break the leader's Accept
+    retransmission and 2PC's pre-durability decision answers through
+    {!Groupsafe.System.break_no_accept_retransmit} /
+    {!Groupsafe.System.break_early_decision} and demand each bug is found
+    again and shrunk to a {e fair} schedule — then the fixed tree is
+    certified clean on the end-to-end (2-safe) and eager-2PC
+    configurations, and the repeated-leader-kill takeover family
+    ({!Check.Explorer.leader_takeover}) runs on both broadcast stacks. On
+    failure the shrunk counterexample (in {!Check.Schedule.serialize}
+    form) and its full trace are written to [counterexample_path] (default
+    ["liveness-counterexample.txt"]) for CI artifact upload. [true] iff
+    every check passed; deterministic per [seed] (default 42) at any
+    worker count. *)
+
 val all : ?seed:int64 -> ?fast:bool -> unit -> unit
 (** Run everything in paper order. [fast] (default false) shrinks the
     Fig. 9 sweep for quick smoke runs. *)

@@ -365,6 +365,78 @@ let test_twopc_decision_req_answers_from_durable_wal () =
   | Some v -> check_int "writes present everywhere" 0 v.Convergence.divergent_items
   | None -> Alcotest.fail "nemesis run should carry a convergence verdict"
 
+(* ---- Fairness: the validator, the repairer and the wire format ---- *)
+
+let delay_ev i span at = { S.at; kind = S.Delay (i, span) }
+
+let fairness events =
+  S.fairness_violation ~horizon:(ms 60.) (S.make ~servers:3 ~txs:1 ~spacing:(ms 5.) events)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec loop i = i + nl <= hl && (String.sub hay i nl = needle || loop (i + 1)) in
+  loop 0
+
+let test_fairness_validator () =
+  check_bool "empty schedule is fair" true (fairness [] = None);
+  check_bool "crash followed by recover is fair" true
+    (fairness [ crash 0 (ms 2.); recover 0 (ms 10.) ] = None);
+  (match fairness [ crash 1 (ms 2.) ] with
+  | Some reason -> check_bool "reason names the unrecovered server" true (contains reason "S1")
+  | None -> Alcotest.fail "a crash that never recovers must be unfair");
+  check_bool "partition without heal is unfair" true
+    (fairness [ partition_ev [ [ 1 ] ] (ms 2.) ] <> None);
+  check_bool "partition then heal is fair" true
+    (fairness [ partition_ev [ [ 1 ] ] (ms 2.); heal_ev (ms 9.) ] = None);
+  check_bool "drop window open past the horizon is unfair" true
+    (fairness [ window 0.5 (ms 50.) (ms 70.) ] <> None);
+  check_bool "drop window closed inside the horizon is fair" true
+    (fairness [ window 0.5 (ms 2.) (ms 9.) ] = None);
+  check_bool "event past the horizon is unfair" true
+    (fairness [ crash 0 (ms 61.); recover 0 (ms 62.) ] <> None);
+  check_bool "delivery delay beyond the horizon is unfair" true
+    (fairness [ delay_ev 1 (ms 80.) (ms 2.) ] <> None)
+
+let test_repair_fair () =
+  let unfair =
+    S.make ~servers:3 ~txs:2 ~spacing:(ms 5.)
+      [
+        crash 0 (ms 2.);
+        crash 1 (ms 70.);
+        partition_ev [ [ 2 ] ] (ms 10.);
+        window 0.5 (ms 40.) (ms 90.);
+      ]
+  in
+  check_bool "input is unfair" false (S.fair ~horizon:(ms 60.) unfair);
+  let repaired = E.repair_fair ~horizon:(ms 60.) unfair in
+  check_bool "repaired schedule is fair" true (S.fair ~horizon:(ms 60.) repaired);
+  check_bool "the surviving crash is still there" true
+    (List.exists (fun e -> e.S.kind = S.Crash 0) repaired.S.events)
+
+let test_serialize_parse_roundtrip () =
+  let s =
+    S.make ~servers:3 ~txs:2 ~spacing:(ms 5.)
+      [
+        crash 0 (ms 2.);
+        recover 0 (ms 10.);
+        delay_ev 1 (ms 3.) (ms 4.);
+        partition_ev [ [ 1 ]; [ 0; 2 ] ] (ms 6.);
+        heal_ev (ms 12.);
+        window 0.384418 (ms 1.) (ms 9.);
+        dup 2 (ms 8.);
+      ]
+  in
+  (match S.parse (S.serialize s) with
+  | Ok s' -> check_bool "round-trips through the wire format" true (S.equal s s')
+  | Error e -> Alcotest.fail ("parse failed: " ^ e));
+  (match S.parse "# comment only\nservers 2\ntxs 1\nspacing_us 5000\n" with
+  | Ok s' ->
+    check_int "comments skipped, empty event list" 0 (S.event_count s');
+    check_int "header fields parsed" 2 s'.S.servers
+  | Error e -> Alcotest.fail ("parse failed: " ^ e));
+  check_bool "garbage is rejected" true
+    (match S.parse "servers two\n" with Error _ -> true | Ok _ -> false)
+
 (* Duplicated deliveries are absorbed by testable transactions: each
    server decides each transaction exactly once however often the network
    re-delivers. *)
@@ -433,5 +505,11 @@ let () =
             test_twopc_decision_req_answers_from_durable_wal;
           Alcotest.test_case "duplicate delivery deduplicated" `Quick
             test_duplicate_delivery_deduplicated;
+        ] );
+      ( "fairness",
+        [
+          Alcotest.test_case "validator" `Quick test_fairness_validator;
+          Alcotest.test_case "repair makes any schedule fair" `Quick test_repair_fair;
+          Alcotest.test_case "serialize/parse round-trip" `Quick test_serialize_parse_roundtrip;
         ] );
     ]

@@ -820,6 +820,85 @@ let test_retransmit_crash_silences_until_rearmed () =
     [ 100_000; 1_100_000 ]
     (fires ())
 
+(* ---- Property: the detector is eventually perfect ---- *)
+
+(* Model-based: each round silences S1 one of two ways (crash or
+   partition) for longer than the detection timeout, then repairs it for
+   longer than a heartbeat round-trip. The model says S0's detector must
+   raise the suspicion while S1 is silent, clear it after the repair, and
+   count both transitions — silence is eventually suspected, a heal is
+   eventually trusted again, under any interleaving of the two fault
+   kinds and any (sufficient) durations. *)
+let prop_fd_eventually_suspects_and_clears =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 1 6) (triple bool (int_range 100 300) (int_range 150 300)))
+  in
+  QCheck2.Test.make ~name:"fd: silence eventually suspected, heal eventually trusted" ~count:30
+    gen (fun rounds ->
+      let c = make_cluster 2 in
+      let fds = Array.map (fun ep -> Failure_detector.create ep ~peers:(group c) ()) c.endpoints in
+      let fd = fds.(0) in
+      run_for c.engine (ms 100.);
+      List.for_all
+        (fun (use_partition, down_ms, up_ms) ->
+          let before = Failure_detector.changes fd in
+          (if use_partition then Net.Network.partition c.network [ [ c.ids.(1) ] ]
+           else Sim.Process.kill c.processes.(1));
+          run_for c.engine (ms (float_of_int down_ms));
+          let suspected = Failure_detector.suspects fd c.ids.(1) in
+          let raised = Failure_detector.changes fd > before in
+          (if use_partition then Net.Network.heal c.network
+           else Sim.Process.restart c.processes.(1));
+          run_for c.engine (ms (float_of_int up_ms));
+          suspected && raised
+          && (not (Failure_detector.suspects fd c.ids.(1)))
+          && Failure_detector.changes fd >= before + 2)
+        rounds)
+
+(* ---- Property: the delivery gate holds, orders and always releases ---- *)
+
+(* Each generated item is (arrival offset, extra hold): deliveries enter
+   the gate in arrival order, each drawing its own hold from the thunk.
+   The gate must release every one of them — none held once every delay
+   has elapsed — in exactly entry order (a later delivery never overtakes
+   an earlier one, however short its hold), and never before the
+   delivery's own arrival + hold. *)
+let prop_delivery_gate_fifo_and_release =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 1 25) (pair (int_range 0 5_000) (int_range 0 3_000)))
+  in
+  QCheck2.Test.make ~name:"delivery gate: entry-order FIFO, every hold released" ~count:100 gen
+    (fun items ->
+      let e = Sim.Engine.create () in
+      let p = Sim.Process.create e ~name:"P" in
+      let delays = Queue.create () in
+      let gate =
+        Delivery_delay.create p ~delay:(fun () ->
+            match Queue.take_opt delays with
+            | Some us -> Sim.Sim_time.span_us us
+            | None -> Sim.Sim_time.span_us 0)
+      in
+      let released = ref [] in
+      let items = List.sort compare items in
+      List.iteri
+        (fun i (arrive_us, delay_us) ->
+          ignore
+            (Sim.Process.after p
+               (Sim.Sim_time.span_us arrive_us)
+               (fun () ->
+                 Queue.push delay_us delays;
+                 Delivery_delay.gate gate (fun () ->
+                     released := (i, Sim.Engine.now e) :: !released))))
+        items;
+      run_for e (ms 20.);
+      let rel = List.rev !released in
+      List.length rel = List.length items
+      && List.mapi (fun i _ -> i) items = List.map fst rel
+      && List.for_all2
+           (fun (arrive_us, delay_us) (_, at) -> Sim.Sim_time.to_us at >= arrive_us + delay_us)
+           items rel
+      && Delivery_delay.held gate = 0)
+
 let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
@@ -827,20 +906,18 @@ let () =
     [
       ("process_class", [ Alcotest.test_case "classification" `Quick test_process_classes ]);
       ( "delivery_delay",
-        [
-          Alcotest.test_case "gates and preserves order" `Quick test_delivery_gate;
-          Alcotest.test_case "crash drops, flush drains" `Quick test_delivery_gate_crash_and_flush;
-        ] );
+        Alcotest.test_case "gates and preserves order" `Quick test_delivery_gate
+        :: Alcotest.test_case "crash drops, flush drains" `Quick test_delivery_gate_crash_and_flush
+        :: qsuite [ prop_delivery_gate_fifo_and_release ] );
       ( "paxos_core",
         Alcotest.test_case "promise then nack lower" `Quick test_paxos_promise_then_nack_lower
         :: Alcotest.test_case "accept respects promise" `Quick test_paxos_accept_respects_promise
         :: Alcotest.test_case "value selection" `Quick test_paxos_value_selection
         :: qsuite [ prop_paxos_promise_monotone ] );
       ( "failure_detector",
-        [
-          Alcotest.test_case "suspects and recovers" `Quick test_fd_suspects_and_recovers;
-          Alcotest.test_case "change hook" `Quick test_fd_change_hook;
-        ] );
+        Alcotest.test_case "suspects and recovers" `Quick test_fd_suspects_and_recovers
+        :: Alcotest.test_case "change hook" `Quick test_fd_change_hook
+        :: qsuite [ prop_fd_eventually_suspects_and_clears ] );
       ( "retransmit",
         [
           Alcotest.test_case "backoff and cap" `Quick test_retransmit_backoff_and_cap;

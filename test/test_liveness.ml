@@ -1,0 +1,195 @@
+(* The liveness replay corpus and the liveness oracle's own tests.
+
+   test/liveness_corpus/ holds the shrunk counterexample schedules of the
+   earlier PRs in Check.Schedule.serialize form, with replay directives on
+   `# key=value` comment lines. The runner re-certifies each schedule
+   against the current tree: the historical safety counterexamples must
+   still reproduce, the liveness entries must certify clean as fixed and
+   fail again when their bug is re-broken through the oracle-mutation
+   hooks. The remaining sections exercise the explorer's liveness mode
+   end to end: mutation rediscovery with fairness-preserving shrinking,
+   fairness-rejection reporting, determinism and the leader-takeover
+   scenario family. *)
+
+open Groupsafe
+module E = Check.Explorer
+module S = Check.Schedule
+
+let check_bool = Alcotest.(check bool)
+let corpus_dir = "liveness_corpus"
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+(* Replay directives: `# key=value` comment lines (prose comment lines
+   carry no `=`, or only inside phrases whose "key" has spaces). *)
+let directives text =
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if String.length line > 1 && line.[0] = '#' then
+        match String.index_opt line '=' with
+        | Some eq ->
+          let key = String.trim (String.sub line 1 (eq - 1)) in
+          let value = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+          if key = "" || String.contains key ' ' then None else Some (key, value)
+        | None -> None
+      else None)
+    (String.split_on_char '\n' text)
+
+let technique_of file = function
+  | "group-safe" -> System.Dsm Dsm_replica.Group_safe_mode
+  | "two-safe" -> System.Dsm Dsm_replica.Two_safe_mode
+  | "eager-2pc" -> System.Two_pc
+  | other -> Alcotest.fail (file ^ ": unknown technique directive " ^ other)
+
+let break_all f sys =
+  for i = 0 to System.n_servers sys - 1 do
+    f sys i
+  done
+
+let mutation_of file = function
+  | "no-accept-retransmit" -> break_all System.break_no_accept_retransmit
+  | "early-decision" -> break_all System.break_early_decision
+  | other -> Alcotest.fail (file ^ ": unknown mutate directive " ^ other)
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".sched")
+  |> List.sort compare
+
+let replay_entry file =
+  let text = read_file (Filename.concat corpus_dir file) in
+  let dirs = directives text in
+  let find key = List.assoc_opt key dirs in
+  let technique =
+    match find "technique" with
+    | Some t -> technique_of file t
+    | None -> Alcotest.fail (file ^ ": missing technique directive")
+  in
+  let schedule =
+    match S.parse text with Ok s -> s | Error e -> Alcotest.fail (file ^ ": " ^ e)
+  in
+  match (find "predicate", find "expect") with
+  | Some "any-loss", Some "fail" ->
+    (* A historical safety counterexample: the schedule must still witness
+       the loss it was shrunk to (the loss is inherent to the technique,
+       not a fixed bug). *)
+    let cfg = E.default_config ~predicate:E.Any_loss technique in
+    check_bool (file ^ ": loss still reproduces") true (E.run cfg schedule).E.failed
+  | _ -> (
+    (* A liveness corpus entry: the schedule must be fair, the fixed tree
+       must certify clean under all three oracles, and re-breaking the bug
+       through its mutation hook must make the same schedule fail again. *)
+    let cfg = E.default_config ~liveness:true technique in
+    check_bool (file ^ ": schedule is fair") true (S.fair ~horizon:cfg.E.horizon schedule);
+    let clean = E.run cfg schedule in
+    check_bool (file ^ ": fixed tree passes safety, convergence and liveness") false
+      clean.E.failed;
+    (match clean.E.liveness with
+    | Some v -> check_bool (file ^ ": certified live") true v.Check.Liveness.live
+    | None -> Alcotest.fail (file ^ ": liveness verdict missing"));
+    match find "mutate" with
+    | None -> ()
+    | Some m ->
+      let broken = E.run { cfg with E.mutate = mutation_of file m } schedule in
+      check_bool (file ^ ": re-broken tree fails again") true broken.E.failed)
+
+let test_corpus () =
+  let files = corpus_files () in
+  check_bool "corpus holds at least three schedules" true (List.length files >= 3);
+  List.iter replay_entry files
+
+(* ---- Mutation rediscovery with fairness-preserving shrinking ---- *)
+
+let rediscover technique mutate =
+  let cfg = E.default_config ~liveness:true ~mutate technique in
+  let r = E.explore ~seed:42L ~budget:100 ~max_random_events:3 cfg in
+  match r.E.counterexample with
+  | None -> Alcotest.fail "mutation not rediscovered within 100 fair storms"
+  | Some c ->
+    check_bool "found in the random-storm phase (no exhaustive pass)" true
+      (c.E.found_in = E.Random_storm);
+    check_bool "original schedule already fair" true (S.fair ~horizon:cfg.E.horizon c.E.original);
+    check_bool "shrunk schedule still fair" true (S.fair ~horizon:cfg.E.horizon c.E.shrunk);
+    check_bool "shrinking never grows" true
+      (S.event_count c.E.shrunk <= S.event_count c.E.original);
+    check_bool "shrunk schedule still fails on replay" true (E.run cfg c.E.shrunk).E.failed
+
+let test_rediscover_stuck_accept () =
+  rediscover
+    (System.Dsm Dsm_replica.Two_safe_mode)
+    (break_all System.break_no_accept_retransmit)
+
+let test_rediscover_early_decision () =
+  rediscover System.Two_pc (break_all System.break_early_decision)
+
+(* ---- Fairness-rejection reporting (no silent regeneration) ---- *)
+
+let test_rejections_reported () =
+  let cfg = E.default_config ~liveness:true (System.Dsm Dsm_replica.Two_safe_mode) in
+  let r = E.explore ~seed:42L ~budget:40 ~max_random_events:3 cfg in
+  check_bool "unfair candidates were drawn and tallied" true (r.E.rejections <> []);
+  check_bool "every tallied reason counts at least one candidate" true
+    (List.for_all (fun (_, n) -> n >= 1) r.E.rejections);
+  check_bool "reasons are rendered into the report" true
+    (List.for_all
+       (fun (reason, _) ->
+         let rendered = E.render_result r in
+         let rl = String.length reason and hl = String.length rendered in
+         let rec contains i =
+           i + rl <= hl && (String.sub rendered i rl = reason || contains (i + 1))
+         in
+         contains 0)
+       r.E.rejections);
+  let plain =
+    E.explore ~seed:42L ~budget:40 ~max_random_events:3
+      (E.default_config ~nemesis:true (System.Dsm Dsm_replica.Two_safe_mode))
+  in
+  check_bool "no tally outside liveness mode" true (plain.E.rejections = [])
+
+(* ---- Determinism ---- *)
+
+let test_liveness_explore_deterministic () =
+  let cfg = E.default_config ~liveness:true System.Two_pc in
+  let r1 = E.explore ~seed:7L ~budget:50 ~max_random_events:3 cfg in
+  let r2 = E.explore ~seed:7L ~budget:50 ~max_random_events:3 cfg in
+  Alcotest.(check string)
+    "rendered reports (verdict, storms, rejection tally) byte-identical"
+    (E.render_result r1) (E.render_result r2)
+
+(* ---- Leader takeover ---- *)
+
+let takeover technique =
+  let t = E.leader_takeover (E.default_config ~liveness:true technique) in
+  check_bool "every round submitted a transaction" true (t.E.submitted_txs = t.E.kills);
+  check_bool "every kill handed leadership over" true (t.E.takeovers = t.E.kills);
+  check_bool "every transaction decided" true t.E.liveness.Check.Liveness.live;
+  check_bool "group converged after the kills" true t.E.converge.Convergence.converged;
+  check_bool "overall verdict" true t.E.ok
+
+let test_takeover_group_safe () = takeover (System.Dsm Dsm_replica.Group_safe_mode)
+let test_takeover_two_safe () = takeover (System.Dsm Dsm_replica.Two_safe_mode)
+
+let () =
+  Alcotest.run "liveness"
+    [
+      ("corpus", [ Alcotest.test_case "replay corpus re-certified" `Quick test_corpus ]);
+      ( "rediscovery",
+        [
+          Alcotest.test_case "stuck accept rediscovered, fair shrink" `Slow
+            test_rediscover_stuck_accept;
+          Alcotest.test_case "2PC early decision rediscovered, fair shrink" `Slow
+            test_rediscover_early_decision;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "fairness rejections tallied and rendered" `Quick
+            test_rejections_reported;
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_liveness_explore_deterministic;
+        ] );
+      ( "takeover",
+        [
+          Alcotest.test_case "group-safe hands over" `Quick test_takeover_group_safe;
+          Alcotest.test_case "2-safe hands over" `Quick test_takeover_two_safe;
+        ] );
+    ]

@@ -59,6 +59,21 @@ let bench_certifier =
          in
          ignore (Db.Certifier.certify c ~start:(Db.Certifier.current_version c) ~ws)))
 
+(* The WAL hardening cost: one framed encode (checksum included) and one
+   decode+verify of a typical two-write commit record. The ISSUE-7 budget
+   is <=10% on the append path; the bitwise CRC dominates, so this pins
+   the absolute per-record cost the storage nemesis added. *)
+let bench_wal_codec =
+  let i = ref 0 in
+  Test.make ~name:"db/wal frame encode+decode"
+    (Staged.stage (fun () ->
+         incr i;
+         let frame =
+           Db.Wal_codec.encode ~seq:!i ~tx:!i ~decision:Db.Certifier.Commit
+             ~writes:[ (!i land 1023, !i); ((!i + 7) land 1023, !i) ]
+         in
+         ignore (Db.Wal_codec.decode frame)))
+
 let bench_lock_table =
   let lt = Db.Lock_table.create () in
   let i = ref 0 in
@@ -174,6 +189,7 @@ let micro_tests =
       bench_event_queue;
       bench_rng;
       bench_certifier;
+      bench_wal_codec;
       bench_lock_table;
       bench_obs_histogram;
       bench_obs_counter;

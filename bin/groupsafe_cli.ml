@@ -62,10 +62,29 @@ let liveness_flag =
   in
   Arg.(value & flag & info [ "liveness" ] ~doc)
 
+let storage_flag =
+  let doc =
+    "Explore storage-fault schedules instead: seeded storms of crashes plus disk faults (torn \
+     tail writes, lying fsyncs — sometimes on every replica at once — record corruption, \
+     slow-disk and disk-full windows), each certified by the durability oracle: losses only \
+     where the advertised level or total storage betrayal permits them, every torn tail \
+     repaired and every corruption detected on recovery."
+  in
+  Arg.(value & flag & info [ "storage" ] ~doc)
+
+let max_decision_us =
+  let doc =
+    "With --liveness: bound every decided transaction's submission-to-decision latency \
+     (microseconds); decisions beyond the bound fail the verdict as decided-but-late, reported \
+     distinctly from wedged ones."
+  in
+  Arg.(value & opt (some int) None & info [ "max-decision-us" ] ~docv:"US" ~doc)
+
 let counterexample_path =
   let doc =
-    "Where --nemesis / --liveness write the shrunk counterexample trace on failure (default \
-     nemesis-counterexample.txt, or liveness-counterexample.txt with --liveness)."
+    "Where --nemesis / --liveness / --storage write the shrunk counterexample trace on failure \
+     (default nemesis-counterexample.txt, liveness-counterexample.txt or \
+     storage-counterexample.txt respectively)."
   in
   Arg.(value & opt (some string) None & info [ "counterexample" ] ~docv:"PATH" ~doc)
 
@@ -173,15 +192,20 @@ let cmds =
             configurations loss-free, and sweep every level for forbidden losses. With --nemesis, \
             explore network-fault storms (partitions, loss windows, duplications) and certify \
             healing convergence instead. With --liveness, explore fair storms and certify every \
-            owed submission decided and leadership re-established. Exits non-zero if any check \
-            fails.")
+            owed submission decided and leadership re-established. With --storage, explore \
+            disk-fault storms (torn writes, lying fsyncs, corruption, slow/full disks) and \
+            certify the durability oracle's verdict clean. Exits non-zero if any check fails.")
       Term.(
-        const (fun seed budget nemesis liveness counterexample_path jobs ->
+        const (fun seed budget nemesis liveness storage max_decision_us counterexample_path jobs ->
             apply_jobs jobs;
             let path default = Option.value counterexample_path ~default in
             let ok =
-              if liveness then
-                Harness.Experiment.liveness ~seed ~budget
+              if storage then
+                Harness.Experiment.storage ~seed ~budget
+                  ~counterexample_path:(path "storage-counterexample.txt")
+                  ()
+              else if liveness then
+                Harness.Experiment.liveness ~seed ~budget ?max_decision_us
                   ~counterexample_path:(path "liveness-counterexample.txt")
                   ()
               else if nemesis then
@@ -191,7 +215,8 @@ let cmds =
               else Harness.Experiment.explore ~seed ~budget ()
             in
             if not ok then Stdlib.exit 1)
-        $ seed $ budget $ nemesis $ liveness_flag $ counterexample_path $ jobs);
+        $ seed $ budget $ nemesis $ liveness_flag $ storage_flag $ max_decision_us
+        $ counterexample_path $ jobs);
     Cmd.v (Cmd.info "all" ~doc:"Everything, in paper order.")
       Term.(
         const (fun seed fast jobs ->

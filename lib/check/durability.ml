@@ -1,0 +1,131 @@
+open Groupsafe
+
+type classification =
+  | Permitted_group_failure
+  | Permitted_delegate_crash
+  | Permitted_storage_betrayal
+  | Forbidden
+
+type lost = {
+  l_tx : Db.Transaction.id;
+  l_acked_at : Sim.Sim_time.t;
+  l_class : classification;
+}
+
+type verdict = {
+  level : Safety.level;
+  acked_commits : int;
+  lost : lost list;
+  flagged : int;
+  forbidden : int;
+  torn_fired : int;
+  torn_scanned : int;
+  torn_repaired : int;
+  corrupt_injected : int;
+  corrupt_scanned : int;
+  corrupt_detected : int;
+  lies_acked : int;
+  lies_dropped : int;
+  wal_wipes : int;
+  sequence_gaps : int;
+  repair_ok : bool;
+  clean : bool;
+}
+
+(* A server's storage betrayed it if any destructive fault was ever armed
+   or performed against its WAL. Lies and torn writes count from arming:
+   the schedule committed to the betrayal even if the crash found nothing
+   left to damage. *)
+let betrayed (s : Db.Db_engine.fault_stats) =
+  s.lies_armed > 0 || s.torn_armed > 0 || s.wal_wipes > 0 || s.amnesia_armed
+  || s.corrupt_injected > 0
+
+let classify level ~group_failed ~delegate_crashed ~all_betrayed =
+  if Safety.lost_if level ~group_failed ~delegate_crashed then
+    match level with
+    | Safety.Zero_safe | Safety.One_safe -> Permitted_delegate_crash
+    | Safety.Group_safe | Safety.Group_one_safe | Safety.Two_safe | Safety.Very_safe ->
+        Permitted_group_failure
+  else if all_betrayed then Permitted_storage_betrayal
+  else Forbidden
+
+let certify ?(delegate_crashed = fun _ -> false) sys (report : Safety_checker.report) =
+  let n = System.n_servers sys in
+  let stats = List.init n (fun i -> System.storage_faults sys i) in
+  (* A loss is attributable to the storage layer only when *every* replica
+     was betrayed: as long as one replica had an honest disk, the paper's
+     group-safety argument still owes the transaction to the client. *)
+  let all_betrayed = stats <> [] && List.for_all betrayed stats in
+  let lost =
+    List.map
+      (fun (l : Safety_checker.lost_tx) ->
+        {
+          l_tx = l.tx;
+          l_acked_at = l.acked_at;
+          l_class =
+            classify report.level ~group_failed:report.group_failed
+              ~delegate_crashed:(delegate_crashed l.tx) ~all_betrayed;
+        })
+      report.lost
+  in
+  let forbidden =
+    List.length (List.filter (fun l -> match l.l_class with Forbidden -> true | _ -> false) lost)
+  in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  let torn_fired = sum (fun (s : Db.Db_engine.fault_stats) -> s.torn_fired) in
+  let torn_scanned = sum (fun (s : Db.Db_engine.fault_stats) -> s.torn_scanned) in
+  let torn_repaired = sum (fun (s : Db.Db_engine.fault_stats) -> s.torn_repaired) in
+  let corrupt_injected = sum (fun (s : Db.Db_engine.fault_stats) -> s.corrupt_injected) in
+  let corrupt_scanned = sum (fun (s : Db.Db_engine.fault_stats) -> s.corrupt_scanned) in
+  let corrupt_detected = sum (fun (s : Db.Db_engine.fault_stats) -> s.corrupt_detected) in
+  (* Every fault a recovery scan was responsible for finding must have been
+     found. The [*_scanned] counters snapshot fired/injected counts at scan
+     time, so a server that never recovered owes nothing, while an
+     unhardened WAL (checksums skipped) comes up short. *)
+  let repair_ok = torn_repaired = torn_scanned && corrupt_detected = corrupt_scanned in
+  {
+    level = report.level;
+    acked_commits = report.acked_commits;
+    lost;
+    flagged = List.length lost - forbidden;
+    forbidden;
+    torn_fired;
+    torn_scanned;
+    torn_repaired;
+    corrupt_injected;
+    corrupt_scanned;
+    corrupt_detected;
+    lies_acked = sum (fun (s : Db.Db_engine.fault_stats) -> s.lies_acked);
+    lies_dropped = sum (fun (s : Db.Db_engine.fault_stats) -> s.lies_dropped);
+    wal_wipes = sum (fun (s : Db.Db_engine.fault_stats) -> s.wal_wipes);
+    sequence_gaps = sum (fun (s : Db.Db_engine.fault_stats) -> s.sequence_gaps);
+    repair_ok;
+    clean = forbidden = 0 && repair_ok;
+  }
+
+let pp_classification ppf = function
+  | Permitted_group_failure -> Fmt.string ppf "permitted (group failure)"
+  | Permitted_delegate_crash -> Fmt.string ppf "permitted (delegate crash)"
+  | Permitted_storage_betrayal -> Fmt.string ppf "permitted (every replica's storage betrayed it)"
+  | Forbidden -> Fmt.string ppf "FORBIDDEN"
+
+let pp ppf v =
+  Fmt.pf ppf "@[<v>durability %s: level %s, %d acked commit%s, %d lost"
+    (if v.clean then "CLEAN" else "VIOLATED")
+    (Safety.to_string v.level) v.acked_commits
+    (if v.acked_commits = 1 then "" else "s")
+    (List.length v.lost);
+  List.iter
+    (fun l -> Fmt.pf ppf "@,  tx %d lost: %a" l.l_tx pp_classification l.l_class)
+    v.lost;
+  Fmt.pf ppf "@,  torn writes: %d fired, %d scanned, %d repaired%s" v.torn_fired v.torn_scanned
+    v.torn_repaired
+    (if v.torn_repaired = v.torn_scanned then "" else " <- SHORTFALL");
+  Fmt.pf ppf "@,  corruption: %d injected, %d scanned, %d detected%s" v.corrupt_injected
+    v.corrupt_scanned v.corrupt_detected
+    (if v.corrupt_detected = v.corrupt_scanned then "" else " <- SHORTFALL");
+  if v.lies_acked > 0 || v.lies_dropped > 0 then
+    Fmt.pf ppf "@,  lying fsyncs: %d records acked, %d dropped" v.lies_acked v.lies_dropped;
+  if v.wal_wipes > 0 then Fmt.pf ppf "@,  WAL wipes: %d" v.wal_wipes;
+  if v.sequence_gaps > 0 then Fmt.pf ppf "@,  sequence gaps: %d" v.sequence_gaps;
+  Fmt.pf ppf "@]"

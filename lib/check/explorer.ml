@@ -18,6 +18,8 @@ type config = {
   delays : bool;
   nemesis : bool;
   liveness : bool;
+  storage : bool;
+  max_decision_us : int option;
   mutate : System.t -> unit;
 }
 
@@ -37,7 +39,7 @@ let default_params =
   }
 
 let default_config ?(predicate = Violation) ?(nemesis = false) ?(liveness = false)
-    ?(mutate = fun (_ : System.t) -> ()) technique =
+    ?(storage = false) ?max_decision_us ?(mutate = fun (_ : System.t) -> ()) technique =
   {
     technique;
     predicate;
@@ -53,6 +55,8 @@ let default_config ?(predicate = Violation) ?(nemesis = false) ?(liveness = fals
        and the convergence probe, so it implies nemesis. *)
     nemesis = nemesis || liveness;
     liveness;
+    storage;
+    max_decision_us;
     mutate;
   }
 
@@ -61,6 +65,7 @@ type outcome = {
   report : Safety_checker.report;
   converge : Convergence.verdict option;
   liveness : Liveness.verdict option;
+  durability : Durability.verdict option;
   failed : bool;
   trace : string;
   highlights : string;
@@ -72,7 +77,8 @@ let highlight_kinds =
   [
     "submit"; "broadcast"; "respond"; "crash"; "recover"; "amnesia"; "cold_start";
     "state_transfer"; "recovered_local"; "deliver"; "logged"; "partition"; "heal";
-    "drop_window"; "duplicate_next";
+    "drop_window"; "duplicate_next"; "torn_write"; "fsync_lie"; "corrupt_record"; "wal_wipe";
+    "slow_disk"; "disk_full"; "disk_full_abort"; "wal_repair"; "skip_checksum";
   ]
 
 let render_highlights sys =
@@ -97,7 +103,9 @@ let run ?(trace = false) config schedule =
       match e.Schedule.kind with
       | Schedule.Delay (i, _) -> gated.(i) <- true
       | Schedule.Crash _ | Schedule.Recover _ | Schedule.Partition _ | Schedule.Heal
-      | Schedule.Drop_window _ | Schedule.Duplicate_next _ ->
+      | Schedule.Drop_window _ | Schedule.Duplicate_next _ | Schedule.Torn_write _
+      | Schedule.Fsync_lie _ | Schedule.Corrupt_record _ | Schedule.Slow_disk _
+      | Schedule.Disk_full _ ->
         ())
     schedule.Schedule.events;
   let has_nemesis =
@@ -107,7 +115,18 @@ let run ?(trace = false) config schedule =
         | Schedule.Partition _ | Schedule.Heal | Schedule.Drop_window _
         | Schedule.Duplicate_next _ ->
           true
-        | Schedule.Crash _ | Schedule.Recover _ | Schedule.Delay _ -> false)
+        | Schedule.Crash _ | Schedule.Recover _ | Schedule.Delay _ | Schedule.Torn_write _
+        | Schedule.Fsync_lie _ | Schedule.Corrupt_record _ | Schedule.Slow_disk _
+        | Schedule.Disk_full _ ->
+          false)
+      schedule.Schedule.events
+  in
+  let has_storage_windows =
+    List.exists
+      (fun e ->
+        match e.Schedule.kind with
+        | Schedule.Slow_disk _ | Schedule.Disk_full _ -> true
+        | _ -> false)
       schedule.Schedule.events
   in
   let delivery_delay i = if gated.(i) then Some (fun () -> holds.(i)) else None in
@@ -137,8 +156,15 @@ let run ?(trace = false) config schedule =
   done;
   (* Loss windows may overlap (two Drop_window events, or a shrink that
      moved one); an epoch guard keeps the close of an earlier window from
-     cutting a later one short. *)
+     cutting a later one short. Slow-disk and disk-full windows get the
+     same guard, per server. *)
   let drop_epoch = ref 0 in
+  let slow_epoch = Array.make n 0 in
+  let full_epoch = Array.make n 0 in
+  let window_remaining e until =
+    Sim.Sim_time.span_us
+      (Int.max 0 (Sim.Sim_time.span_to_us until - Sim.Sim_time.span_to_us e.Schedule.at))
+  in
   List.iter
     (fun e ->
       at e.Schedule.at (fun () ->
@@ -152,12 +178,25 @@ let run ?(trace = false) config schedule =
             incr drop_epoch;
             let epoch = !drop_epoch in
             System.set_drop sys (Some prob);
-            let remaining =
-              Sim.Sim_time.span_us
-                (Int.max 0 (Sim.Sim_time.span_to_us until - Sim.Sim_time.span_to_us e.Schedule.at))
-            in
-            at remaining (fun () -> if !drop_epoch = epoch then System.set_drop sys None)
-          | Schedule.Duplicate_next i -> System.duplicate_next sys i))
+            at (window_remaining e until) (fun () ->
+                if !drop_epoch = epoch then System.set_drop sys None)
+          | Schedule.Duplicate_next i -> System.duplicate_next sys i
+          | Schedule.Torn_write i -> System.inject_storage_fault sys i Db.Db_engine.Torn_write
+          | Schedule.Fsync_lie i -> System.inject_storage_fault sys i Db.Db_engine.Fsync_lie
+          | Schedule.Corrupt_record i ->
+            System.inject_storage_fault sys i Db.Db_engine.Corrupt_record
+          | Schedule.Slow_disk { server; factor; until } ->
+            slow_epoch.(server) <- slow_epoch.(server) + 1;
+            let epoch = slow_epoch.(server) in
+            System.set_disk_slow sys server factor;
+            at (window_remaining e until) (fun () ->
+                if slow_epoch.(server) = epoch then System.set_disk_slow sys server 1.0)
+          | Schedule.Disk_full { server; until } ->
+            full_epoch.(server) <- full_epoch.(server) + 1;
+            let epoch = full_epoch.(server) in
+            System.set_disk_full sys server true;
+            at (window_remaining e until) (fun () ->
+                if full_epoch.(server) = epoch then System.set_disk_full sys server false)))
     schedule.Schedule.events;
   System.run_for sys config.horizon;
   (* Recover everyone and let the group settle: a transaction the oracle
@@ -168,6 +207,14 @@ let run ?(trace = false) config schedule =
     System.heal sys;
     System.set_drop sys None
   end;
+  (* Storage windows close too: a disk left full (or 100x slow) past the
+     horizon would wedge recovery itself, and "lost" must mean lost on a
+     working disk, not stuck behind a parked append. *)
+  if has_storage_windows then
+    for i = 0 to n - 1 do
+      System.set_disk_slow sys i 1.0;
+      System.set_disk_full sys i false
+    done;
   for i = 0 to n - 1 do
     System.recover sys i
   done;
@@ -178,10 +225,21 @@ let run ?(trace = false) config schedule =
     | None -> false
     | Some d -> (System.history sys d).Gcs.Process_class.crashes <> []
   in
+  (* In storage mode the durability oracle subsumes the loss predicate: it
+     applies the same Table-3 permissions and additionally excuses (while
+     still reporting) losses where every replica's WAL was betrayed — no
+     level survives total betrayal — and demands that recovery repaired
+     every injected torn tail and detected every corruption. *)
+  let durability =
+    if config.storage then Some (Durability.certify ~delegate_crashed sys report) else None
+  in
   let failed =
-    match config.predicate with
-    | Any_loss -> report.Safety_checker.lost <> []
-    | Violation -> not (Safety_checker.losses_allowed report ~delegate_crashed)
+    match durability with
+    | Some v -> not v.Durability.clean
+    | None -> (
+      match config.predicate with
+      | Any_loss -> report.Safety_checker.lost <> []
+      | Violation -> not (Safety_checker.losses_allowed report ~delegate_crashed))
   in
   (* In nemesis mode the oracle is two-part: loss-freedom above, then
      healing convergence — every acked update on every serving server and
@@ -195,7 +253,11 @@ let run ?(trace = false) config schedule =
      convergence probe has already run (liveness implies nemesis) and
      lands in the submission books — a probe that never came back shows up
      as a wedged transaction here too. *)
-  let liveness = if config.liveness then Some (Liveness.certify sys) else None in
+  let liveness =
+    if config.liveness then
+      Some (Liveness.certify ?max_decision_us:config.max_decision_us sys)
+    else None
+  in
   let failed =
     failed || match liveness with Some v -> not v.Liveness.live | None -> false
   in
@@ -204,6 +266,7 @@ let run ?(trace = false) config schedule =
     report;
     converge;
     liveness;
+    durability;
     failed;
     trace = (if trace then Sim.Trace.render (System.trace sys) else "");
     highlights = (if trace then render_highlights sys else "");
@@ -317,9 +380,96 @@ let random_nemesis_events config rng =
   in
   partition @ loss @ dups
 
+(* Storage-fault families, one split stream each in a fixed order (same
+   determinism argument as [random_nemesis_events]). The destructive arms
+   (torn write, lying fsync, bit-rot) only matter at a crash, so each one
+   travels with its own crash + recover. Destructive arms all target a
+   single victim server drawn once per storm; only the group-lie family
+   betrays every disk at once. Partial multi-victim betrayal is outside
+   the storm vocabulary on purpose: two betrayed disks plus one server
+   that merely crashed at the wrong moment can destroy every copy of an
+   acked record — a loss no protocol at any level can prevent, yet one
+   the oracle's total-betrayal permission rightly refuses to excuse (see
+   docs/CHECKING.md). The gray-failure windows (slow disk, disk full)
+   target the same victim for the same reason: a window on an honest
+   replica silently keeps its copy of a decision volatile (parked behind
+   a full device, or a flush stretched past the next crash), so
+   betraying the one replica that did persist it destroys every durable
+   copy — partial betrayal again, just with a window standing in for the
+   second bad disk. *)
+let random_storage_events config rng =
+  let servers = config.params.Workload.Params.servers in
+  let window_us = Sim.Sim_time.span_to_us config.horizon * 3 / 4 in
+  let victim_rng = Sim.Rng.split rng in
+  let torn_rng = Sim.Rng.split rng in
+  let lie_rng = Sim.Rng.split rng in
+  let corrupt_rng = Sim.Rng.split rng in
+  let slow_rng = Sim.Rng.split rng in
+  let full_rng = Sim.Rng.split rng in
+  let victim = Sim.Rng.int victim_rng servers in
+  let armed_crash arm_rng kind_of =
+    let at_us = Sim.Rng.int arm_rng (window_us + 1) in
+    let s = victim in
+    let crash_us = at_us + 500 + Sim.Rng.int arm_rng 8_000 in
+    let recover_us = crash_us + 1_000 + Sim.Rng.int arm_rng 10_000 in
+    [
+      { Schedule.at = Sim.Sim_time.span_us at_us; kind = kind_of s };
+      { Schedule.at = Sim.Sim_time.span_us crash_us; kind = Schedule.Crash s };
+      { Schedule.at = Sim.Sim_time.span_us recover_us; kind = Schedule.Recover s };
+    ]
+  in
+  let torn =
+    if Sim.Rng.int torn_rng 2 = 0 then []
+    else armed_crash torn_rng (fun s -> Schedule.Torn_write s)
+  in
+  let lies =
+    match Sim.Rng.int lie_rng 4 with
+    | 0 ->
+      (* Group lie: every disk lies, then the whole group crashes — the
+         amnesia scenario rebuilt from the new fault vocabulary. *)
+      let at_us = Sim.Rng.int lie_rng (window_us + 1) in
+      let crash_us = at_us + 500 + Sim.Rng.int lie_rng 8_000 in
+      let recover_us = crash_us + 1_000 + Sim.Rng.int lie_rng 10_000 in
+      List.concat
+        (List.init servers (fun s ->
+             [
+               { Schedule.at = Sim.Sim_time.span_us at_us; kind = Schedule.Fsync_lie s };
+               { Schedule.at = Sim.Sim_time.span_us crash_us; kind = Schedule.Crash s };
+               { Schedule.at = Sim.Sim_time.span_us recover_us; kind = Schedule.Recover s };
+             ]))
+    | 1 | 2 -> armed_crash lie_rng (fun s -> Schedule.Fsync_lie s)
+    | _ -> []
+  in
+  let corrupt =
+    if Sim.Rng.int corrupt_rng 2 = 0 then []
+    else armed_crash corrupt_rng (fun s -> Schedule.Corrupt_record s)
+  in
+  let window mk_kind w_rng =
+    if Sim.Rng.int w_rng 2 = 0 then []
+    else begin
+      let at_us = Sim.Rng.int w_rng (window_us + 1) in
+      let len_us = 1_000 + Sim.Rng.int w_rng window_us in
+      let s = victim in
+      [
+        {
+          Schedule.at = Sim.Sim_time.span_us at_us;
+          kind = mk_kind s w_rng (Sim.Sim_time.span_us (at_us + len_us));
+        };
+      ]
+    end
+  in
+  let slow =
+    window
+      (fun s w_rng until ->
+        Schedule.Slow_disk { server = s; factor = float_of_int (10 + Sim.Rng.int w_rng 91); until })
+      slow_rng
+  in
+  let full = window (fun s _ until -> Schedule.Disk_full { server = s; until }) full_rng in
+  torn @ lies @ corrupt @ slow @ full
+
 let random_schedule config rng ~max_events =
   let servers = config.params.Workload.Params.servers in
-  if not config.nemesis then
+  if not (config.nemesis || config.storage) then
     Schedule.make ~servers ~txs:config.txs ~spacing:config.spacing
       (random_crashes config rng ~max_events)
   else begin
@@ -327,8 +477,9 @@ let random_schedule config rng ~max_events =
        matches the crash-only explorer's storm [k] structure. *)
     let crash_rng = Sim.Rng.split rng in
     let crashes = random_crashes config crash_rng ~max_events in
-    let faults = random_nemesis_events config rng in
-    Schedule.make ~servers ~txs:config.txs ~spacing:config.spacing (crashes @ faults)
+    let faults = if config.nemesis then random_nemesis_events config rng else [] in
+    let storage = if config.storage then random_storage_events config rng else [] in
+    Schedule.make ~servers ~txs:config.txs ~spacing:config.spacing (crashes @ faults @ storage)
   end
 
 (* ---- fair storms (liveness mode) ---- *)
@@ -352,8 +503,13 @@ let repair_fair ~horizon t =
             Some { e with Schedule.kind = Schedule.Drop_window { prob; until = clamp until } }
           | Schedule.Delay (i, d) ->
             Some { e with Schedule.kind = Schedule.Delay (i, clamp d) }
+          | Schedule.Slow_disk { server; factor; until } ->
+            Some { e with Schedule.kind = Schedule.Slow_disk { server; factor; until = clamp until } }
+          | Schedule.Disk_full { server; until } ->
+            Some { e with Schedule.kind = Schedule.Disk_full { server; until = clamp until } }
           | Schedule.Crash _ | Schedule.Recover _ | Schedule.Partition _ | Schedule.Heal
-          | Schedule.Duplicate_next _ ->
+          | Schedule.Duplicate_next _ | Schedule.Torn_write _ | Schedule.Fsync_lie _
+          | Schedule.Corrupt_record _ ->
             Some e)
       t.Schedule.events
   in
@@ -366,7 +522,10 @@ let repair_fair ~horizon t =
       | Schedule.Recover i -> down := List.filter (fun j -> j <> i) !down
       | Schedule.Partition _ -> open_partition := true
       | Schedule.Heal -> open_partition := false
-      | Schedule.Delay _ | Schedule.Drop_window _ | Schedule.Duplicate_next _ -> ())
+      | Schedule.Delay _ | Schedule.Drop_window _ | Schedule.Duplicate_next _
+      | Schedule.Torn_write _ | Schedule.Fsync_lie _ | Schedule.Corrupt_record _
+      | Schedule.Slow_disk _ | Schedule.Disk_full _ ->
+        ())
     events;
   let repairs =
     List.map
@@ -469,8 +628,10 @@ let explore ?(slots = [ ms 2.; ms 30. ]) ?(max_exhaustive_events = 3) ?(max_rand
     end
   in
   (* The bounded-exhaustive universe is crash-heavy and almost entirely
-     unfair (lone crashes, lone partitions); liveness is a storm mode. *)
-  if not config.liveness then begin
+     unfair (lone crashes, lone partitions); liveness is a storm mode.
+     Storage mode is a storm mode too: destructive arms only matter
+     paired with a crash, a pattern the combination universe lacks. *)
+  if not (config.liveness || config.storage) then begin
     try
       Seq.iter
         (fun schedule ->
@@ -662,6 +823,126 @@ let leader_takeover ?(kills = 3) config =
       && converge.Convergence.converged;
   }
 
+(* ---- directed scenario: tear the leader's WAL tail, recovery must repair ---- *)
+
+type torn_outcome = {
+  t_rounds : int;
+  t_fired : int;
+  t_repaired : int;
+  t_reports : int;  (** recoveries whose repair report was non-empty. *)
+  t_verdict : Durability.verdict;
+  t_ok : bool;
+}
+
+(* Every round arms a torn write on the current ordering leader (the
+   server whose WAL tail is hottest), crashes it once the round's commit
+   record is durable, and demands that the recovery scan found and
+   truncated the half-written tail frame — a non-empty repair report per
+   round, and the durability oracle's repaired = scanned bookkeeping
+   intact at the end. *)
+let torn_leader_tail ?(rounds = 3) config =
+  let n = config.params.Workload.Params.servers in
+  if n < 3 then invalid_arg "Explorer.torn_leader_tail: needs at least 3 servers";
+  let sys =
+    System.create ~seed:config.system_seed ~params:config.params ~fd_config:config.fd
+      config.technique
+  in
+  config.mutate sys;
+  System.run_for sys (sec 1.);
+  let reports = ref 0 in
+  for round = 0 to rounds - 1 do
+    let victim = match System.leaders sys with l :: _ -> l | [] -> round mod n in
+    System.submit sys ~delegate:victim
+      (Db.Transaction.make ~id:round ~client:0 [ Db.Op.Write (round mod 8, round + 1) ]);
+    (* Long enough for the decision and the group-commit flush: the torn
+       write needs a durable tail record to tear. *)
+    System.run_for sys (ms 100.);
+    System.inject_storage_fault sys victim Db.Db_engine.Torn_write;
+    System.crash sys victim;
+    System.run_for sys (ms 100.);
+    System.recover sys victim;
+    (* The recovery scan ran synchronously inside [recover]; its report is
+       still the latest one (a later state transfer never re-scans). *)
+    (match System.last_repair sys victim with
+    | Some r when r.Db.Db_engine.repairs <> [] -> incr reports
+    | Some _ | None -> ());
+    System.run_for sys (sec 2.)
+  done;
+  System.run_for sys config.quiescence;
+  let report = Safety_checker.analyse sys in
+  let verdict = Durability.certify ~delegate_crashed:(fun _ -> true) sys report in
+  {
+    t_rounds = rounds;
+    t_fired = verdict.Durability.torn_fired;
+    t_repaired = verdict.Durability.torn_repaired;
+    t_reports = !reports;
+    t_verdict = verdict;
+    t_ok =
+      verdict.Durability.torn_fired = rounds
+      && verdict.Durability.torn_repaired = rounds
+      && !reports = rounds && verdict.Durability.clean;
+  }
+
+(* ---- directed scenario: every disk lies, then the whole group crashes ---- *)
+
+type lie_outcome = {
+  f_level : Safety.level;
+  f_acked : int;
+  f_lost : int;
+  f_lies_dropped : int;
+  f_verdict : Durability.verdict;
+  f_ok : bool;
+}
+
+(* The lattice's limit case: every replica's fsync lies before the load
+   arrives, so every commit record is acked-but-volatile, and the whole
+   group then crashes. No level survives — the acked transactions are
+   gone everywhere. What distinguishes the levels is the classification:
+   1-safe's loss was already permitted by its delegate crash (the paper's
+   flagged-but-allowed window), group-safe's by the group failure, and
+   2-safe's only by the total storage betrayal — so the oracle must
+   report the loss yet stay clean for all of them. *)
+let fsync_lie_group_crash ?(txs = 2) config =
+  let n = config.params.Workload.Params.servers in
+  let sys =
+    System.create ~seed:config.system_seed ~params:config.params ~fd_config:config.fd
+      config.technique
+  in
+  config.mutate sys;
+  System.run_for sys (sec 1.);
+  for i = 0 to n - 1 do
+    System.inject_storage_fault sys i Db.Db_engine.Fsync_lie
+  done;
+  for i = 0 to txs - 1 do
+    System.submit sys ~delegate:0 (Db.Transaction.make ~id:i ~client:0 [ Db.Op.Write (i, i + 1) ])
+  done;
+  (* Acks, propagation to every replica, and the lying flushes all land. *)
+  System.run_for sys (sec 2.);
+  for i = 0 to n - 1 do
+    System.crash sys i
+  done;
+  System.run_for sys (ms 100.);
+  for i = 0 to n - 1 do
+    System.recover sys i
+  done;
+  System.run_for sys config.quiescence;
+  let report = Safety_checker.analyse sys in
+  let verdict = Durability.certify ~delegate_crashed:(fun _ -> true) sys report in
+  {
+    f_level = verdict.Durability.level;
+    f_acked = verdict.Durability.acked_commits;
+    f_lost = List.length verdict.Durability.lost;
+    f_lies_dropped = verdict.Durability.lies_dropped;
+    f_verdict = verdict;
+    (* Every level must lose here (the records were volatile everywhere)
+       and every level's verdict must stay clean (the loss is permitted,
+       by delegate crash, group failure or total betrayal). *)
+    f_ok =
+      verdict.Durability.acked_commits > 0
+      && List.length verdict.Durability.lost > 0
+      && verdict.Durability.clean;
+  }
+
 (* ---- printing ---- *)
 
 let pp_phase ppf = function
@@ -704,6 +985,9 @@ let pp_result ppf r =
     (match c.outcome.liveness with
     | Some v -> Format.fprintf ppf "  @[<v>liveness: %a@]@," Liveness.pp v
     | None -> ());
+    (match c.outcome.durability with
+    | Some v -> Format.fprintf ppf "  @[<v>%a@]@," Durability.pp v
+    | None -> ());
     Format.fprintf ppf "  trace of the shrunk run (protocol events):@,";
     List.iter
       (fun line -> Format.fprintf ppf "    %s@," line)
@@ -720,6 +1004,20 @@ let pp_stall ppf s =
     s.minority_acked_during s.minority_applied_during s.majority_committed_during s.resumed
     Convergence.pp s.verdict
     (if s.ok then "stalled, no divergence, converged after heal" else "FAILED")
+
+let pp_torn ppf t =
+  Format.fprintf ppf
+    "@[<v>%d round(s): %d torn write(s) fired, %d repaired, %d non-empty repair report(s)@ %a@ \
+     verdict: %s@]"
+    t.t_rounds t.t_fired t.t_repaired t.t_reports Durability.pp t.t_verdict
+    (if t.t_ok then "every torn tail repaired on recovery" else "FAILED")
+
+let pp_lie ppf l =
+  Format.fprintf ppf
+    "@[<v>level %s: %d acked commit(s), %d lost, %d lying record(s) dropped at crash@ %a@ \
+     verdict: %s@]"
+    (Safety.to_string l.f_level) l.f_acked l.f_lost l.f_lies_dropped Durability.pp l.f_verdict
+    (if l.f_ok then "loss demonstrated and correctly classified" else "FAILED")
 
 let pp_takeover ppf t =
   Format.fprintf ppf

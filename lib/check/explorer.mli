@@ -57,6 +57,21 @@ type config = {
           {!Liveness} oracle is certified after every run and folded into
           [failed], and shrinking refuses candidates that would break
           fairness. Implies [nemesis]. *)
+  storage : bool;
+      (** storage-fault storm mode: storms additionally draw disk-fault
+          families (torn writes, lying fsyncs, record corruption — each
+          paired with a crash+recover of the same server — plus slow-disk
+          and disk-full windows), the exhaustive pass is skipped (a
+          destructive arm without its crash is inert), and the
+          {!Durability} oracle replaces the loss predicate: a loss is a
+          failure only if the advertised level forbids it {e and} at least
+          one replica's WAL was honest, and every injected torn tail /
+          corruption must have been repaired / detected by the recovery
+          scans. Does {e not} imply [nemesis]. *)
+  max_decision_us : int option;
+      (** liveness mode: bound every decided transaction's
+          submission-to-decision latency; decisions beyond it fail the
+          verdict as decided-but-late ({!Liveness.verdict.late}). *)
   mutate : Groupsafe.System.t -> unit;
       (** oracle-mutation hook, applied to every freshly built system
           before any load (default: nothing). Used to re-break fixed
@@ -69,14 +84,17 @@ val default_config :
   ?predicate:predicate ->
   ?nemesis:bool ->
   ?liveness:bool ->
+  ?storage:bool ->
+  ?max_decision_us:int ->
   ?mutate:(Groupsafe.System.t -> unit) ->
   Groupsafe.System.technique ->
   config
 (** 3 servers, a small database, a light failure detector, 2 transactions
     5 ms apart, a 60 ms fault window and 4 s of quiescence. [predicate]
-    defaults to {!Violation}, [nemesis] and [liveness] to [false]
-    ([liveness:true] turns [nemesis] on too); delivery-delay events are
-    enabled for the broadcast-based (Dsm) techniques only. *)
+    defaults to {!Violation}, [nemesis], [liveness] and [storage] to
+    [false] ([liveness:true] turns [nemesis] on too; [storage] does not);
+    delivery-delay events are enabled for the broadcast-based (Dsm)
+    techniques only. *)
 
 type outcome = {
   schedule : Schedule.t;
@@ -87,7 +105,12 @@ type outcome = {
       (** the liveness verdict; [None] unless [config.liveness]. Certified
           after the safety and convergence oracles — it is observation-only,
           so the stacking order cannot perturb them. *)
-  failed : bool;  (** the predicate fired, or convergence or liveness failed. *)
+  durability : Durability.verdict option;
+      (** the durability verdict; [None] unless [config.storage]. In
+          storage mode it replaces the loss predicate in [failed]. *)
+  failed : bool;
+      (** the predicate (or, in storage mode, the durability verdict)
+          fired, or convergence or liveness failed. *)
   trace : string;  (** full rendered {!Sim.Trace}; [""] unless traced. *)
   highlights : string;  (** protocol-level trace lines only. *)
 }
@@ -159,13 +182,19 @@ val random_fair_schedule :
     the last candidate with {!repair_fair} instead of drawing again. *)
 
 val random_schedule : config -> Sim.Rng.t -> max_events:int -> Schedule.t
-(** One random storm. Without [config.nemesis]: crashes, recoveries and
-    (when [config.delays]) delivery delays, exactly as before. With it,
-    each fault family draws from its own stream split off [rng] in a fixed
-    order — crashes, then an optional minority partition+heal pair, an
-    optional loss window (drop probability in [0.2, 0.9)), and up to two
-    duplications — so storms replay deterministically per seed and adding
-    one family never perturbs another. *)
+(** One random storm. Without [config.nemesis] or [config.storage]:
+    crashes, recoveries and (when [config.delays]) delivery delays,
+    exactly as before. With [nemesis], each network-fault family draws
+    from its own stream split off [rng] in a fixed order — crashes, then
+    an optional minority partition+heal pair, an optional loss window
+    (drop probability in [0.2, 0.9)), and up to two duplications. With
+    [storage], the disk-fault families follow, again one split stream
+    each: an optional torn-write arm, lying-fsync arms (sometimes the
+    whole group at once — the only pattern that defeats every level), an
+    optional corruption arm — each destructive arm paired with a crash
+    and recovery of its server — plus optional slow-disk (10-100x) and
+    disk-full windows. Storms replay deterministically per seed and
+    adding one family never perturbs another. *)
 
 val explore :
   ?slots:Sim.Sim_time.span list ->
@@ -239,10 +268,60 @@ val leader_takeover : ?kills:int -> config -> takeover_outcome
     in-flight slots and decide every round's transaction. Needs at least
     3 servers and an ordering layer (Dsm techniques). *)
 
+(** {2 Directed scenario: tear the leader's WAL tail, recovery must repair} *)
+
+type torn_outcome = {
+  t_rounds : int;  (** rounds requested. *)
+  t_fired : int;  (** torn writes that actually mutilated a tail record. *)
+  t_repaired : int;  (** torn tails the recovery scans truncated. *)
+  t_reports : int;  (** recoveries whose repair report was non-empty. *)
+  t_verdict : Durability.verdict;
+  t_ok : bool;
+      (** every round fired, every tear repaired, every recovery reported
+          it, and the durability verdict is clean. *)
+}
+
+val torn_leader_tail : ?rounds:int -> config -> torn_outcome
+(** [torn_leader_tail config] settles the group for 1 s, then [rounds]
+    (default 3) times over: submits a transaction through the current
+    ordering leader, waits for its commit record to reach the WAL, arms a
+    torn write on that leader and crashes it — mutilating the newest
+    durable record into a half-written tail frame — recovers it, and
+    checks that the recovery scan produced a non-empty repair report.
+    The final durability verdict must account for every tear
+    (repaired = scanned) and be clean. Needs at least 3 servers. *)
+
+(** {2 Directed scenario: every disk lies, then the whole group crashes} *)
+
+type lie_outcome = {
+  f_level : Groupsafe.Safety.level;
+  f_acked : int;  (** acknowledged commits before the group crash. *)
+  f_lost : int;  (** of those, permanently lost (expected > 0 at every level). *)
+  f_lies_dropped : int;  (** acked-but-volatile records dropped at crash. *)
+  f_verdict : Durability.verdict;
+  f_ok : bool;
+      (** the loss was demonstrated {e and} the verdict stayed clean: the
+          classification (delegate crash at 1-safe, group failure at
+          group-safe, total storage betrayal at 2-safe) permits it. *)
+}
+
+val fsync_lie_group_crash : ?txs:int -> config -> lie_outcome
+(** [fsync_lie_group_crash config] settles the group for 1 s, arms a lying
+    fsync on {e every} server, submits [txs] (default 2) transactions
+    through delegate 0, lets acks and propagation land, crashes the whole
+    group, recovers it and certifies durability. Every level loses the
+    acked transactions (their records were volatile on every disk); what
+    the oracle certifies is the {e classification} — 1-safe's loss was
+    already permitted by the delegate crash (flagged-but-allowed),
+    group-safe's by the group failure, 2-safe's only by the total
+    betrayal — so the verdict must report the loss yet stay clean. *)
+
 val pp_phase : Format.formatter -> phase -> unit
 val pp_predicate : Format.formatter -> predicate -> unit
 val pp_stall : Format.formatter -> stall_outcome -> unit
 val pp_takeover : Format.formatter -> takeover_outcome -> unit
+val pp_torn : Format.formatter -> torn_outcome -> unit
+val pp_lie : Format.formatter -> lie_outcome -> unit
 
 val pp_result : Format.formatter -> result -> unit
 (** Search statistics; on failure, the original and shrunk schedules, the

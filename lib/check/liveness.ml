@@ -6,6 +6,12 @@ type undecided = {
   u_submitted_at : Sim.Sim_time.t;
 }
 
+type late = {
+  l_tx : Db.Transaction.id;
+  l_delegate : int;
+  l_decision_us : int;
+}
+
 type verdict = {
   checked_at : Sim.Sim_time.t;
   owed : int;
@@ -13,6 +19,8 @@ type verdict = {
   exempt : int;
   undecided : undecided list;
   max_decision_us : int;
+  bound : int option;
+  late : late list;
   leaders : int list;
   leader_expected : bool;
   leader_ok : bool;
@@ -25,7 +33,7 @@ type verdict = {
    perturb the execution it certifies. Run it after quiescence — on a fair
    schedule every fault has been repaired by then, so anything still
    undecided is wedged forever, not merely late. *)
-let certify sys =
+let certify ?max_decision_us:bound sys =
   let submissions = System.submissions sys in
   let delegate_crashed_after delegate at =
     List.exists
@@ -58,18 +66,29 @@ let certify sys =
       (0, [], 0) submissions
   in
   let undecided = List.rev undecided in
-  let max_decision_us =
+  (* Decided-but-late is a different report from undecided: the protocol
+     answered, just not within the model-derived bound. Collected only when
+     a bound was given. *)
+  let max_decision_us, late_rev =
     List.fold_left
-      (fun worst ack ->
+      (fun (worst, late) ack ->
         match
           List.find_opt (fun sub -> sub.System.sub_tx = ack.System.tx) submissions
         with
-        | None -> worst
+        | None -> (worst, late)
         | Some sub ->
-          Int.max worst
-            (Sim.Sim_time.span_to_us (Sim.Sim_time.diff ack.System.at sub.System.sub_at)))
-      0 (System.acked sys)
+          let us = Sim.Sim_time.span_to_us (Sim.Sim_time.diff ack.System.at sub.System.sub_at) in
+          let late =
+            match bound with
+            | Some b when us > b ->
+              { l_tx = ack.System.tx; l_delegate = sub.System.sub_delegate; l_decision_us = us }
+              :: late
+            | _ -> late
+          in
+          (Int.max worst us, late))
+      (0, []) (System.acked sys)
   in
+  let late = List.rev late_rev in
   let n = System.n_servers sys in
   let serving = List.length (List.filter (System.serving sys) (List.init n Fun.id)) in
   (* Leadership is owed whenever the technique runs an ordering protocol
@@ -86,10 +105,12 @@ let certify sys =
     exempt;
     undecided;
     max_decision_us;
+    bound;
+    late;
     leaders;
     leader_expected;
     leader_ok;
-    live = undecided = [] && leader_ok;
+    live = undecided = [] && late = [] && leader_ok;
   }
 
 let pp ppf v =
@@ -102,6 +123,11 @@ let pp ppf v =
     | false, _ -> "not applicable (no ordering layer or no quorum serving)"
     | true, [] -> "MISSING (no serving replica leads the ordering protocol)"
     | true, ls -> String.concat " " (List.map (fun i -> "S" ^ string_of_int i) ls));
+  (match v.bound with
+  | None -> ()
+  | Some b ->
+    Format.fprintf ppf "@ decision bound: %.1f ms, %d decided late" (float_of_int b /. 1000.)
+      (List.length v.late));
   if v.undecided <> [] then begin
     Format.fprintf ppf "@ wedged transactions:";
     List.iter
@@ -109,4 +135,12 @@ let pp ppf v =
         Format.fprintf ppf "@   tx %d (delegate S%d, submitted at %a)" u.u_tx u.u_delegate
           Sim.Sim_time.pp u.u_submitted_at)
       v.undecided
+  end;
+  if v.late <> [] then begin
+    Format.fprintf ppf "@ decided but late (bound exceeded, not wedged):";
+    List.iter
+      (fun l ->
+        Format.fprintf ppf "@   tx %d (delegate S%d, decided in %.1f ms)" l.l_tx l.l_delegate
+          (float_of_int l.l_decision_us /. 1000.))
+      v.late
   end

@@ -29,6 +29,15 @@ type undecided = {
 }
 (** One wedged transaction: owed a decision, never answered. *)
 
+type late = {
+  l_tx : Db.Transaction.id;
+  l_delegate : int;
+  l_decision_us : int;  (** observed submission-to-decision latency. *)
+}
+(** One decided-but-late transaction: answered, but beyond the caller's
+    [max_decision_us] bound — reported distinctly from {!undecided}
+    because the failure mode (slow, not wedged) and the fix differ. *)
+
 type verdict = {
   checked_at : Sim.Sim_time.t;
   owed : int;  (** distinct transaction ids ever submitted. *)
@@ -42,17 +51,22 @@ type verdict = {
   max_decision_us : int;
       (** slowest submission-to-decision latency among the decided, in
           microseconds — the bound the certification actually observed. *)
+  bound : int option;  (** the caller's latency bound, if any. *)
+  late : late list;  (** decided transactions that exceeded [bound]. *)
   leaders : int list;  (** serving replicas holding an established leadership. *)
   leader_expected : bool;
       (** the technique has an ordering layer and a quorum is serving. *)
   leader_ok : bool;  (** [leaders <> []] whenever [leader_expected]. *)
-  live : bool;  (** no undecided transaction and [leader_ok]. *)
+  live : bool;  (** no undecided or late transaction and [leader_ok]. *)
 }
 
-val certify : Groupsafe.System.t -> verdict
+val certify : ?max_decision_us:int -> Groupsafe.System.t -> verdict
 (** Observation-only: reads the system's submission/acknowledgement books,
     crash histories and ordering-layer leadership; submits nothing and
     advances no virtual time, so it can be stacked after the safety and
-    convergence oracles without perturbing either. *)
+    convergence oracles without perturbing either. [max_decision_us]
+    additionally bounds every decided transaction's latency: decisions
+    beyond it are reported in [late] (and fail the verdict) without being
+    confused with wedged ones. *)
 
 val pp : Format.formatter -> verdict -> unit

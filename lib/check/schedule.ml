@@ -6,6 +6,14 @@ type event_kind =
   | Heal
   | Drop_window of { prob : float; until : Sim.Sim_time.span }
   | Duplicate_next of int
+  (* Storage faults (see Db.Db_engine.fault and docs/CHECKING.md): the
+     first three arm a fault on one server's WAL, the last two open a
+     device-condition window that the explorer closes at [until]. *)
+  | Torn_write of int
+  | Fsync_lie of int
+  | Corrupt_record of int
+  | Slow_disk of { server : int; factor : float; until : Sim.Sim_time.span }
+  | Disk_full of { server : int; until : Sim.Sim_time.span }
 
 type event = { at : Sim.Sim_time.span; kind : event_kind }
 
@@ -24,6 +32,11 @@ let kind_rank = function
   | Heal -> 4
   | Drop_window _ -> 5
   | Duplicate_next _ -> 6
+  | Torn_write _ -> 7
+  | Fsync_lie _ -> 8
+  | Corrupt_record _ -> 9
+  | Slow_disk _ -> 10
+  | Disk_full _ -> 11
 
 (* Canonical form of a partition: indices in range and deduplicated, each
    group sorted, empty groups removed, groups ordered by their minimum.
@@ -64,7 +77,12 @@ let compare_kind a b =
   if c <> 0 then c
   else
     match (a, b) with
-    | Crash i, Crash j | Recover i, Recover j | Duplicate_next i, Duplicate_next j ->
+    | Crash i, Crash j
+    | Recover i, Recover j
+    | Duplicate_next i, Duplicate_next j
+    | Torn_write i, Torn_write j
+    | Fsync_lie i, Fsync_lie j
+    | Corrupt_record i, Corrupt_record j ->
       Int.compare i j
     | Delay (i, x), Delay (j, y) ->
       let c = Int.compare i j in
@@ -74,6 +92,17 @@ let compare_kind a b =
     | Heal, Heal -> 0
     | Drop_window a, Drop_window b ->
       let c = Float.compare a.prob b.prob in
+      if c <> 0 then c
+      else Int.compare (Sim.Sim_time.span_to_us a.until) (Sim.Sim_time.span_to_us b.until)
+    | Slow_disk a, Slow_disk b ->
+      let c = Int.compare a.server b.server in
+      if c <> 0 then c
+      else
+        let c = Float.compare a.factor b.factor in
+        if c <> 0 then c
+        else Int.compare (Sim.Sim_time.span_to_us a.until) (Sim.Sim_time.span_to_us b.until)
+    | Disk_full a, Disk_full b ->
+      let c = Int.compare a.server b.server in
       if c <> 0 then c
       else Int.compare (Sim.Sim_time.span_to_us a.until) (Sim.Sim_time.span_to_us b.until)
     | _ -> 0
@@ -102,6 +131,25 @@ let normalize_event ~servers e =
       if Sim.Sim_time.span_to_us until < Sim.Sim_time.span_to_us e.at then e.at else until
     in
     Some { e with kind = Drop_window { prob; until } }
+  | Torn_write i | Fsync_lie i | Corrupt_record i ->
+    if valid_server ~servers i then Some e else None
+  | Slow_disk { server; factor; until } ->
+    if not (valid_server ~servers server) then None
+    else begin
+      let factor = Float.max 1. factor in
+      let until =
+        if Sim.Sim_time.span_to_us until < Sim.Sim_time.span_to_us e.at then e.at else until
+      in
+      Some { e with kind = Slow_disk { server; factor; until } }
+    end
+  | Disk_full { server; until } ->
+    if not (valid_server ~servers server) then None
+    else begin
+      let until =
+        if Sim.Sim_time.span_to_us until < Sim.Sim_time.span_to_us e.at then e.at else until
+      in
+      Some { e with kind = Disk_full { server; until } }
+    end
 
 let make ~servers ~txs ~spacing events =
   let events = List.sort compare_event (List.filter_map (normalize_event ~servers) events) in
@@ -177,6 +225,20 @@ let fairness_violation ~horizon t =
             Some (spf "delivery delay of %s on S%d exceeds the horizon" (pp_at d) i)
           else walk rest
         | Duplicate_next _ -> walk rest
+        (* Arming a storage fault is fairness-neutral: the disk betrays
+           once and recovery repairs it. Device-condition windows must
+           close inside the horizon like loss windows. *)
+        | Torn_write _ | Fsync_lie _ | Corrupt_record _ -> walk rest
+        | Slow_disk { server; until; _ } ->
+          if Sim.Sim_time.span_to_us until > horizon_us then
+            Some (spf "slow-disk window on S%d at %s stays open past the horizon (until %s)"
+                server (pp_at e.at) (pp_at until))
+          else walk rest
+        | Disk_full { server; until } ->
+          if Sim.Sim_time.span_to_us until > horizon_us then
+            Some (spf "disk-full window on S%d at %s stays open past the horizon (until %s)"
+                server (pp_at e.at) (pp_at until))
+          else walk rest
       end
   in
   walk t.events
@@ -197,6 +259,8 @@ let halve_times t =
          match e.kind with
          (* The closing edge travels with the opening edge. *)
          | Drop_window w -> { e with kind = Drop_window { w with until = half_span w.until } }
+         | Slow_disk w -> { e with kind = Slow_disk { w with until = half_span w.until } }
+         | Disk_full w -> { e with kind = Disk_full { w with until = half_span w.until } }
          | _ -> e)
        t.events)
 
@@ -212,17 +276,22 @@ let halve_delays t =
         t.events;
   }
 
-(* Shorten every loss window towards its opening instant. *)
+(* Shorten every loss and device-condition window towards its opening
+   instant. *)
 let halve_windows t =
   make ~servers:t.servers ~txs:t.txs ~spacing:t.spacing
     (List.map
        (fun e ->
-         match e.kind with
-         | Drop_window { prob; until } ->
+         let halved until =
            let at_us = Sim.Sim_time.span_to_us e.at in
            let until_us = Sim.Sim_time.span_to_us until in
-           let until = Sim.Sim_time.span_us (at_us + ((until_us - at_us) / 2)) in
-           { e with kind = Drop_window { prob; until } }
+           Sim.Sim_time.span_us (at_us + ((until_us - at_us) / 2))
+         in
+         match e.kind with
+         | Drop_window { prob; until } ->
+           { e with kind = Drop_window { prob; until = halved until } }
+         | Slow_disk w -> { e with kind = Slow_disk { w with until = halved w.until } }
+         | Disk_full w -> { e with kind = Disk_full { w with until = halved w.until } }
          | _ -> e)
        t.events)
 
@@ -250,10 +319,34 @@ let drop_partition_heal_pairs t =
   in
   pairs 0 t.events
 
+(* An armed storage fault and the crash that fires it form one fault:
+   dropping only the arm leaves a crash that was there to trigger it, and
+   dropping only the crash leaves an arm that never fires. Propose
+   removing the arm together with the next crash of the same server. *)
+let drop_fault_crash_pairs t =
+  let rec pairs i = function
+    | [] -> []
+    | { kind = Torn_write s | Fsync_lie s | Corrupt_record s; _ } :: rest ->
+      let rec find_crash j = function
+        | [] -> None
+        | { kind = Crash s'; _ } :: _ when s' = s -> Some j
+        | _ :: rest -> find_crash (j + 1) rest
+      in
+      let this =
+        match find_crash (i + 1) rest with
+        | Some j ->
+          [ { t with events = List.filteri (fun k _ -> k <> i && k <> j) t.events } ]
+        | None -> []
+      in
+      this @ pairs (i + 1) rest
+    | _ :: rest -> pairs (i + 1) rest
+  in
+  pairs 0 t.events
+
 let shrink t =
   let dedup candidates = List.filter (fun c -> not (equal c t)) candidates in
   let drops = List.mapi (fun i _ -> { t with events = drop_nth i t.events }) t.events in
-  let pair_drops = drop_partition_heal_pairs t in
+  let pair_drops = drop_partition_heal_pairs t @ drop_fault_crash_pairs t in
   let fewer_txs =
     if t.txs > 1 then [ { t with txs = 1 }; { t with txs = t.txs - 1 } ] else []
   in
@@ -304,6 +397,20 @@ let pp_event ppf e =
       (prob *. 100.) Sim.Sim_time.pp_span until
   | Duplicate_next i ->
     Format.fprintf ppf "@%a duplicate next message to S%d" Sim.Sim_time.pp_span e.at i
+  | Torn_write i ->
+    Format.fprintf ppf "@%a arm torn write on S%d (next crash tears the WAL tail)"
+      Sim.Sim_time.pp_span e.at i
+  | Fsync_lie i ->
+    Format.fprintf ppf "@%a arm lying fsync on S%d (next crash drops acked records)"
+      Sim.Sim_time.pp_span e.at i
+  | Corrupt_record i ->
+    Format.fprintf ppf "@%a corrupt newest WAL record on S%d" Sim.Sim_time.pp_span e.at i
+  | Slow_disk { server; factor; until } ->
+    Format.fprintf ppf "@%a slow disk on S%d (%.0fx) until %a" Sim.Sim_time.pp_span e.at
+      server factor Sim.Sim_time.pp_span until
+  | Disk_full { server; until } ->
+    Format.fprintf ppf "@%a disk full on S%d until %a" Sim.Sim_time.pp_span e.at server
+      Sim.Sim_time.pp_span until
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%d servers, %d tx (one every %a)" t.servers t.txs
@@ -341,7 +448,14 @@ let serialize t =
       | Heal -> put "event %d heal" at
       | Drop_window { prob; until } ->
         put "event %d drop %.6f %d" at prob (Sim.Sim_time.span_to_us until)
-      | Duplicate_next i -> put "event %d dup %d" at i)
+      | Duplicate_next i -> put "event %d dup %d" at i
+      | Torn_write i -> put "event %d torn %d" at i
+      | Fsync_lie i -> put "event %d lie %d" at i
+      | Corrupt_record i -> put "event %d corrupt %d" at i
+      | Slow_disk { server; factor; until } ->
+        put "event %d slow %d %.6f %d" at server factor (Sim.Sim_time.span_to_us until)
+      | Disk_full { server; until } ->
+        put "event %d full %d %d" at server (Sim.Sim_time.span_to_us until))
     t.events;
   Buffer.contents b
 
@@ -409,6 +523,20 @@ let parse text =
                   add (Drop_window { prob; until = Sim.Sim_time.span_us u }))
             | None -> err "line %d: bad drop probability %S" lineno prob)
           | [ "dup"; i ] -> int_arg "server" i (fun i -> add (Duplicate_next i))
+          | [ "torn"; i ] -> int_arg "server" i (fun i -> add (Torn_write i))
+          | [ "lie"; i ] -> int_arg "server" i (fun i -> add (Fsync_lie i))
+          | [ "corrupt"; i ] -> int_arg "server" i (fun i -> add (Corrupt_record i))
+          | [ "slow"; i; factor; until ] -> (
+            match float_of_string_opt factor with
+            | Some factor ->
+              int_arg "server" i (fun server ->
+                  int_arg "window close" until (fun u ->
+                      add (Slow_disk { server; factor; until = Sim.Sim_time.span_us u })))
+            | None -> err "line %d: bad slow-disk factor %S" lineno factor)
+          | [ "full"; i; until ] ->
+            int_arg "server" i (fun server ->
+                int_arg "window close" until (fun u ->
+                    add (Disk_full { server; until = Sim.Sim_time.span_us u })))
           | _ -> err "line %d: unknown event %S" lineno line))
       | _ -> err "line %d: unknown directive %S" lineno line
   in

@@ -31,6 +31,24 @@ type event_kind =
   | Duplicate_next of int
       (** deliver the next message transmitted to server [i] twice —
           exactly-once delivery must deduplicate it. *)
+  | Torn_write of int
+      (** arm a torn write on server [i]: its next crash cuts the newest
+          durable WAL record mid-frame (recovery must truncate it). *)
+  | Fsync_lie of int
+      (** arm a lying fsync on server [i]: from now until its next crash,
+          WAL flushes are acknowledged but not persisted — that crash
+          silently drops the records. *)
+  | Corrupt_record of int
+      (** flip a byte of the newest durable WAL record on server [i]
+          (bit-rot; recovery must detect and drop the record). *)
+  | Slow_disk of { server : int; factor : float; until : Sim.Sim_time.span }
+      (** gray failure: server [server]'s WAL flushes take [factor] times
+          their nominal duration until offset [until]. [make] clamps
+          [factor] to at least 1 and [until] to at least the event time. *)
+  | Disk_full of { server : int; until : Sim.Sim_time.span }
+      (** device full: server [server]'s WAL appends park (volatile) and
+          the replica refuses new update transactions until offset
+          [until]. *)
 
 type event = { at : Sim.Sim_time.span; kind : event_kind }
 (** [at] is an offset from the start of the run ([t = 0]). *)
@@ -56,9 +74,11 @@ val equal : t -> t -> bool
 
 val shrink : t -> t list
 (** Shrink candidates, most aggressive first: drop each
-    partition-and-following-heal pair as one unit, drop each event in
-    turn, reduce the transaction count, remove a server (dropping its
-    events), halve every event time, shorten every drop window towards
+    partition-and-following-heal pair as one unit, drop each armed
+    storage fault together with the crash that fires it (pair-aware —
+    either alone is rarely smaller), drop each event in turn, reduce the
+    transaction count, remove a server (dropping its events), halve every
+    event time, shorten every drop / slow-disk / disk-full window towards
     its opening instant, and halve every delivery delay. The explorer
     greedily re-runs candidates and keeps the first that still fails, so
     the order here biases towards structurally smaller counterexamples. *)
@@ -66,8 +86,9 @@ val shrink : t -> t list
 val fairness_violation : horizon:Sim.Sim_time.span -> t -> string option
 (** [fairness_violation ~horizon t] is [None] when the schedule is {e
     fair}: every crash is followed by a recovery of the same server, every
-    partition by a heal, every drop window closes by [horizon], no
-    delivery delay exceeds [horizon], and no event fires after [horizon]
+    partition by a heal, every drop / slow-disk / disk-full window closes
+    by [horizon], no delivery delay exceeds [horizon], and no event fires
+    after [horizon]
     (a repair scheduled past the horizon never happens). Liveness is only
     falsifiable on fair schedules — an unfair schedule can wedge any
     correct protocol — so the explorer's liveness mode rejects unfair

@@ -373,7 +373,9 @@ let deliver t cws token =
 
 let rebuild_from_local_log t ~with_cert =
   let db = t.server.Server.db in
-  Db.Db_engine.recover_now db;
+  let report = Db.Db_engine.recover_now db in
+  if report.Db.Db_engine.repairs <> [] then
+    tr t "wal_repair" [ ("repairs", string_of_int (List.length report.Db.Db_engine.repairs)) ];
   Db.Testable_tx.replace t.view (Db.Testable_tx.to_list (Db.Db_engine.testable db));
   Db.Certifier.reset t.cert;
   if with_cert then
@@ -462,6 +464,15 @@ let serving t = Sim.Process.alive t.server.Server.process && t.ready
 let submit t tx ~on_response =
   if serving t then begin
     let id = tx.Db.Transaction.id in
+    if Db.Transaction.is_update tx && Db.Db_engine.disk_full t.server.Server.db then begin
+      (* Graceful degradation under a full disk: refuse new update work
+         with a distinct abort instead of wedging the commit pipeline;
+         reads and group traffic continue. *)
+      tr t "disk_full_abort" [ ("tx", string_of_int id) ];
+      Db.Db_engine.note_degraded t.server.Server.db;
+      on_response Db.Testable_tx.Aborted
+    end
+    else begin
     tr t "submit" [ ("tx", string_of_int id) ];
     let submitted_at = now t in
     Hashtbl.replace t.pending_responses id on_response;
@@ -493,6 +504,7 @@ let submit t tx ~on_response =
                broadcast_cws t cws
              end
              else respond t id Db.Testable_tx.Committed))
+    end
   end
 
 (* ---- Construction ---- *)

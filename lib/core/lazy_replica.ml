@@ -151,6 +151,14 @@ let finish_commit t tx ~started_at ~on_response =
 let submit t tx ~on_response =
   if serving t then begin
     let id = tx.Db.Transaction.id in
+    if Db.Transaction.is_update tx && Db.Db_engine.disk_full t.server.Server.db then begin
+      (* Graceful degradation under a full disk: refuse new update work
+         with a distinct abort; reads and remote propagation continue. *)
+      tr t "disk_full_abort" [ ("tx", string_of_int id) ];
+      Db.Db_engine.note_degraded t.server.Server.db;
+      on_response Db.Testable_tx.Aborted
+    end
+    else begin
     tr t "submit" [ ("tx", string_of_int id) ];
     let started_at = now t in
     execute_ops t tx ~k:(fun result ->
@@ -166,10 +174,13 @@ let submit t tx ~on_response =
             Db.Lock_table.release_all (Db.Db_engine.locks t.server.Server.db) ~tx:id;
             respond t id Db.Testable_tx.Committed ~on_response
           end)
+    end
   end
 
 let recover t =
-  Db.Db_engine.recover_now t.server.Server.db;
+  let report = Db.Db_engine.recover_now t.server.Server.db in
+  if report.Db.Db_engine.repairs <> [] then
+    tr t "wal_repair" [ ("repairs", string_of_int (List.length report.Db.Db_engine.repairs)) ];
   Db.Testable_tx.replace t.view (Db.Testable_tx.to_list (Db.Db_engine.testable t.server.Server.db));
   tr t "recovered_local" [];
   t.ready <- true

@@ -9,7 +9,7 @@ type t = {
   rng : Sim.Rng.t;
 }
 
-let create engine network params ~index =
+let create ?registry engine network params ~index =
   let label = Printf.sprintf "S%d" index in
   let id = Net.Node_id.make ~index ~label in
   let process = Sim.Process.create engine ~name:label in
@@ -24,7 +24,7 @@ let create engine network params ~index =
   let endpoint = Net.Endpoint.attach network ~id ~process ~cpu:cpus () in
   let rng = Sim.Rng.split (Sim.Engine.rng engine) in
   let db =
-    Db.Db_engine.create engine ~process ~cpus ~disks ~rng:(Sim.Rng.split rng)
+    Db.Db_engine.create ?registry engine ~process ~cpus ~disks ~rng:(Sim.Rng.split rng)
       (Workload.Params.db_config params)
   in
   Sim.Process.on_kill process (fun () ->

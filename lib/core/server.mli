@@ -18,10 +18,13 @@ type t = {
   rng : Sim.Rng.t;  (** server-private stream, split from the engine's. *)
 }
 
-val create : Sim.Engine.t -> Net.Network.t -> Workload.Params.t -> index:int -> t
+val create :
+  ?registry:Obs.Registry.t -> Sim.Engine.t -> Net.Network.t -> Workload.Params.t -> index:int -> t
 (** [create e net params ~index] builds server [index] ("S<index>"),
     registers its endpoint, and wires crash behaviour: killing the process
-    resets CPUs and disks and drops the database's volatile state. *)
+    resets CPUs and disks and drops the database's volatile state.
+    [registry] is handed to the database engine for its storage-fault
+    counters. *)
 
 val crash : t -> unit
 (** Kill the server (idempotent). *)

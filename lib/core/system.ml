@@ -211,13 +211,16 @@ let create ?(seed = 1L) ?(params = Workload.Params.table4) ?fd_config ?apply_wri
   let trace = Sim.Trace.create ~enabled:trace_enabled engine in
   let metrics = Workload.Metrics.create engine in
   let n = params.Workload.Params.servers in
-  let servers = Array.init n (fun index -> Server.create engine network params ~index) in
-  let group = Array.to_list (Array.map (fun s -> s.Server.id) servers) in
-  (* One registry and one tracer per system: all replicas share them, so
+  (* One registry and one tracer per system: all replicas (and their
+     database engines, hence creation before the servers) share them, so
      per-server observations of the same metric aggregate (tracer spans
      stay distinguishable through their tid = server index). *)
   let obs_registry = Obs.Registry.create () in
   let obs_tracer = Obs.Tracer.create ~enabled:obs_trace () in
+  let servers =
+    Array.init n (fun index -> Server.create ~registry:obs_registry engine network params ~index)
+  in
+  let group = Array.to_list (Array.map (fun s -> s.Server.id) servers) in
   let replicas =
     Array.mapi
       (fun index server ->
@@ -333,12 +336,39 @@ let history t i =
 let group_failed t =
   t.max_simultaneously_down >= Gcs.View.quorum (Array.length t.servers)
 
-let break_amnesiac t i =
+let storage_fault_kind = function
+  | Db.Db_engine.Wipe_wal -> "wal_wipe"
+  | Db.Db_engine.Wipe_wal_at_crash -> "amnesia"
+  | Db.Db_engine.Torn_write -> "torn_write"
+  | Db.Db_engine.Fsync_lie -> "fsync_lie"
+  | Db.Db_engine.Corrupt_record -> "corrupt_record"
+
+let inject_storage_fault t i fault =
   let server = t.servers.(i) in
-  Sim.Trace.record t.trace ~source:(Server.label server) ~kind:"amnesia" [];
-  (* Registered after the database's own kill hook, so the WAL is first
-     crashed (pending flushes dropped), then its durable records wiped. *)
-  Sim.Process.on_kill server.Server.process (fun () -> Db.Db_engine.wipe_wal server.Server.db)
+  Sim.Trace.record t.trace ~source:(Server.label server) ~kind:(storage_fault_kind fault) [];
+  Db.Db_engine.inject server.Server.db fault
+
+let break_amnesiac t i = inject_storage_fault t i Db.Db_engine.Wipe_wal_at_crash
+
+let set_disk_slow t i factor =
+  let server = t.servers.(i) in
+  Sim.Trace.record t.trace ~source:(Server.label server) ~kind:"slow_disk"
+    [ ("factor", Printf.sprintf "%.3f" factor) ];
+  Db.Db_engine.set_disk_slow server.Server.db factor
+
+let set_disk_full t i full =
+  let server = t.servers.(i) in
+  Sim.Trace.record t.trace ~source:(Server.label server) ~kind:"disk_full"
+    [ ("full", if full then "on" else "off") ];
+  Db.Db_engine.set_disk_full server.Server.db full
+
+let break_skip_checksum t i =
+  let server = t.servers.(i) in
+  Sim.Trace.record t.trace ~source:(Server.label server) ~kind:"skip_checksum" [];
+  Db.Db_engine.break_skip_checksum server.Server.db
+
+let storage_faults t i = Db.Db_engine.fault_stats t.servers.(i).Server.db
+let last_repair t i = Db.Db_engine.last_repair t.servers.(i).Server.db
 
 let break_no_accept_retransmit t i =
   match t.replicas.(i) with

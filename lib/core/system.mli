@@ -190,13 +190,43 @@ val dsm_replica : t -> int -> Dsm_replica.t option
 val lazy_replica : t -> int -> Lazy_replica.t option
 val twopc_replica : t -> int -> Twopc_replica.t option
 
+val inject_storage_fault : t -> int -> Db.Db_engine.fault -> unit
+(** Arm (or perform) a storage fault on server [i]'s WAL — the single
+    fault surface behind the storage nemesis ({!Check.Schedule} events
+    [Torn_write], [Fsync_lie], [Corrupt_record]) and the legacy wipe
+    hooks. Traced as ["torn_write"], ["fsync_lie"], ["corrupt_record"],
+    ["wal_wipe"] or ["amnesia"]. See {!Db.Db_engine.fault}. *)
+
 val break_amnesiac : t -> int -> unit
 (** Deliberately break server [i]: from now on, every crash also wipes its
     durable write-ahead log, so the server recovers remembering nothing it
     ever logged. No real technique behaves like this — the hook exists to
     mutation-test the safety oracle itself (a checker that cannot catch an
     amnesiac 2-safe replica losing an acknowledged transaction is not
-    checking anything). Traced as ["amnesia"]. *)
+    checking anything). Thin alias for
+    [inject_storage_fault t i Wipe_wal_at_crash]; traced as ["amnesia"]. *)
+
+val set_disk_slow : t -> int -> float -> unit
+(** Gray failure on server [i]: scale its WAL flush durations by the
+    factor (1.0 heals). Traced as ["slow_disk"]. *)
+
+val set_disk_full : t -> int -> bool -> unit
+(** Disk-full window on server [i]: while set, its WAL appends park
+    (volatile) and the replica refuses new update transactions with a
+    distinct abort while continuing to serve reads and group traffic.
+    Traced as ["disk_full"]. *)
+
+val break_skip_checksum : t -> int -> unit
+(** Oracle-mutation hook: disable WAL checksum verification on server
+    [i]'s recovery, modelling an unhardened log that replays rotted bytes.
+    The durability oracle must notice the shortfall
+    ([corrupt_detected < corrupt_scanned]). Traced as ["skip_checksum"]. *)
+
+val storage_faults : t -> int -> Db.Db_engine.fault_stats
+(** Server [i]'s cumulative storage-fault and repair evidence. *)
+
+val last_repair : t -> int -> Db.Db_engine.repair_report option
+(** The report of server [i]'s most recent WAL recovery scan. *)
 
 val break_no_accept_retransmit : t -> int -> unit
 (** Oracle-mutation hook: disable in-flight Accept retransmission in

@@ -255,6 +255,15 @@ let execute_ops t tx ~k =
 let submit t tx ~on_response =
   if serving t then begin
     let id = tx.Db.Transaction.id in
+    if Db.Transaction.is_update tx && Db.Db_engine.disk_full (db t) then begin
+      (* Graceful degradation under a full disk: refuse to coordinate new
+         update work with a distinct abort; reads and participant traffic
+         continue. *)
+      tr t "disk_full_abort" [ ("tx", string_of_int id) ];
+      Db.Db_engine.note_degraded (db t);
+      on_response Db.Testable_tx.Aborted
+    end
+    else begin
     tr t "submit" [ ("tx", string_of_int id) ];
     execute_ops t tx ~k:(fun result ->
         match result with
@@ -271,6 +280,7 @@ let submit t tx ~on_response =
             tr t "respond" [ ("tx", string_of_int id); ("outcome", "committed") ];
             on_response Db.Testable_tx.Committed
           end)
+    end
   end
 
 (* ---- Recovery ---- *)
@@ -281,7 +291,9 @@ let resolve_in_doubt t =
     t.prepared
 
 let rec recover t =
-  Db.Db_engine.recover_now (db t);
+  let report = Db.Db_engine.recover_now (db t) in
+  if report.Db.Db_engine.repairs <> [] then
+    tr t "wal_repair" [ ("repairs", string_of_int (List.length report.Db.Db_engine.repairs)) ];
   Db.Testable_tx.replace t.view (Db.Testable_tx.to_list (Db.Db_engine.testable (db t)));
   Hashtbl.reset t.prepared;
   (* Re-discover in-doubt transactions: durably prepared, no decision on

@@ -25,6 +25,27 @@ type wal_record = {
   w_writes : (int * int) list;
 }
 
+type fault = Wipe_wal | Wipe_wal_at_crash | Torn_write | Fsync_lie | Corrupt_record
+
+type repair_report = { scanned : int; replayed : int; repairs : Wal_codec.repair list }
+
+type fault_stats = {
+  wal_wipes : int;
+  amnesia_armed : bool;
+  torn_armed : int;
+  torn_fired : int;
+  torn_scanned : int;
+  torn_repaired : int;
+  lies_armed : int;
+  lies_acked : int;
+  lies_dropped : int;
+  corrupt_injected : int;
+  corrupt_subsumed : int;
+  corrupt_scanned : int;
+  corrupt_detected : int;
+  sequence_gaps : int;
+}
+
 type t = {
   engine : Sim.Engine.t;
   process : Sim.Process.t;
@@ -34,9 +55,39 @@ type t = {
   config : config;
   mutable values : int array;
   pool : Store.Buffer_pool.t;
-  wal : wal_record Store.Stable_storage.t;
+  (* The WAL holds encoded frames (Wal_codec), not structured records: the
+     storage nemesis tears, rots and drops bytes, and recovery must prove
+     it can tell damage from data. *)
+  wal : string Store.Stable_storage.t;
   mutable lock_table : Lock_table.t;
   testable_table : Testable_tx.t;
+  mutable next_seq : int;
+  (* Checksum verification on recovery; [break_skip_checksum] clears it to
+     model an unhardened WAL and prove the durability oracle notices. *)
+  mutable verify : bool;
+  mutable amnesia : bool;
+  mutable torn_pending : bool;
+  mutable wal_wipes : int;
+  mutable torn_armed : int;
+  mutable torn_fired : int;
+  mutable torn_scanned : int;
+  mutable torn_repaired : int;
+  mutable lies_armed : int;
+  mutable corrupt_injected : int;
+  (* Post-images of corrupted frames still in the WAL, awaiting a recovery
+     scan. A later destructive fault that physically destroys one (a torn
+     write or wipe of the same record, a second flip restoring it) moves
+     it to [corrupt_subsumed]: the scan can no longer be asked to detect
+     evidence that no longer exists. *)
+  mutable corrupt_pending : string list;
+  mutable corrupt_subsumed : int;
+  mutable corrupt_scanned : int;
+  mutable corrupt_detected : int;
+  mutable sequence_gaps : int;
+  mutable last_repair : repair_report option;
+  c_torn_repaired : Obs.Registry.counter;
+  c_corrupt_detected : Obs.Registry.counter;
+  c_degraded : Obs.Registry.counter;
 }
 
 let config t = t.config
@@ -50,7 +101,89 @@ let scaled_io_time t factor =
   let us = float_of_int (Sim.Sim_time.span_to_us (io_time t)) *. factor in
   Sim.Sim_time.span_us (int_of_float (Float.max 1. (Float.round us)))
 
-let create engine ~process ~cpus ~disks ~rng config =
+let decode_frames t frames =
+  Wal_codec.scan ~verify:t.verify frames
+
+let wal_frames t = Store.Stable_storage.durable_records t.wal
+
+let wal_records t =
+  let records, _repairs = decode_frames t (wal_frames t) in
+  List.map (fun (r : Wal_codec.record) -> { w_tx = r.tx; w_decision = r.decision; w_writes = r.writes }) records
+
+let rec remove_first x = function
+  | [] -> []
+  | y :: rest -> if String.equal x y then rest else y :: remove_first x rest
+
+let wipe_wal_now t =
+  Store.Stable_storage.truncate t.wal ~keep:(fun _ -> false);
+  t.corrupt_subsumed <- t.corrupt_subsumed + List.length t.corrupt_pending;
+  t.corrupt_pending <- [];
+  t.wal_wipes <- t.wal_wipes + 1
+
+(* Torn write: the crash cut the tail append mid-record — keep only the
+   first half of its bytes. *)
+let tear s = String.sub s 0 (String.length s / 2)
+
+let flip_last_byte s =
+  let n = String.length s in
+  if n = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set_uint8 b (n - 1) (Bytes.get_uint8 b (n - 1) lxor 0xFF);
+    Bytes.unsafe_to_string b
+  end
+
+let replay t (records : Wal_codec.record list) =
+  Array.fill t.values 0 t.config.items 0;
+  Testable_tx.reset t.testable_table;
+  List.iter
+    (fun (r : Wal_codec.record) ->
+      (match r.decision with
+      | Certifier.Commit ->
+          (* Bounds-guard every write: with verification off a damaged frame
+             can decode to garbage, and replay must still not crash. *)
+          List.iter
+            (fun (item, v) -> if item >= 0 && item < t.config.items then t.values.(item) <- v)
+            r.writes;
+          Testable_tx.record t.testable_table r.tx Testable_tx.Committed
+      | Certifier.Abort -> Testable_tx.record t.testable_table r.tx Testable_tx.Aborted);
+      if r.seq >= t.next_seq then t.next_seq <- r.seq + 1)
+    records
+
+let recover_now t =
+  let frames = wal_frames t in
+  let records, repairs = decode_frames t frames in
+  (* Capture how many injected faults this scan was responsible for
+     finding *before* counting what it actually found: the durability
+     oracle compares the two, and an unhardened WAL (verify off) must come
+     up short. *)
+  t.torn_scanned <- t.torn_fired;
+  t.corrupt_scanned <- t.corrupt_injected - t.corrupt_subsumed;
+  List.iter
+    (function
+      | Wal_codec.Torn_tail_truncated ->
+          t.torn_repaired <- t.torn_repaired + 1;
+          Obs.Registry.inc t.c_torn_repaired
+      | Wal_codec.Corrupt_record_dropped _ ->
+          t.corrupt_detected <- t.corrupt_detected + 1;
+          Obs.Registry.inc t.c_corrupt_detected
+      | Wal_codec.Sequence_gap _ -> t.sequence_gaps <- t.sequence_gaps + 1)
+    repairs;
+  (* Physically repair the log: drop every frame the scan refused, so a
+     later recovery sees a clean log and nothing is double-counted. *)
+  if repairs <> [] then
+    Store.Stable_storage.truncate t.wal ~keep:(fun f ->
+        match Wal_codec.decode ~verify:t.verify f with Ok _ -> true | Error _ -> false);
+  (* The scan has now been confronted with every pending corruption —
+     found or (with verification off) missed; either way the evidence is
+     consumed and must not be demanded of a later scan. *)
+  t.corrupt_pending <- [];
+  replay t records;
+  let report = { scanned = List.length frames; replayed = List.length records; repairs } in
+  t.last_repair <- Some report;
+  report
+
+let create ?registry engine ~process ~cpus ~disks ~rng config =
   let pool = Store.Buffer_pool.create (Sim.Rng.split rng) config.buffer in
   let wal_rng = Sim.Rng.split rng in
   let wal =
@@ -61,6 +194,7 @@ let create engine ~process ~cpus ~disks ~rng config =
       ~config:{ Store.Stable_storage.group_commit = config.group_commit }
       ()
   in
+  let registry = match registry with Some r -> r | None -> Obs.Registry.create () in
   let t =
     {
       engine;
@@ -74,13 +208,53 @@ let create engine ~process ~cpus ~disks ~rng config =
       wal;
       lock_table = Lock_table.create ();
       testable_table = Testable_tx.create ();
+      next_seq = 0;
+      verify = true;
+      amnesia = false;
+      torn_pending = false;
+      wal_wipes = 0;
+      torn_armed = 0;
+      torn_fired = 0;
+      torn_scanned = 0;
+      torn_repaired = 0;
+      lies_armed = 0;
+      corrupt_injected = 0;
+      corrupt_pending = [];
+      corrupt_subsumed = 0;
+      corrupt_scanned = 0;
+      corrupt_detected = 0;
+      sequence_gaps = 0;
+      last_repair = None;
+      c_torn_repaired = Obs.Registry.counter registry "wal.torn_repaired";
+      c_corrupt_detected = Obs.Registry.counter registry "wal.corrupt_detected";
+      c_degraded = Obs.Registry.counter registry "disk.degraded";
     }
   in
   Sim.Process.on_kill process (fun () ->
       Store.Stable_storage.crash wal;
+      if t.amnesia then wipe_wal_now t;
+      if t.torn_pending then begin
+        t.torn_pending <- false;
+        (* The tear may land on a record that was just corrupted: the
+           half that held the flipped byte is gone, so the scan can only
+           report the tear — move the corruption to subsumed. *)
+        (match Store.Stable_storage.last_durable wal with
+        | Some head when List.mem head t.corrupt_pending ->
+            t.corrupt_pending <- remove_first head t.corrupt_pending;
+            t.corrupt_subsumed <- t.corrupt_subsumed + 1
+        | Some _ | None -> ());
+        (* After an amnesiac wipe there is no tail left to tear; only count
+           a firing that actually damaged a record. *)
+        if Store.Stable_storage.tamper_last wal tear then t.torn_fired <- t.torn_fired + 1
+      end;
       Store.Buffer_pool.invalidate pool;
       Testable_tx.reset t.testable_table;
       t.lock_table <- Lock_table.create ());
+  (* Self-healing restart: scan (and physically repair) the local WAL
+     before any replication-layer recovery hook runs — registration order
+     guarantees this hook fires first. Replica layers that replay the WAL
+     themselves just see the already-repaired log. *)
+  Sim.Process.on_restart process (fun () -> ignore (recover_now t : repair_report));
   t
 
 let value t item = t.values.(item)
@@ -133,20 +307,81 @@ let write_io t ~count ~factor ~k =
 
 let async_factor t = t.config.async_write_factor
 
+let encode_record t ~tx ~decision ~writes =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Wal_codec.encode ~seq ~tx ~decision ~writes
+
 let log_commit t ~tx ~decision ~writes ~k =
   if Sim.Process.alive t.process then
-    Store.Stable_storage.append t.wal
-      { w_tx = tx; w_decision = decision; w_writes = writes }
-      ~on_durable:(guard t k)
+    Store.Stable_storage.append t.wal (encode_record t ~tx ~decision ~writes) ~on_durable:(guard t k)
 
 let log_commit_quiet t ~tx ~decision ~writes =
   if Sim.Process.alive t.process then
-    Store.Stable_storage.append_quiet t.wal { w_tx = tx; w_decision = decision; w_writes = writes }
+    Store.Stable_storage.append_quiet t.wal (encode_record t ~tx ~decision ~writes)
 
 let locks t = t.lock_table
 let testable t = t.testable_table
-let wal_records t = Store.Stable_storage.durable_records t.wal
-let wipe_wal t = Store.Stable_storage.truncate t.wal ~keep:(fun _ -> false)
+
+let inject t = function
+  | Wipe_wal -> wipe_wal_now t
+  | Wipe_wal_at_crash -> t.amnesia <- true
+  | Torn_write ->
+      t.torn_armed <- t.torn_armed + 1;
+      t.torn_pending <- true
+  | Fsync_lie ->
+      t.lies_armed <- t.lies_armed + 1;
+      Store.Stable_storage.arm_fsync_lie t.wal
+  | Corrupt_record -> (
+      match Store.Stable_storage.last_durable t.wal with
+      | None -> ()
+      | Some head ->
+          if Store.Stable_storage.tamper_last t.wal flip_last_byte then begin
+            t.corrupt_injected <- t.corrupt_injected + 1;
+            if List.mem head t.corrupt_pending then begin
+              (* Flipping the same byte twice restores the frame: both
+                 corruptions are now physically undetectable. *)
+              t.corrupt_pending <- remove_first head t.corrupt_pending;
+              t.corrupt_subsumed <- t.corrupt_subsumed + 2
+            end
+            else
+              match Wal_codec.decode head with
+              | Error _ ->
+                  (* The tail frame was already damaged (a torn write):
+                     the scan will report that damage once, as the tear. *)
+                  t.corrupt_subsumed <- t.corrupt_subsumed + 1
+              | Ok _ -> t.corrupt_pending <- flip_last_byte head :: t.corrupt_pending
+          end)
+
+let wipe_wal t = inject t Wipe_wal
+
+let break_skip_checksum t = t.verify <- false
+
+let set_disk_slow t factor = Store.Stable_storage.set_write_factor t.wal factor
+let set_disk_full t full = Store.Stable_storage.set_full t.wal full
+let disk_full t = Store.Stable_storage.is_full t.wal
+
+let note_degraded t = Obs.Registry.inc t.c_degraded
+
+let fault_stats t =
+  {
+    wal_wipes = t.wal_wipes;
+    amnesia_armed = t.amnesia;
+    torn_armed = t.torn_armed;
+    torn_fired = t.torn_fired;
+    torn_scanned = t.torn_scanned;
+    torn_repaired = t.torn_repaired;
+    lies_armed = t.lies_armed;
+    lies_acked = Store.Stable_storage.lies_acked t.wal;
+    lies_dropped = Store.Stable_storage.lies_dropped t.wal;
+    corrupt_injected = t.corrupt_injected;
+    corrupt_subsumed = t.corrupt_subsumed;
+    corrupt_scanned = t.corrupt_scanned;
+    corrupt_detected = t.corrupt_detected;
+    sequence_gaps = t.sequence_gaps;
+  }
+
+let last_repair t = t.last_repair
 
 let durable_commits t =
   List.length
@@ -154,23 +389,16 @@ let durable_commits t =
        (fun r -> Certifier.decision_equal r.w_decision Certifier.Commit)
        (wal_records t))
 
-let recover_now t =
-  Array.fill t.values 0 t.config.items 0;
-  Testable_tx.reset t.testable_table;
-  List.iter
-    (fun r ->
-      match r.w_decision with
-      | Certifier.Commit ->
-        List.iter (fun (item, v) -> t.values.(item) <- v) r.w_writes;
-        Testable_tx.record t.testable_table r.w_tx Testable_tx.Committed
-      | Certifier.Abort -> Testable_tx.record t.testable_table r.w_tx Testable_tx.Aborted)
-    (wal_records t)
-
 let recover t ~k =
   Sim.Resource.request t.disks ~duration:(io_time t)
     (guard t (fun () ->
-         recover_now t;
+         ignore (recover_now t : repair_report);
          k ()))
 
 let log_flushes t = Store.Stable_storage.flush_count t.wal
 let buffer_hit_ratio t = Store.Buffer_pool.hit_ratio t.pool
+
+let pp_repair_report ppf r =
+  Fmt.pf ppf "scanned %d, replayed %d, repairs [%a]" r.scanned r.replayed
+    Fmt.(list ~sep:(any "; ") Wal_codec.pp_repair)
+    r.repairs

@@ -8,7 +8,14 @@
     state is the caller's concern: replication techniques install write
     values at their commit point (in delivery order), while the disk cost
     of those writes is charged separately, synchronously or in the
-    background. *)
+    background.
+
+    The WAL is hardened against the storage-fault nemesis: records are
+    framed, checksummed and sequence-numbered ({!Wal_codec}), and recovery
+    is repair-aware — a torn tail is truncated, a bit-rotted record is
+    detected and dropped, and the result is surfaced as a typed
+    {!repair_report} instead of silently replaying garbage. See
+    [docs/CHECKING.md]. *)
 
 type config = {
   items : int;  (** database size. *)
@@ -34,9 +41,59 @@ type wal_record = {
   w_writes : (int * int) list;  (** empty for aborts. *)
 }
 
+(** The storage-fault vocabulary (one surface for every disk betrayal):
+    {ul
+    {- [Wipe_wal]: instantly discard every durable record (no real disk
+       does this; kept as the legacy oracle-self-test hook).}
+    {- [Wipe_wal_at_crash]: arm an amnesiac wipe performed by the next
+       crash — {!Groupsafe.System.break_amnesiac} in fault-injection
+       terms.}
+    {- [Torn_write]: the next crash cuts the newest durable record
+       mid-frame (half its bytes survive).}
+    {- [Fsync_lie]: until the next crash, WAL flushes are acknowledged as
+       durable but the records were never persisted; that crash silently
+       drops them.}
+    {- [Corrupt_record]: flip a byte of the newest durable record right
+       now (bit-rot).}} *)
+type fault = Wipe_wal | Wipe_wal_at_crash | Torn_write | Fsync_lie | Corrupt_record
+
+type repair_report = {
+  scanned : int;  (** durable frames examined. *)
+  replayed : int;  (** records that decoded and were replayed. *)
+  repairs : Wal_codec.repair list;  (** what was wrong, in log order. *)
+}
+
+(** Cumulative fault-injection and repair evidence, consumed by
+    {!Check.Durability}. The [*_scanned] counters snapshot, at each
+    recovery scan, how many injected faults that scan was responsible for
+    finding; comparing them with [*_repaired]/[*_detected] proves the scan
+    actually caught what was injected (an unhardened WAL comes up
+    short). *)
+type fault_stats = {
+  wal_wipes : int;
+  amnesia_armed : bool;
+  torn_armed : int;
+  torn_fired : int;  (** arms whose crash actually damaged a record. *)
+  torn_scanned : int;
+  torn_repaired : int;
+  lies_armed : int;
+  lies_acked : int;
+  lies_dropped : int;
+  corrupt_injected : int;
+  corrupt_subsumed : int;
+      (** injected corruptions whose evidence a later destructive fault
+          physically destroyed before any scan (the record torn or wiped,
+          or a second flip restoring it) — excluded from
+          [corrupt_scanned]: no scan can detect what no longer exists. *)
+  corrupt_scanned : int;
+  corrupt_detected : int;
+  sequence_gaps : int;
+}
+
 type t
 
 val create :
+  ?registry:Obs.Registry.t ->
   Sim.Engine.t ->
   process:Sim.Process.t ->
   cpus:Sim.Resource.t ->
@@ -46,9 +103,12 @@ val create :
   t
 (** [create e ~process ~cpus ~disks ~rng config] builds the component.
     Crash behaviour (losing buffered state, pending log writes, lock table
-    and in-memory values) is wired to [process]; call {!recover} after a
-    restart. The resources are shared with the rest of the server and are
-    not reset here. *)
+    and in-memory values) is wired to [process]; a restart hook scans and
+    self-heals the WAL before any replication-layer recovery runs. The
+    resources are shared with the rest of the server and are not reset
+    here. [registry] receives the [wal.torn_repaired],
+    [wal.corrupt_detected] and [disk.degraded] counters (a private
+    registry is used when omitted). *)
 
 val config : t -> config
 val engine : t -> Sim.Engine.t
@@ -87,8 +147,8 @@ val async_factor : t -> float
 val log_commit :
   t -> tx:Transaction.id -> decision:Certifier.decision -> writes:(int * int) list ->
   k:(unit -> unit) -> unit
-(** Appends a decision record to the WAL; [k] runs once it is durable
-    (group commit may batch it with neighbours). *)
+(** Appends a framed decision record to the WAL; [k] runs once it is
+    durable (group commit may batch it with neighbours). *)
 
 val log_commit_quiet :
   t -> tx:Transaction.id -> decision:Certifier.decision -> writes:(int * int) list -> unit
@@ -102,13 +162,43 @@ val testable : t -> Testable_tx.t
 (** The testable-transaction table; {!recover} rebuilds it from the WAL. *)
 
 val wal_records : t -> wal_record list
-(** Durable WAL contents, oldest first (inspection / checkers). *)
+(** Durable WAL contents that decode cleanly, oldest first (inspection /
+    checkers). Damaged frames are skipped, not repaired — that is
+    {!recover_now}'s job. *)
+
+val inject : t -> fault -> unit
+(** Arm (or, for [Wipe_wal] and [Corrupt_record], immediately perform) a
+    storage fault. See {!fault}. *)
 
 val wipe_wal : t -> unit
-(** Instantly discards every durable WAL record — a fault-injection hook
-    (no real disk does this). Oracle self-tests wipe the log at a crash to
-    build an "amnesiac" replica and prove the safety checker reports the
-    resulting loss; see {!Groupsafe.System.break_amnesiac}. *)
+(** [inject t Wipe_wal] — the legacy name, kept as a thin alias. *)
+
+val break_skip_checksum : t -> unit
+(** Oracle mutation: disable checksum verification on recovery, modelling
+    an unhardened WAL that replays rotted bytes. The durability oracle
+    must flag the resulting undetected corruption. *)
+
+val set_disk_slow : t -> float -> unit
+(** Gray failure: scale WAL flush durations by the factor (clamped to at
+    least 1.0; pass 1.0 to heal). *)
+
+val set_disk_full : t -> bool -> unit
+(** While full, WAL appends park (volatile) instead of flushing; clearing
+    the condition releases them in order. Replication layers consult
+    {!disk_full} to degrade gracefully — abort new update transactions
+    with a distinct reason while continuing to serve reads and group
+    traffic. *)
+
+val disk_full : t -> bool
+
+val note_degraded : t -> unit
+(** Count one refused-while-full commit on the [disk.degraded] counter
+    (called by the replica layer that performs the refusal). *)
+
+val fault_stats : t -> fault_stats
+
+val last_repair : t -> repair_report option
+(** The report of the most recent recovery scan, if any. *)
 
 val durable_commits : t -> int
 (** Number of committed transactions currently recorded on this server's
@@ -118,10 +208,13 @@ val recover : t -> k:(unit -> unit) -> unit
 (** Rebuilds in-memory values and the testable-transaction table by
     replaying the durable WAL (one timed disk read), then calls [k]. *)
 
-val recover_now : t -> unit
-(** {!recover} without the timed disk read: the rebuild happens instantly.
-    For replication layers that must restore state synchronously inside a
-    recovery protocol step and account for the I/O themselves. *)
+val recover_now : t -> repair_report
+(** {!recover} without the timed disk read: scan the durable WAL, repair
+    it (truncate a torn tail, drop records that fail their checksum),
+    replay what remains, and report what was done. Idempotent: a second
+    scan of a repaired log reports no repairs. *)
 
 val log_flushes : t -> int
 val buffer_hit_ratio : t -> float
+
+val pp_repair_report : Format.formatter -> repair_report -> unit

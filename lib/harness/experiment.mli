@@ -196,10 +196,18 @@ val nemesis :
     [seed] (default 42). *)
 
 val liveness :
-  ?seed:int64 -> ?budget:int -> ?counterexample_path:string -> unit -> bool
+  ?seed:int64 ->
+  ?budget:int ->
+  ?max_decision_us:int ->
+  ?counterexample_path:string ->
+  unit ->
+  bool
 (** The liveness acceptance run ({!Check.Liveness}): [budget] (default 500)
     fairness-constrained storms per configuration, every run certified by
-    the safety, convergence {e and} liveness oracles. First the
+    the safety, convergence {e and} liveness oracles. With
+    [max_decision_us], every decided transaction's submission-to-decision
+    latency is additionally bounded: decisions beyond it fail the verdict
+    as decided-but-late, reported distinctly from wedged ones. First the
     oracle-mutation rediscoveries — re-break the leader's Accept
     retransmission and 2PC's pre-durability decision answers through
     {!Groupsafe.System.break_no_accept_retransmit} /
@@ -213,6 +221,29 @@ val liveness :
     ["liveness-counterexample.txt"]) for CI artifact upload. [true] iff
     every check passed; deterministic per [seed] (default 42) at any
     worker count. *)
+
+val storage :
+  ?seed:int64 -> ?budget:int -> ?counterexample_path:string -> unit -> bool
+(** The storage-fault acceptance run ({!Check.Durability}): [budget]
+    (default 500) seeded storms per configuration mixing crashes with disk
+    faults — torn tail writes, lying fsyncs (sometimes the whole group at
+    once), record corruption, slow-disk and disk-full windows — each run
+    certified by the durability oracle: losses only where the advertised
+    level or total storage betrayal permits them, every injected torn tail
+    repaired and every corruption detected by the recovery scans. Storms
+    certify the group-safe classical, end-to-end (2-safe) and eager-2PC
+    configurations; the skip-checksum oracle mutation
+    ({!Groupsafe.System.break_skip_checksum}) must be rediscovered; the
+    directed {!Check.Explorer.torn_leader_tail} family must repair every
+    tear with a non-empty repair report; and the
+    {!Check.Explorer.fsync_lie_group_crash} scenario must demonstrate the
+    acked-transaction loss at 1-safe, group-safe and 2-safe with the
+    verdict clean (permitted by delegate crash, group failure and total
+    betrayal respectively). On failure the shrunk counterexample (in
+    {!Check.Schedule.serialize} form) and its full trace are written to
+    [counterexample_path] (default ["storage-counterexample.txt"]) for CI
+    artifact upload. [true] iff every check passed; deterministic per
+    [seed] (default 42) at any worker count. *)
 
 val all : ?seed:int64 -> ?fast:bool -> unit -> unit
 (** Run everything in paper order. [fast] (default false) shrinks the

@@ -59,3 +59,48 @@ val flush_count : 'a t -> int
 val truncate : 'a t -> keep:('a -> bool) -> unit
 (** [truncate log ~keep] instantly discards durable records not satisfying
     [keep] (log compaction after a checkpoint). *)
+
+(** {1 Storage-fault hooks}
+
+    Deterministic fault injection for the storage nemesis (see
+    [docs/CHECKING.md]). None of these perturb a healthy log: with no fault
+    armed the behaviour is byte-identical to the unfaulted implementation. *)
+
+val set_write_factor : 'a t -> float -> unit
+(** [set_write_factor log f] makes every subsequent flush take [f] times its
+    nominal duration (gray failure / slow disk). Clamped to at least 1.0;
+    pass 1.0 to restore a healthy disk. *)
+
+val arm_fsync_lie : 'a t -> unit
+(** Arms the lying-fsync fault: from now until the next {!crash}, completed
+    flushes report success — durability callbacks fire and the records
+    appear in {!durable_records} — but the records were never actually
+    persisted and the next {!crash} silently drops them. Disarmed by that
+    crash. *)
+
+val fsync_lying : 'a t -> bool
+
+val lies_acked : 'a t -> int
+(** Records acknowledged as durable by a lying fsync (cumulative). *)
+
+val lies_dropped : 'a t -> int
+(** Lied-about records silently dropped by crashes (cumulative). *)
+
+val set_full : 'a t -> bool -> unit
+(** [set_full log true] makes the device reject new writes: appends park in
+    an internal queue (volatile — a crash drops them) instead of flushing.
+    [set_full log false] releases parked appends in order. *)
+
+val is_full : 'a t -> bool
+
+val parked_count : 'a t -> int
+(** Appends parked behind a full disk right now. *)
+
+val tamper_last : 'a t -> ('a -> 'a) -> bool
+(** [tamper_last log f] destructively rewrites the newest genuinely durable
+    record in place (bit-rot / torn tail). [false] iff there is none. Lied
+    records are never targeted — they are already volatile. *)
+
+val last_durable : 'a t -> 'a option
+(** The newest genuinely durable record — the one {!tamper_last} would
+    rewrite — if any. *)

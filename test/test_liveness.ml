@@ -156,6 +156,30 @@ let test_liveness_explore_deterministic () =
     "rendered reports (verdict, storms, rejection tally) byte-identical"
     (E.render_result r1) (E.render_result r2)
 
+(* ---- Bounded decision latency ---- *)
+
+let test_decision_bound () =
+  let sched cfg = S.make ~servers:3 ~txs:cfg.E.txs ~spacing:cfg.E.spacing [] in
+  let technique = System.Dsm Dsm_replica.Group_safe_mode in
+  let strict = E.default_config ~liveness:true ~max_decision_us:1 technique in
+  let o = E.run strict (sched strict) in
+  (match o.E.liveness with
+  | None -> Alcotest.fail "liveness verdict missing"
+  | Some v ->
+    check_bool "bound recorded in the verdict" true (v.Check.Liveness.bound = Some 1);
+    check_bool "every decision is late under a 1us bound" true (v.Check.Liveness.late <> []);
+    check_bool "decided-but-late is reported distinctly from undecided" true
+      (v.Check.Liveness.undecided = []);
+    check_bool "late decisions fail certification" false v.Check.Liveness.live);
+  check_bool "and the run" true o.E.failed;
+  let generous = E.default_config ~liveness:true ~max_decision_us:60_000_000 technique in
+  let o = E.run generous (sched generous) in
+  match o.E.liveness with
+  | Some v ->
+    check_bool "a generous bound certifies live" true v.Check.Liveness.live;
+    check_bool "no late decisions" true (v.Check.Liveness.late = [])
+  | None -> Alcotest.fail "liveness verdict missing"
+
 (* ---- Leader takeover ---- *)
 
 let takeover technique =
@@ -186,6 +210,7 @@ let () =
             test_rejections_reported;
           Alcotest.test_case "deterministic per seed" `Quick
             test_liveness_explore_deterministic;
+          Alcotest.test_case "decision-latency bound" `Quick test_decision_bound;
         ] );
       ( "takeover",
         [

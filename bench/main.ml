@@ -102,55 +102,83 @@ let bench_obs_counter =
   let c = Obs.Registry.counter r "bench.counter" in
   Test.make ~name:"obs/counter inc" (Staged.stage (fun () -> Obs.Registry.inc c))
 
-(* One full atomic-broadcast round (send -> decided on all members) in a
-   live 3-node simulated cluster. State persists across runs; each run
-   appends one more entry to the replicated log. *)
-let bench_abcast_round =
-  let module V = struct
+(* Atomic-broadcast rounds in a live 3-node simulated cluster. State
+   persists across runs; each run appends more entries to the replicated
+   log. One cluster per engine tuning, so the seed, batched and ring
+   backends are each pinned as their own micro. *)
+module Abcast_bench = struct
+  module V = struct
     type t = int
 
     let equal = Int.equal
     let pp = Format.pp_print_int
-  end in
-  let module Ab =
+  end
+
+  module Ab =
     Gcs.Atomic_broadcast.Make
       (V)
       (struct
         type t = unit
       end)
-  in
-  let engine = Sim.Engine.create () in
-  let network = Net.Network.create engine Net.Network.lan_config in
-  let delivered = ref 0 in
-  let nodes =
-    List.init 3 (fun i ->
-        let id = Net.Node_id.make ~index:i ~label:(Printf.sprintf "B%d" i) in
-        let process = Sim.Process.create engine ~name:(Net.Node_id.label id) in
-        Net.Endpoint.attach network ~id ~process ())
-  in
-  let group = List.map Net.Endpoint.id nodes in
-  let members =
-    List.map
-      (fun ep ->
-        Ab.create ep ~group
-          ~deliver:(fun _ -> incr delivered)
-          ~get_snapshot:(fun () -> ())
-          ~install_snapshot:(fun () -> ())
-          ~cold_start:(fun () -> ())
-          ())
-      nodes
-  in
-  let first = List.hd members in
-  let value = ref 0 in
-  Sim.Engine.run ~until:(Sim.Sim_time.of_us 100_000) engine;
-  Test.make ~name:"gcs/abcast round (3 nodes, sim)"
-    (Staged.stage (fun () ->
-         incr value;
-         let target = !delivered + 3 in
-         Ab.broadcast first !value;
-         while !delivered < target do
-           if not (Sim.Engine.step engine) then failwith "bench_abcast_round: queue empty"
-         done))
+
+  (* A settled 3-member cluster: (engine, first member, delivered count). *)
+  let cluster ?tuning () =
+    let engine = Sim.Engine.create () in
+    let network = Net.Network.create engine Net.Network.lan_config in
+    let delivered = ref 0 in
+    let nodes =
+      List.init 3 (fun i ->
+          let id = Net.Node_id.make ~index:i ~label:(Printf.sprintf "B%d" i) in
+          let process = Sim.Process.create engine ~name:(Net.Node_id.label id) in
+          Net.Endpoint.attach network ~id ~process ())
+    in
+    let group = List.map Net.Endpoint.id nodes in
+    let members =
+      List.map
+        (fun ep ->
+          Ab.create ep ~group ?tuning
+            ~deliver:(fun _ -> incr delivered)
+            ~get_snapshot:(fun () -> ())
+            ~install_snapshot:(fun () -> ())
+            ~cold_start:(fun () -> ())
+            ())
+        nodes
+    in
+    Sim.Engine.run ~until:(Sim.Sim_time.of_us 100_000) engine;
+    (engine, List.hd members, delivered)
+
+  (* Broadcasts [burst] values at the first member and steps the engine
+     until all 3 members delivered them all. *)
+  let make ~name ?tuning ~burst () =
+    let engine, first, delivered = cluster ?tuning () in
+    let value = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let target = !delivered + (3 * burst) in
+           for _ = 1 to burst do
+             incr value;
+             Ab.broadcast first !value
+           done;
+           while !delivered < target do
+             if not (Sim.Engine.step engine) then failwith (name ^ ": queue empty")
+           done))
+end
+
+let bench_abcast_round = Abcast_bench.make ~name:"gcs/abcast round (3 nodes, sim)" ~burst:1 ()
+
+(* The PR-8 engines: a 32-value burst through one batched instance vs 32
+   seed instances, and the ring backend's O(1)-per-node dissemination.
+   Per-run cost is the whole burst, so compare like with like. *)
+let bench_abcast_batched =
+  Abcast_bench.make ~name:"gcs/abcast batched burst=32 (3 nodes, sim)"
+    ~tuning:(Gcs.Bcast_tuning.batched ()) ~burst:32 ()
+
+let bench_abcast_seed_burst =
+  Abcast_bench.make ~name:"gcs/abcast seed burst=32 (3 nodes, sim)" ~burst:32 ()
+
+let bench_abcast_ring =
+  Abcast_bench.make ~name:"gcs/abcast ring burst=32 (3 nodes, sim)"
+    ~tuning:(Gcs.Bcast_tuning.ring ~batch:32 ()) ~burst:32 ()
 
 (* One complete transaction (submit -> client response) on a small
    group-safe system. *)
@@ -194,6 +222,9 @@ let micro_tests =
       bench_obs_histogram;
       bench_obs_counter;
       bench_abcast_round;
+      bench_abcast_seed_burst;
+      bench_abcast_batched;
+      bench_abcast_ring;
       bench_transaction;
     ]
 
@@ -290,9 +321,13 @@ let write_json ~path ~fast ~jobs ~total_wall_s ~timings ~probe ~micro =
   p "  \"experiments\": [\n";
   List.iteri
     (fun i t ->
-      p "    {\"section\": \"%s\", \"wall_s\": %.3f, \"events\": %d, \"events_per_sec\": %.0f}%s\n"
+      (* Sections that never spin up a simulation (table4, table1: static
+         parameter/summary tables) report 0 events; mark them so readers
+         don't mistake the 0 events/sec for a stalled simulator. *)
+      p "    {\"section\": \"%s\", \"wall_s\": %.3f, \"events\": %d, \"events_per_sec\": %.0f%s}%s\n"
         (json_escape t.Harness.Report.section) t.Harness.Report.wall_s t.Harness.Report.events
         (Harness.Report.events_per_sec t)
+        (if t.Harness.Report.events = 0 then ", \"no_sim\": true" else "")
         (if i < List.length timings - 1 then "," else ""))
     timings;
   p "  ],\n";

@@ -41,6 +41,38 @@ let fast =
   let doc = "Shrink the sweeps for a quick smoke run." in
   Arg.(value & flag & info [ "fast" ] ~doc)
 
+(* Broadcast-engine tuning knobs (PR 8): batching, pipelining window and
+   dissemination backend for the Dsm techniques' ordering layer. *)
+let batch_arg =
+  let doc = "Batch size: submissions packed per consensus instance (1 = seed engine)." in
+  Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc)
+
+let window_arg =
+  let doc =
+    "Pipelining window: maximum in-flight consensus instances (default: unbounded, the seed \
+     engine)."
+  in
+  Arg.(value & opt (some int) None & info [ "window" ] ~docv:"W" ~doc)
+
+let backend_arg =
+  let doc =
+    "Dissemination backend for Accept rounds: $(b,broadcast) (leader fan-out, the seed engine) \
+     or $(b,ring) (Ring-Paxos-style circulation along the failure-detector ring)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("broadcast", Gcs.Bcast_tuning.Broadcast); ("ring", Gcs.Bcast_tuning.Ring) ])
+        Gcs.Bcast_tuning.Broadcast
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let tuning_of batch window backend =
+  {
+    Gcs.Bcast_tuning.default with
+    Gcs.Bcast_tuning.batch;
+    window = (match window with Some w -> w | None -> max_int);
+    dissemination = backend;
+  }
+
 let budget =
   let doc = "Schedules to explore per configuration." in
   Arg.(value & opt int 500 & info [ "budget" ] ~docv:"N" ~doc)
@@ -127,13 +159,38 @@ let cmds =
     simple "fig7" "End-to-end atomic broadcast replays it (Fig. 7)."
       (fun seed -> Harness.Experiment.fig7 ~seed ());
     Cmd.v
-      (Cmd.info "fig9" ~doc:"Response time vs offered load (Figure 9).")
+      (Cmd.info "fig9"
+         ~doc:
+           "Response time vs offered load (Figure 9). --batch/--window/--backend select the \
+            broadcast-engine tuning for the Dsm techniques.")
       Term.(
-        const (fun seed loads measure_s replications csv_path trace_out metrics_out jobs ->
+        const (fun seed loads measure_s batch window backend replications csv_path trace_out
+                   metrics_out jobs ->
             apply_jobs jobs;
-            Harness.Experiment.fig9 ~seed ~loads ~measure_s ~replications ~csv_path ?trace_out
-              ?metrics_out ())
-        $ seed $ loads $ measure $ replications $ csv $ trace_out $ metrics_out $ jobs);
+            Harness.Experiment.fig9 ~seed ~loads ~measure_s
+              ~tuning:(tuning_of batch window backend)
+              ~replications ~csv_path ?trace_out ?metrics_out ())
+        $ seed $ loads $ measure $ batch_arg $ window_arg $ backend_arg $ replications $ csv
+        $ trace_out $ metrics_out $ jobs);
+    Cmd.v
+      (Cmd.info "ceiling"
+         ~doc:
+           "Broadcast-engine ceiling study: the bare ordering layer's throughput per engine \
+            (seed, batched, ring, ring+batched), then the extended Figure 9 load axis far past \
+            the crossover with each backend's saturation point.")
+      Term.(
+        const (fun seed loads measure_s jobs ->
+            apply_jobs jobs;
+            Harness.Experiment.broadcast_ceiling ~seed ~loads ~measure_s ())
+        $ seed
+        $ Arg.(
+            value
+            & opt (list float) Harness.Experiment.default_ceiling_loads
+            & info [ "loads" ] ~docv:"TPS,..." ~doc:"Offered loads (tps) for the extended sweep.")
+        $ Arg.(
+            value & opt float 30.
+            & info [ "measure" ] ~docv:"SECONDS" ~doc:"Measured simulated seconds per point.")
+        $ jobs);
     simple "closedloop" "Figure 9 under the closed-loop Table 4 client model."
       (fun seed -> Harness.Experiment.closed_loop ~seed ());
     simple "latency" "Disk-write vs atomic-broadcast latency (Section 6)."

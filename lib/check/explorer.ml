@@ -20,6 +20,7 @@ type config = {
   liveness : bool;
   storage : bool;
   max_decision_us : int option;
+  tuning : Gcs.Bcast_tuning.t;
   mutate : System.t -> unit;
 }
 
@@ -39,7 +40,8 @@ let default_params =
   }
 
 let default_config ?(predicate = Violation) ?(nemesis = false) ?(liveness = false)
-    ?(storage = false) ?max_decision_us ?(mutate = fun (_ : System.t) -> ()) technique =
+    ?(storage = false) ?max_decision_us ?(tuning = Gcs.Bcast_tuning.default)
+    ?(mutate = fun (_ : System.t) -> ()) technique =
   {
     technique;
     predicate;
@@ -57,6 +59,7 @@ let default_config ?(predicate = Violation) ?(nemesis = false) ?(liveness = fals
     liveness;
     storage;
     max_decision_us;
+    tuning;
     mutate;
   }
 
@@ -131,8 +134,8 @@ let run ?(trace = false) config schedule =
   in
   let delivery_delay i = if gated.(i) then Some (fun () -> holds.(i)) else None in
   let sys =
-    System.create ~seed:config.system_seed ~params ~fd_config:config.fd ~trace_enabled:trace
-      ~delivery_delay config.technique
+    System.create ~seed:config.system_seed ~params ~fd_config:config.fd
+      ~tuning:config.tuning ~trace_enabled:trace ~delivery_delay config.technique
   in
   (* Oracle-mutation hook: deliberate protocol breakage installed before
      any load, so mutation tests exercise the whole run. *)
@@ -709,7 +712,7 @@ let minority_stall ?(cut = sec 2.) config =
   if n < 3 then invalid_arg "Explorer.minority_stall: needs at least 3 servers";
   let sys =
     System.create ~seed:config.system_seed ~params:config.params ~fd_config:config.fd
-      config.technique
+      ~tuning:config.tuning config.technique
   in
   (* Settle (leader election), cut S0 off, then offer work to both sides:
      uniform delivery needs a quorum, so the minority delegate must sit on
@@ -776,7 +779,7 @@ let leader_takeover ?(kills = 3) config =
   if n < 3 then invalid_arg "Explorer.leader_takeover: needs at least 3 servers";
   let sys =
     System.create ~seed:config.system_seed ~params:config.params ~fd_config:config.fd
-      config.technique
+      ~tuning:config.tuning config.technique
   in
   config.mutate sys;
   (* Settle: first election, first empty heartbeat rounds. *)
@@ -845,7 +848,7 @@ let torn_leader_tail ?(rounds = 3) config =
   if n < 3 then invalid_arg "Explorer.torn_leader_tail: needs at least 3 servers";
   let sys =
     System.create ~seed:config.system_seed ~params:config.params ~fd_config:config.fd
-      config.technique
+      ~tuning:config.tuning config.technique
   in
   config.mutate sys;
   System.run_for sys (sec 1.);
@@ -906,7 +909,7 @@ let fsync_lie_group_crash ?(txs = 2) config =
   let n = config.params.Workload.Params.servers in
   let sys =
     System.create ~seed:config.system_seed ~params:config.params ~fd_config:config.fd
-      config.technique
+      ~tuning:config.tuning config.technique
   in
   config.mutate sys;
   System.run_for sys (sec 1.);

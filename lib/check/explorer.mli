@@ -72,6 +72,11 @@ type config = {
       (** liveness mode: bound every decided transaction's
           submission-to-decision latency; decisions beyond it fail the
           verdict as decided-but-late ({!Liveness.verdict.late}). *)
+  tuning : Gcs.Bcast_tuning.t;
+      (** broadcast-engine tuning (batching, pipelining window,
+          dissemination backend) for the Dsm techniques' ordering layer —
+          the same storms certify the batched, pipelined and ring
+          configurations. Default: the seed engine. *)
   mutate : Groupsafe.System.t -> unit;
       (** oracle-mutation hook, applied to every freshly built system
           before any load (default: nothing). Used to re-break fixed
@@ -86,6 +91,7 @@ val default_config :
   ?liveness:bool ->
   ?storage:bool ->
   ?max_decision_us:int ->
+  ?tuning:Gcs.Bcast_tuning.t ->
   ?mutate:(Groupsafe.System.t -> unit) ->
   Groupsafe.System.technique ->
   config

@@ -510,7 +510,7 @@ let submit t tx ~on_response =
 (* ---- Construction ---- *)
 
 let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) ?uniform
-    ?delivery_delay ?registry ?tracer ~trace () =
+    ?tuning ?delivery_delay ?registry ?tracer ~trace () =
   ignore params;
   let delay_gate =
     match delivery_delay with
@@ -558,7 +558,7 @@ let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) 
   (match broadcast_family mode with
    | `Classical ->
      let ab =
-       Abcast.create endpoint ~group ?fd_config ?uniform ~delivery_delay:delay_gate
+       Abcast.create endpoint ~group ?fd_config ?uniform ?tuning ~delivery_delay:delay_gate
          ~metrics:registry
          ~deliver:(fun cws -> deliver t cws None)
          ~get_snapshot:(get_snapshot t) ~install_snapshot:(install_snapshot t)
@@ -575,7 +575,7 @@ let create server ~group ~mode ~params ?fd_config ?(apply_write_factor = 0.625) 
            Sim.Rng.uniform_span server.Server.rng
              (Db.Db_engine.config server.Server.db).Db.Db_engine.io_time_min
              (Db.Db_engine.config server.Server.db).Db.Db_engine.io_time_max)
-         ?fd_config ~delivery_delay:delay_gate ~metrics:registry
+         ?fd_config ?tuning ~delivery_delay:delay_gate ~metrics:registry
          ~deliver:(fun token cws -> deliver t cws (Some token))
          ()
      in

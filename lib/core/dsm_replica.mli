@@ -41,6 +41,7 @@ val create :
   ?fd_config:Gcs.Failure_detector.config ->
   ?apply_write_factor:float ->
   ?uniform:bool ->
+  ?tuning:Gcs.Bcast_tuning.t ->
   ?delivery_delay:(unit -> Sim.Sim_time.span) ->
   ?registry:Obs.Registry.t ->
   ?tracer:Obs.Tracer.t ->

@@ -26,6 +26,10 @@ type t = {
   c_ack_after_disk : Obs.Registry.counter;
   c_propagations : Obs.Registry.counter;
   c_remote_applies : Obs.Registry.counter;
+  o_tracer : Obs.Tracer.t;
+  h_execute : Obs.Histogram.t;  (* submit -> 2PL execution done *)
+  h_flush : Obs.Histogram.t;  (* local commit -> decision record durable *)
+  h_apply : Obs.Histogram.t;  (* origin commit -> remote apply (propagation lag) *)
 }
 
 let tr t kind attrs = Sim.Trace.record t.trace ~source:(Server.label t.server) ~kind attrs
@@ -40,6 +44,19 @@ let respond t tx outcome ~on_response =
   on_response outcome
 
 let now t = Sim.Engine.now (Db.Db_engine.engine t.server.Server.db)
+
+(* Record one lifecycle phase [from_, until) into its histogram and, when
+   tracing, as a complete span on this server's track — the same shape
+   Dsm_replica gives its phases, so lazy and group-safe Chrome traces line
+   up side by side. *)
+let observe_phase t h ~name ~tx ~from_ ~until =
+  let dur = Sim.Sim_time.diff until from_ in
+  Obs.Histogram.add h (Sim.Sim_time.span_to_us dur);
+  Obs.Tracer.complete t.o_tracer ~name
+    ~cat:(Safety.to_string (mode_level t.mode))
+    ~tid:t.server.Server.index ~ts:from_ ~dur
+    ~args:[ ("tx", string_of_int tx) ]
+    ()
 
 let propagate t ws ~started_at =
   Obs.Registry.inc t.c_propagations;
@@ -66,6 +83,8 @@ let apply_remote t ws ~started_at ~committed_at =
       t.cross_site_conflicts <- t.cross_site_conflicts + 1;
       tr t "cross_site_conflict" [ ("tx", string_of_int tx) ]
     end;
+    (* Propagation lag: how long the remote commit stayed invisible here. *)
+    observe_phase t t.h_apply ~name:"apply" ~tx ~from_:committed_at ~until:(now t);
     Db.Db_engine.install_writes db writes;
     Db.Testable_tx.record t.view tx Db.Testable_tx.Committed;
     Db.Testable_tx.record (Db.Db_engine.testable db) tx Db.Testable_tx.Committed;
@@ -107,6 +126,7 @@ let execute_ops t tx ~k =
 let finish_commit t tx ~started_at ~on_response =
   let db = t.server.Server.db in
   let id = tx.Db.Transaction.id in
+  let commit_at = now t in
   let ws = Db.Transaction.to_writeset tx in
   let writes = ws.Db.Transaction.write_values in
   let count = List.length writes in
@@ -121,7 +141,10 @@ let finish_commit t tx ~started_at ~on_response =
     Obs.Registry.inc t.c_ack_before_disk;
     respond t id Db.Testable_tx.Committed ~on_response;
     Db.Db_engine.log_commit db ~tx:id ~decision:Db.Certifier.Commit ~writes
-      ~k:(guard t (fun () -> tr t "logged" [ ("tx", string_of_int id) ]));
+      ~k:
+        (guard t (fun () ->
+             observe_phase t t.h_flush ~name:"flush" ~tx:id ~from_:commit_at ~until:(now t);
+             tr t "logged" [ ("tx", string_of_int id) ]));
     Db.Db_engine.write_io db ~count ~factor:(Db.Db_engine.async_factor db) ~k:(fun () -> ());
     release ();
     if writes <> [] then propagate t ws ~started_at
@@ -139,6 +162,7 @@ let finish_commit t tx ~started_at ~on_response =
     Db.Db_engine.log_commit db ~tx:id ~decision:Db.Certifier.Commit ~writes
       ~k:
         (guard t (fun () ->
+             observe_phase t t.h_flush ~name:"flush" ~tx:id ~from_:commit_at ~until:(now t);
              tr t "logged" [ ("tx", string_of_int id) ];
              flushed := true;
              maybe_finish ()));
@@ -162,6 +186,7 @@ let submit t tx ~on_response =
     tr t "submit" [ ("tx", string_of_int id) ];
     let started_at = now t in
     execute_ops t tx ~k:(fun result ->
+        observe_phase t t.h_execute ~name:"execute" ~tx:id ~from_:started_at ~until:(now t);
         match result with
         | `Deadlock ->
           t.deadlock_aborts <- t.deadlock_aborts + 1;
@@ -185,9 +210,12 @@ let recover t =
   tr t "recovered_local" [];
   t.ready <- true
 
-let create server ~group ~mode ~params ?registry ~trace () =
+let create server ~group ~mode ~params ?registry ?tracer ~trace () =
   ignore params;
   let registry = match registry with Some r -> r | None -> Obs.Registry.create () in
+  let o_tracer =
+    match tracer with Some tr -> tr | None -> Obs.Tracer.create ~enabled:false ()
+  in
   let self = Net.Endpoint.id server.Server.endpoint in
   let others = List.filter (fun n -> not (Net.Node_id.equal n self)) group in
   let t =
@@ -206,6 +234,10 @@ let create server ~group ~mode ~params ?registry ~trace () =
       c_ack_after_disk = Obs.Registry.counter registry "txn.ack_after_disk";
       c_propagations = Obs.Registry.counter registry "lazy.propagations";
       c_remote_applies = Obs.Registry.counter registry "lazy.remote_applies";
+      o_tracer;
+      h_execute = Obs.Registry.histogram registry "phase.execute_us";
+      h_flush = Obs.Registry.histogram registry "phase.flush_us";
+      h_apply = Obs.Registry.histogram registry "lazy.propagation_us";
     }
   in
   Net.Endpoint.add_handler server.Server.endpoint (fun message ->

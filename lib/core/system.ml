@@ -197,8 +197,8 @@ let attach_frontends t =
     t.servers
 
 let create ?(seed = 1L) ?(params = Workload.Params.table4) ?fd_config ?apply_write_factor
-    ?uniform ?(trace_enabled = true) ?(obs_trace = false) ?(delivery_delay = fun _ -> None)
-    technique =
+    ?uniform ?tuning ?(trace_enabled = true) ?(obs_trace = false)
+    ?(delivery_delay = fun _ -> None) technique =
   let engine = Sim.Engine.create ~seed () in
   let net_config =
     {
@@ -228,11 +228,16 @@ let create ?(seed = 1L) ?(params = Workload.Params.table4) ?fd_config ?apply_wri
         | Dsm mode ->
           Dsm_r
             (Dsm_replica.create server ~group ~mode ~params ?fd_config ?apply_write_factor
-               ?uniform ?delivery_delay:(delivery_delay index) ~registry:obs_registry
+               ?uniform ?tuning ?delivery_delay:(delivery_delay index) ~registry:obs_registry
                ~tracer:obs_tracer ~trace ())
         | Lazy mode ->
-          Lazy_r (Lazy_replica.create server ~group ~mode ~params ~registry:obs_registry ~trace ())
-        | Two_pc -> Tpc_r (Twopc_replica.create server ~group ~params ~registry:obs_registry ~trace ()))
+          Lazy_r
+            (Lazy_replica.create server ~group ~mode ~params ~registry:obs_registry
+               ~tracer:obs_tracer ~trace ())
+        | Two_pc ->
+          Tpc_r
+            (Twopc_replica.create server ~group ~params ~registry:obs_registry
+               ~tracer:obs_tracer ~trace ()))
       servers
   in
   let t = {

@@ -33,6 +33,7 @@ val create :
   ?fd_config:Gcs.Failure_detector.config ->
   ?apply_write_factor:float ->
   ?uniform:bool ->
+  ?tuning:Gcs.Bcast_tuning.t ->
   ?trace_enabled:bool ->
   ?obs_trace:bool ->
   ?delivery_delay:(int -> (unit -> Sim.Sim_time.span) option) ->
@@ -45,11 +46,14 @@ val create :
     tracer: every transaction and per-phase span is then captured for
     Chrome-trace export (see {!obs_tracer}). [uniform] (default [true])
     keeps uniform delivery in the ordering protocol; [false] is the
-    DESIGN.md ablation. [delivery_delay], given a server index, may return
+    DESIGN.md ablation. [tuning] selects the broadcast-engine tuning
+    (batching, pipelining window, dissemination backend — see
+    {!Gcs.Bcast_tuning}) for the DSM techniques' ordering layer; default
+    is the seed engine. [delivery_delay], given a server index, may return
     a deterministic extra-delay thunk installed as that server's broadcast
-    delivery gate (see {!Gcs.Delivery_delay}); it only affects the DSM
-    techniques — lazy propagation and 2PC have no ordering layer to
-    gate. *)
+    delivery gate (see {!Gcs.Delivery_delay}); like [tuning], it only
+    affects the DSM techniques — lazy propagation and 2PC have no ordering
+    layer to gate. *)
 
 val partition : t -> int list list -> unit
 (** Install a network partition between server groups (by index); servers

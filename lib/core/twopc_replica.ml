@@ -21,6 +21,8 @@ type coord_state = {
   mutable c_votes : Net.Node_id.Set.t;
   mutable c_decided : bool;
   c_respond : Db.Testable_tx.outcome -> unit;
+  c_started : Sim.Sim_time.t;  (* 2PC began (prepare-record force starts) *)
+  mutable c_voting_from : Sim.Sim_time.t;  (* prepare durable, votes solicited *)
 }
 
 type t = {
@@ -41,12 +43,30 @@ type t = {
   c_prepares_sent : Obs.Registry.counter;
   c_votes : Obs.Registry.counter;
   c_ack_after_disk : Obs.Registry.counter;
+  o_tracer : Obs.Tracer.t;
+  h_prepare_force : Obs.Histogram.t;  (* coordinator: 2PC start -> prepare durable *)
+  h_vote_gather : Obs.Histogram.t;  (* coordinator: votes solicited -> decision *)
+  h_decision_flush : Obs.Histogram.t;  (* coordinator: decision -> commit record durable *)
+  h_participant_prepare : Obs.Histogram.t;  (* participant: prepare in -> vote out *)
 }
 
 let tr t kind attrs = Sim.Trace.record t.trace ~source:(Server.label t.server) ~kind attrs
 let guard t k = Sim.Process.guard t.server.Server.process k
 let db t = t.server.Server.db
 let locks t = Db.Db_engine.locks (db t)
+let now t = Sim.Engine.now (Db.Db_engine.engine (db t))
+
+(* Record one 2PC phase [from_, until) into its histogram and, when tracing,
+   as a complete span on this server's track — same shape as Dsm_replica's
+   phases, so 2PC and broadcast-based Chrome traces compare side by side. *)
+let observe_phase t h ~name ~tx ~from_ ~until =
+  let dur = Sim.Sim_time.diff until from_ in
+  Obs.Histogram.add h (Sim.Sim_time.span_to_us dur);
+  Obs.Tracer.complete t.o_tracer ~name
+    ~cat:(Safety.to_string Safety.Two_safe)
+    ~tid:t.server.Server.index ~ts:from_ ~dur
+    ~args:[ ("tx", string_of_int tx) ]
+    ()
 
 let outcome_string = function
   | Db.Testable_tx.Committed -> "committed"
@@ -73,6 +93,9 @@ let coordinator_decide t tx_id commit =
       c.c_decided <- true;
       Hashtbl.remove t.coordinating tx_id;
       Hashtbl.remove t.prepared tx_id;
+      let decided_at = now t in
+      observe_phase t t.h_vote_gather ~name:"votes" ~tx:tx_id ~from_:c.c_voting_from
+        ~until:decided_at;
       let release () = Db.Lock_table.release_all (locks t) ~tx:tx_id in
       if commit then begin
         Db.Db_engine.install_writes (db t) c.c_writes;
@@ -87,6 +110,8 @@ let coordinator_decide t tx_id commit =
         Db.Db_engine.log_commit (db t) ~tx:tx_id ~decision:Db.Certifier.Commit ~writes:c.c_writes
           ~k:
             (guard t (fun () ->
+                 observe_phase t t.h_decision_flush ~name:"decision_flush" ~tx:tx_id
+                   ~from_:decided_at ~until:(now t);
                  tr t "respond" [ ("tx", string_of_int tx_id); ("outcome", "committed") ];
                  Obs.Registry.inc t.c_ack_after_disk;
                  c.c_respond Db.Testable_tx.Committed;
@@ -109,13 +134,26 @@ let coordinator_decide t tx_id commit =
 let start_two_phase_commit t tx ~on_response =
   let tx_id = tx.Db.Transaction.id in
   let writes = Db.Transaction.writes tx in
-  let c = { c_writes = writes; c_votes = Net.Node_id.Set.empty; c_decided = false; c_respond = on_response } in
+  let started_at = now t in
+  let c =
+    {
+      c_writes = writes;
+      c_votes = Net.Node_id.Set.empty;
+      c_decided = false;
+      c_respond = on_response;
+      c_started = started_at;
+      c_voting_from = started_at;
+    }
+  in
   Hashtbl.replace t.coordinating tx_id c;
   (* Force the coordinator's own prepare record, then solicit votes. *)
   let self = t.server.Server.index in
   Store.Stable_storage.append t.prepared_log { p_tx = tx_id; p_writes = writes; p_coord = self }
     ~on_durable:
       (guard t (fun () ->
+           observe_phase t t.h_prepare_force ~name:"prepare_force" ~tx:tx_id ~from_:c.c_started
+             ~until:(now t);
+           c.c_voting_from <- now t;
            Obs.Registry.inc t.c_prepares_sent;
            List.iter (fun p -> send t p (Tpc_prepare { tx_id; writes; coordinator = self })) t.others));
   ignore
@@ -161,6 +199,7 @@ let apply_decision t tx_id commit writes =
 
 let handle_prepare t tx_id writes coordinator =
   if serving t && not (Db.Testable_tx.already_processed t.view tx_id) then begin
+    let prepare_in = now t in
     let coord_node = node_of_index t coordinator in
     let items = List.map fst writes in
     let granted_all = ref false in
@@ -187,8 +226,11 @@ let handle_prepare t tx_id writes coordinator =
           Store.Stable_storage.append t.prepared_log record
             ~on_durable:
               (guard t (fun () ->
-                   if Hashtbl.mem t.prepared tx_id then
-                     send t coord_node (Tpc_vote { tx_id; yes = true })))
+                   if Hashtbl.mem t.prepared tx_id then begin
+                     observe_phase t t.h_participant_prepare ~name:"participant_prepare"
+                       ~tx:tx_id ~from_:prepare_in ~until:(now t);
+                     send t coord_node (Tpc_vote { tx_id; yes = true })
+                   end))
         end
       | item :: rest -> begin
           match
@@ -327,9 +369,12 @@ and arm_in_doubt_retry t =
       if Hashtbl.length t.prepared > 0 then resolve_in_doubt t)
 
 let create server ~group ~params ?(lock_timeout = Sim.Sim_time.span_ms 300.)
-    ?(vote_timeout = Sim.Sim_time.span_s 1.) ?registry ~trace () =
+    ?(vote_timeout = Sim.Sim_time.span_s 1.) ?registry ?tracer ~trace () =
   ignore params;
   let registry = match registry with Some r -> r | None -> Obs.Registry.create () in
+  let o_tracer =
+    match tracer with Some tr -> tr | None -> Obs.Tracer.create ~enabled:false ()
+  in
   let self = Net.Endpoint.id server.Server.endpoint in
   let group = List.sort Net.Node_id.compare group in
   let others = List.filter (fun n -> not (Net.Node_id.equal n self)) group in
@@ -363,6 +408,11 @@ let create server ~group ~params ?(lock_timeout = Sim.Sim_time.span_ms 300.)
       c_prepares_sent = Obs.Registry.counter registry "2pc.prepares_sent";
       c_votes = Obs.Registry.counter registry "2pc.votes";
       c_ack_after_disk = Obs.Registry.counter registry "txn.ack_after_disk";
+      o_tracer;
+      h_prepare_force = Obs.Registry.histogram registry "2pc.prepare_force_us";
+      h_vote_gather = Obs.Registry.histogram registry "2pc.vote_gather_us";
+      h_decision_flush = Obs.Registry.histogram registry "2pc.decision_flush_us";
+      h_participant_prepare = Obs.Registry.histogram registry "2pc.participant_prepare_us";
     }
   in
   Net.Endpoint.add_handler server.Server.endpoint (fun message ->

@@ -127,17 +127,21 @@ struct
       end
     end
 
-  let on_log_decide t ~slot:_ value =
-    match value with
-    | None -> ()
-    | Some entry ->
-      if Uid_tbl.mem t.unstable entry.LV.uid then begin
-        Uid_tbl.remove t.unstable entry.LV.uid;
-        (* One of our own broadcasts got ordered: the path is making
-           progress, so retransmission restarts from the base interval. *)
-        Option.iter Retransmit.progress t.retransmit
-      end;
-      Delivery_delay.gate t.delivery_delay (fun () -> deliver_entry t entry)
+  (* A batched slot carries several entries; they are released through the
+     delay gate one by one, in submission order, so the application and
+     every oracle observe the same per-message stream as the unbatched
+     engine. *)
+  let on_log_decide t ~slot:_ entries =
+    List.iter
+      (fun entry ->
+        if Uid_tbl.mem t.unstable entry.LV.uid then begin
+          Uid_tbl.remove t.unstable entry.LV.uid;
+          (* One of our own broadcasts got ordered: the path is making
+             progress, so retransmission restarts from the base interval. *)
+          Option.iter Retransmit.progress t.retransmit
+        end;
+        Delivery_delay.gate t.delivery_delay (fun () -> deliver_entry t entry))
+      entries
 
   let fresh_uid t =
     let uid =
@@ -271,14 +275,14 @@ struct
       true
     | _ -> false
 
-  let create ep ~group ?fd_config ?uniform ?(delivery_delay = Delivery_delay.pass) ?metrics
-      ~deliver ~get_snapshot ~install_snapshot ~cold_start () =
+  let create ep ~group ?fd_config ?uniform ?tuning ?(delivery_delay = Delivery_delay.pass)
+      ?metrics ~deliver ~get_snapshot ~install_snapshot ~cold_start () =
     let group = List.sort_uniq Net.Node_id.compare group in
     (* Metric handles are resolved once here; without a caller-supplied
        registry the increments land in a private throwaway one, keeping the
        hot path identical whether or not anyone is observing. *)
     let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
-    let log = Log.create ep ~group ~mode:Log.Volatile ?fd_config ?uniform ~metrics () in
+    let log = Log.create ep ~group ~mode:Log.Volatile ?fd_config ?uniform ?tuning ~metrics () in
     let self = Net.Endpoint.id ep in
     let others = List.filter (fun p -> not (Net.Node_id.equal p self)) group in
     let fd = Failure_detector.create ep ~peers:group ?config:fd_config () in

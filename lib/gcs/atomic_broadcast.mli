@@ -28,6 +28,7 @@ module Make
     group:Net.Node_id.t list ->
     ?fd_config:Failure_detector.config ->
     ?uniform:bool ->
+    ?tuning:Bcast_tuning.t ->
     ?delivery_delay:Delivery_delay.t ->
     ?metrics:Obs.Registry.t ->
     deliver:(V.t -> unit) ->
@@ -49,6 +50,11 @@ module Make
       [false] delivers optimistically before the entry is stable at a
       majority — the ablation that breaks uniform agreement (and with it
       group-safety).
+
+      [tuning] (default {!Bcast_tuning.default}) selects the ordering
+      engine's batching/pipelining/dissemination knobs. Batched instances
+      are unbatched at decide time, so [deliver] always sees the same
+      per-message stream in the same order.
 
       [delivery_delay] (default {!Delivery_delay.pass}) holds each ordered
       entry — application messages and view events alike, order preserved —

@@ -27,6 +27,10 @@ module Make (V : Replicated_log.VALUE) = struct
     (* Volatile; rebuilt during replay after each restart. *)
     seen_uids : unit Uid_tbl.t;
     unstable : LV.t Uid_tbl.t;
+    (* Deliveries made minus acks received, per slot: a batched slot is
+       acknowledged (and the durable cursor advanced past it) only once the
+       application acked every value it carried. Volatile. *)
+    outstanding : (int, int ref) Hashtbl.t;
     mutable next_seq : int;
     mutable delivered : int;
     delivery_delay : Delivery_delay.t;
@@ -53,25 +57,35 @@ module Make (V : Replicated_log.VALUE) = struct
     if (not duplicate) && slot >= Store.Durable_cell.read t.cursor then begin
       t.delivered <- t.delivered + 1;
       Obs.Registry.inc t.m_delivered;
+      (match Hashtbl.find_opt t.outstanding slot with
+       | Some r -> incr r
+       | None -> Hashtbl.replace t.outstanding slot (ref 1));
       t.deliver slot value
     end
 
-  let on_log_decide t ~slot value =
-    match value with
-    | None -> ()
-    | Some entry ->
-      if Uid_tbl.mem t.unstable entry.LV.uid then begin
-        Uid_tbl.remove t.unstable entry.LV.uid;
-        Option.iter Retransmit.progress t.retransmit
-      end;
-      Delivery_delay.gate t.delivery_delay (fun () -> deliver_decided t ~slot entry)
+  let on_log_decide t ~slot entries =
+    List.iter
+      (fun entry ->
+        if Uid_tbl.mem t.unstable entry.LV.uid then begin
+          Uid_tbl.remove t.unstable entry.LV.uid;
+          Option.iter Retransmit.progress t.retransmit
+        end;
+        Delivery_delay.gate t.delivery_delay (fun () -> deliver_decided t ~slot entry))
+      entries
 
   let ack t token =
-    let current = Store.Durable_cell.read t.cursor in
-    if token + 1 > current then begin
-      Obs.Registry.inc t.m_acks;
-      Store.Durable_cell.write_quiet t.cursor (token + 1)
-    end
+    match Hashtbl.find_opt t.outstanding token with
+    | None -> ()
+    | Some r ->
+      decr r;
+      if !r <= 0 then begin
+        Hashtbl.remove t.outstanding token;
+        let current = Store.Durable_cell.read t.cursor in
+        if token + 1 > current then begin
+          Obs.Registry.inc t.m_acks;
+          Store.Durable_cell.write_quiet t.cursor (token + 1)
+        end
+      end
 
   let broadcast t value =
     let uid =
@@ -89,11 +103,13 @@ module Make (V : Replicated_log.VALUE) = struct
 
   let arm_retransmit t = Option.iter Retransmit.arm t.retransmit
 
-  let create ep ~group ~disk ~write_time ?fd_config ?(delivery_delay = Delivery_delay.pass)
-      ?metrics ~deliver () =
+  let create ep ~group ~disk ~write_time ?fd_config ?tuning
+      ?(delivery_delay = Delivery_delay.pass) ?metrics ~deliver () =
     let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
     let log =
-      Log.create ep ~group ~mode:(Log.Durable { disk; write_time }) ?fd_config ~metrics ()
+      Log.create ep ~group
+        ~mode:(Log.Durable { disk; write_time })
+        ?fd_config ?tuning ~metrics ()
     in
     let engine = Net.Network.engine (Net.Endpoint.network ep) in
     let cursor =
@@ -109,6 +125,7 @@ module Make (V : Replicated_log.VALUE) = struct
         deliver;
         seen_uids = Uid_tbl.create 256;
         unstable = Uid_tbl.create 16;
+        outstanding = Hashtbl.create 16;
         next_seq = 0;
         delivered = 0;
         delivery_delay;
@@ -133,7 +150,8 @@ module Make (V : Replicated_log.VALUE) = struct
     Sim.Process.on_kill process (fun () ->
         Store.Durable_cell.crash cursor;
         Uid_tbl.reset t.seen_uids;
-        Uid_tbl.reset t.unstable);
+        Uid_tbl.reset t.unstable;
+        Hashtbl.reset t.outstanding);
     Sim.Process.on_restart process (fun () ->
         t.next_seq <- 0;
         arm_retransmit t);

@@ -30,6 +30,7 @@ module Make (V : Replicated_log.VALUE) : sig
     disk:Sim.Resource.t ->
     write_time:(unit -> Sim.Sim_time.span) ->
     ?fd_config:Failure_detector.config ->
+    ?tuning:Bcast_tuning.t ->
     ?delivery_delay:Delivery_delay.t ->
     ?metrics:Obs.Registry.t ->
     deliver:(token -> V.t -> unit) ->
@@ -55,9 +56,11 @@ module Make (V : Replicated_log.VALUE) : sig
   (** A-broadcast with internal retransmission until ordered. *)
 
   val ack : t -> token -> unit
-  (** [ack t token] marks the delivery successful. The cursor write is
-      asynchronous: a crash immediately after [ack] may still replay the
-      message once more. *)
+  (** [ack t token] marks the delivery successful. Several deliveries can
+      share a token when the ordering engine batched them into one slot;
+      the cursor only advances past a slot once every delivery it carried
+      was acked. The cursor write is asynchronous: a crash immediately
+      after [ack] may still replay the message once more. *)
 
   val delivered_count : t -> int
   (** Deliveries (including replays) made by this member so far. *)

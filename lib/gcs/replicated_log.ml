@@ -8,7 +8,13 @@ module type VALUE = sig
 end
 
 module Make (V : VALUE) = struct
-  type entry = Noop | App of V.t
+  (* [Batch] packs several application values into one consensus instance;
+     they are unbatched, in submission order, at delivery time, so the
+     layer above always observes a per-value stream. *)
+  type entry = Noop | App of V.t | Batch of V.t list
+
+  let entry_values = function Noop -> [] | App v -> [ v ] | Batch vs -> vs
+  let entry_of_batch = function [ v ] -> App v | vs -> Batch vs
 
   type mode =
     | Volatile
@@ -29,6 +35,16 @@ module Make (V : VALUE) = struct
     | Nack of { promised : Ballot.t }
     | Accept of { b : Ballot.t; slot : int; e : entry }
     | Accept_ok of { b : Ballot.t; slot : int }
+    | Ring_accept of {
+        b : Ballot.t;
+        slot : int;
+        e : entry;
+        acks : int list;
+            (* node indexes the circulation has visited; until it reaches a
+               quorum every element is a genuine acceptance, afterwards new
+               hops append themselves as visited-only markers. *)
+        commit : int;  (* sender's first unchosen slot: a decided watermark. *)
+      }
     | Chosen of { slot : int; e : entry }
     | Propose_req of { v : V.t; ttl : int }
     | Catchup_req of { from_slot : int }
@@ -76,13 +92,17 @@ module Make (V : VALUE) = struct
     mutable leadership : leadership;
     mutable max_round : int;
     pending : V.t Queue.t;
-    mutable deliver_hook : slot:int -> V.t option -> unit;
+    tuning : Bcast_tuning.t;
+    mutable batch_timer_armed : bool;  (* a partial-batch flush is scheduled *)
+    mutable deliver_hook : slot:int -> V.t list -> unit;
     mutable accept_rt : Retransmit.t option;  (* set right after [create]'s record *)
     mutable accept_retransmit_broken : bool;  (* oracle-mutation hook; see mli *)
     m_prepares : Obs.Registry.counter;
     m_accepts_sent : Obs.Registry.counter;
     m_accept_resends : Obs.Registry.counter;
     m_chosen : Obs.Registry.counter;
+    m_batch_size : Obs.Histogram.t;
+    m_window : Obs.Histogram.t;
   }
 
   let id m = m.self
@@ -97,8 +117,7 @@ module Make (V : VALUE) = struct
   let chosen_at m slot =
     match Hashtbl.find_opt m.chosen slot with
     | None -> None
-    | Some Noop -> Some None
-    | Some (App v) -> Some (Some v)
+    | Some e -> Some (entry_values e)
 
   let persist m record k =
     match m.storage with
@@ -139,7 +158,7 @@ module Make (V : VALUE) = struct
       | Some e ->
         let slot = m.next_deliver in
         m.next_deliver <- slot + 1;
-        (m.deliver_hook ~slot (match e with Noop -> None | App v -> Some v) : unit);
+        (m.deliver_hook ~slot (entry_values e) : unit);
         loop ()
     in
     loop ()
@@ -160,10 +179,45 @@ module Make (V : VALUE) = struct
 
   (* ---- Proposer ---- *)
 
-  let send_accept m (l : leading_state) slot e =
+  let member_of_index m i = List.find_opt (fun n -> Net.Node_id.index n = i) m.group
+
+  (* Next hop for a circulating [Ring_accept]: the trusted member closest
+     after us in index-cyclic order that the circulation has not visited.
+     [None] once every trusted member has been visited — the message then
+     returns to its coordinator. *)
+  let ring_next m ~visited =
+    let my = Net.Node_id.index m.self in
+    let n = List.length m.group in
+    let dist node = (Net.Node_id.index node - my + n) mod n in
+    List.fold_left
+      (fun best node ->
+        let i = Net.Node_id.index node in
+        if i = my || List.mem i visited || Failure_detector.suspects m.fd node then best
+        else
+          match best with
+          | Some b when dist b <= dist node -> best
+          | Some _ | None -> Some node)
+      None m.group
+
+  let pop_batch m =
+    let k = min (Queue.length m.pending) m.tuning.Bcast_tuning.batch in
+    let rec take n acc = if n = 0 then List.rev acc else take (n - 1) (Queue.pop m.pending :: acc) in
+    take k []
+
+  let window_room m (l : leading_state) =
+    Hashtbl.length l.l_inflight < m.tuning.Bcast_tuning.window
+
+  let ring_idle m (l : leading_state) =
+    Hashtbl.length l.l_inflight = 0 && Queue.is_empty m.pending
+
+  let rec send_accept m (l : leading_state) slot e =
     Obs.Registry.inc m.m_accepts_sent;
     Hashtbl.replace l.l_inflight slot (e, ref []);
-    broadcast m (Accept { b = l.l_ballot; slot; e });
+    Obs.Histogram.add m.m_batch_size (List.length (entry_values e));
+    Obs.Histogram.add m.m_window (Hashtbl.length l.l_inflight);
+    (match m.tuning.Bcast_tuning.dissemination with
+     | Bcast_tuning.Broadcast -> broadcast m (Accept { b = l.l_ballot; slot; e })
+     | Bcast_tuning.Ring -> ring_send m l.l_ballot slot e);
     (* Non-uniform delivery (ablation): the leader treats its own proposal
        as decided immediately, without waiting for a majority. Cheaper by
        a round trip, but an entry can be delivered (and acted upon) at a
@@ -171,14 +225,66 @@ module Make (V : VALUE) = struct
        rules out. *)
     if not m.uniform then add_chosen m slot e
 
+  (* Ring dissemination: the coordinator accepts its own proposal, then the
+     value travels the trusted ring, each hop persisting an acceptance and
+     stacking its index on [acks]; once [quorum] indexes are stacked every
+     later hop learns the slot as chosen, and the message finally returns
+     to the coordinator, which completes the instance. The coordinator pays
+     one send and one receive per instance instead of a full fan-out plus
+     [n] Accept_oks. *)
+  and ring_send m (b : Ballot.t) slot e =
+    match Paxos_core.receive_accept (slot_acceptor m slot) b e with
+    | Paxos_core.Accept_nack _ -> ()  (* outranked; peer Nacks will demote us *)
+    | Paxos_core.Accepted state ->
+      m.promised <- state.Paxos_core.promised;
+      (match state.Paxos_core.accepted with
+       | Some (ab, ae) -> record_accepted m slot (ab, ae)
+       | None -> ());
+      persist m (D_accepted (slot, b, e)) (fun () ->
+          let my = Net.Node_id.index m.self in
+          if m.quorum <= 1 then ring_returned m b slot
+          else ring_forward m b slot e [ my ])
+
+  and ring_forward m (b : Ballot.t) slot e visited =
+    let commit = m.first_unchosen in
+    match ring_next m ~visited with
+    | Some dst -> send m dst (Ring_accept { b; slot; e; acks = visited; commit })
+    | None -> begin
+        (* Ring exhausted away from the coordinator: hand the result back
+           directly (we are the last trusted hop). *)
+        match member_of_index m b.proposer with
+        | Some dst when not (Net.Node_id.equal dst m.self) ->
+          send m dst (Ring_accept { b; slot; e; acks = visited; commit })
+        | Some _ | None -> ()
+      end
+
+  (* A [Ring_accept] came home with a quorum of acceptances. *)
+  and ring_returned m (b : Ballot.t) slot =
+    match m.leadership with
+    | Leading l when Ballot.equal l.l_ballot b -> begin
+        match Hashtbl.find_opt l.l_inflight slot with
+        | None -> ()
+        | Some (e, _) ->
+          Hashtbl.remove l.l_inflight slot;
+          Option.iter Retransmit.progress m.accept_rt;
+          add_chosen m slot e;
+          if ring_idle m l then
+            (* No follow-on traffic will carry the commit watermark: close
+               the tail explicitly so followers do not wait a housekeeping
+               period to learn the last slots. *)
+            broadcast m (Chosen { slot; e })
+          else drain m l
+      end
+    | Leading _ | Preparing _ | Follower -> ()
+
   (* An [Accept] (or its [Accept_ok]) lost to the network would strand its
      slot forever: the leader keeps the entry in-flight, but only a {e new}
      leader's prepare round re-proposes unchosen slots, and a stable leader
      never runs one — every later slot then gets chosen above a hole nothing
      can deliver past. The retransmit driver re-broadcasts every in-flight
-     accept; acceptors treat a repeat of an already-promised ballot
-     idempotently and simply re-send their [Accept_ok]. *)
-  let resend_inflight m =
+     accept (re-initiates its circulation in ring mode); acceptors treat a
+     repeat of an already-promised ballot idempotently. *)
+  and resend_inflight m =
     if m.accept_retransmit_broken then ()
     else
     match m.leadership with
@@ -186,18 +292,55 @@ module Make (V : VALUE) = struct
       Analysis.Det_tbl.iter
         (fun slot (e, _) ->
           Obs.Registry.inc m.m_accept_resends;
-          broadcast m (Accept { b = l.l_ballot; slot; e }))
+          match m.tuning.Bcast_tuning.dissemination with
+          | Bcast_tuning.Broadcast -> broadcast m (Accept { b = l.l_ballot; slot; e })
+          | Bcast_tuning.Ring -> ring_send m l.l_ballot slot e)
         l.l_inflight
     | Preparing _ | Follower -> ()
 
-  let assign_and_send m (l : leading_state) e =
+  and assign_and_send m (l : leading_state) e =
     let slot = l.l_next_slot in
     l.l_next_slot <- slot + 1;
     send_accept m l slot e
 
-  let rec flush_pending m =
+  (* Deterministic flush rule: a full batch is sent the instant it exists
+     (window permitting); a partial batch is sent only by the batch-delay
+     timer. With the default tuning (batch = 1, unbounded window) every
+     submission forms a full batch and flushes synchronously — the seed
+     engine's event sequence, unchanged. *)
+  and drain m (l : leading_state) =
+    while Queue.length m.pending >= m.tuning.Bcast_tuning.batch && window_room m l do
+      assign_and_send m l (entry_of_batch (pop_batch m))
+    done;
+    arm_batch_timer m
+
+  and flush_partial m (l : leading_state) =
+    while (not (Queue.is_empty m.pending)) && window_room m l do
+      assign_and_send m l (entry_of_batch (pop_batch m))
+    done;
+    (* Leftovers mean the window is full: re-arm so they flush even if no
+       completion arrives to drain them (e.g. during a drop window). *)
+    arm_batch_timer m
+
+  and arm_batch_timer m =
+    if
+      (not m.batch_timer_armed)
+      && m.tuning.Bcast_tuning.batch > 1
+      && not (Queue.is_empty m.pending)
+    then begin
+      m.batch_timer_armed <- true;
+      ignore
+        (Sim.Process.after (Net.Endpoint.process m.ep) m.tuning.Bcast_tuning.batch_delay
+           (fun () ->
+             m.batch_timer_armed <- false;
+             match m.leadership with
+             | Leading l -> flush_partial m l
+             | Preparing _ | Follower -> ()))
+    end
+
+  and flush_pending m =
     match m.leadership with
-    | Leading l -> Queue.iter (fun v -> assign_and_send m l (App v)) m.pending; Queue.clear m.pending
+    | Leading l -> drain m l
     | Follower -> begin
         match leader_hint m with
         | Some l when not (Net.Node_id.equal l m.self) ->
@@ -234,7 +377,9 @@ module Make (V : VALUE) = struct
   let propose m v =
     if m.status = Active then begin
       match m.leadership with
-      | Leading l -> assign_and_send m l (App v)
+      | Leading l ->
+        Queue.push v m.pending;
+        drain m l
       | Preparing _ -> Queue.push v m.pending
       | Follower ->
         Queue.push v m.pending;
@@ -341,7 +486,9 @@ module Make (V : VALUE) = struct
               Hashtbl.remove l.l_inflight slot;
               Option.iter Retransmit.progress m.accept_rt;
               add_chosen m slot e;
-              broadcast m (Chosen { slot; e })
+              broadcast m (Chosen { slot; e });
+              (* A window slot just freed: flush queued batches. *)
+              drain m l
             end
           end
       end
@@ -364,10 +511,58 @@ module Make (V : VALUE) = struct
           election_check m))
     end
 
+  (* ---- Ring_accept handling ---- *)
+
+  (* Learn chosen slots from a circulating message's commit watermark: the
+     sender had decided everything below [commit], so any slot we hold
+     accepted {e at the same ballot} is safely chosen (one ballot proposes
+     one value per slot; a stale lower-ballot acceptance must not be
+     fast-pathed). Anything still missing is fetched by the housekeeping
+     catch-up once [max_chosen_seen] advances past [first_unchosen]. *)
+  let ring_note_commit m (b : Ballot.t) commit =
+    if commit - 1 > m.max_chosen_seen then m.max_chosen_seen <- commit - 1;
+    for slot = m.first_unchosen to commit - 1 do
+      if not (Hashtbl.mem m.chosen slot) then
+        match Hashtbl.find_opt m.accepted slot with
+        | Some (ab, ae) when Ballot.equal ab b -> add_chosen m slot ae
+        | Some _ | None -> ()
+    done
+
+  let handle_ring_accept m (b : Ballot.t) slot e acks commit =
+    note_ballot m b;
+    ring_note_commit m b commit;
+    let my = Net.Node_id.index m.self in
+    if b.proposer = my then ring_returned m b slot
+    else if List.length acks >= m.quorum then begin
+      (* Decided upstream: learn it, mark ourselves visited, keep the
+         circulation going so every trusted member learns it too. *)
+      add_chosen m slot e;
+      ring_forward m b slot e (my :: acks)
+    end
+    else begin
+      match Paxos_core.receive_accept (slot_acceptor m slot) b e with
+      | Paxos_core.Accept_nack promised -> begin
+          match member_of_index m b.proposer with
+          | Some dst when not (Net.Node_id.equal dst m.self) -> send m dst (Nack { promised })
+          | Some _ | None -> ()
+        end
+      | Paxos_core.Accepted state ->
+        m.promised <- state.Paxos_core.promised;
+        (match state.Paxos_core.accepted with
+         | Some (ab, ae) -> record_accepted m slot (ab, ae)
+         | None -> ());
+        persist m (D_accepted (slot, b, e)) (fun () ->
+            let acks = my :: acks in
+            if List.length acks >= m.quorum then add_chosen m slot e;
+            ring_forward m b slot e acks)
+    end
+
   let handle_propose_req m v ttl =
     if m.status = Active then begin
       match m.leadership with
-      | Leading l -> assign_and_send m l (App v)
+      | Leading l ->
+        Queue.push v m.pending;
+        drain m l
       | Preparing _ -> Queue.push v m.pending
       | Follower -> begin
           match leader_hint m with
@@ -446,6 +641,8 @@ module Make (V : VALUE) = struct
   let handle_kill m =
     (match m.storage with Some st -> Store.Stable_storage.crash st | None -> ());
     m.leadership <- Follower;
+    (* Timers scheduled on a killed process never fire. *)
+    m.batch_timer_armed <- false;
     match m.mode with Volatile -> wipe_volatile m | Durable _ -> ()
 
   (* ---- Wiring ---- *)
@@ -467,6 +664,9 @@ module Make (V : VALUE) = struct
       true
     | Accept_ok { b; slot } ->
       if m.status = Active then handle_accept_ok m src b slot;
+      true
+    | Ring_accept { b; slot; e; acks; commit } ->
+      if m.status = Active then handle_ring_accept m b slot e acks commit;
       true
     | Chosen { slot; e } ->
       if m.status = Active then handle_chosen m src slot e;
@@ -510,7 +710,10 @@ module Make (V : VALUE) = struct
           end
         end)
 
-  let create ep ~group ~mode ?fd_config ?(uniform = true) ?metrics () =
+  let create ep ~group ~mode ?fd_config ?(uniform = true) ?(tuning = Bcast_tuning.default)
+      ?metrics () =
+    if tuning.Bcast_tuning.batch < 1 || tuning.Bcast_tuning.window < 1 then
+      invalid_arg "Replicated_log.create: batch and window must be >= 1";
     let metrics = match metrics with Some m -> m | None -> Obs.Registry.create () in
     let self = Net.Endpoint.id ep in
     let group = List.sort_uniq Net.Node_id.compare group in
@@ -551,6 +754,8 @@ module Make (V : VALUE) = struct
         leadership = Follower;
         max_round = 0;
         pending = Queue.create ();
+        tuning;
+        batch_timer_armed = false;
         deliver_hook = (fun ~slot:_ _ -> ());
         accept_rt = None;
         accept_retransmit_broken = false;
@@ -558,6 +763,8 @@ module Make (V : VALUE) = struct
         m_accepts_sent = Obs.Registry.counter metrics "log.accepts_sent";
         m_accept_resends = Obs.Registry.counter metrics "log.accept_resends";
         m_chosen = Obs.Registry.counter metrics "log.chosen";
+        m_batch_size = Obs.Registry.histogram metrics "abcast.batch_size";
+        m_window = Obs.Registry.histogram metrics "abcast.window_occupancy";
       }
     in
     Net.Endpoint.add_handler ep (handle_message m);

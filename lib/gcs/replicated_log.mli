@@ -29,7 +29,11 @@ module type VALUE = sig
 end
 
 module Make (V : VALUE) : sig
-  type entry = Noop | App of V.t
+  type entry = Noop | App of V.t | Batch of V.t list
+      (** [Batch] packs several values into one consensus instance
+          ({!Bcast_tuning.batch} > 1); delivery unbatches them in
+          submission order, so the layer above always sees a per-value
+          stream. *)
 
   type mode =
     | Volatile
@@ -52,6 +56,7 @@ module Make (V : VALUE) : sig
     mode:mode ->
     ?fd_config:Failure_detector.config ->
     ?uniform:bool ->
+    ?tuning:Bcast_tuning.t ->
     ?metrics:Obs.Registry.t ->
     unit ->
     t
@@ -66,21 +71,29 @@ module Make (V : VALUE) : sig
       accepted locally, saving a round trip but allowing a delivery at a
       process that fails before anyone else learns the entry.
 
+      [tuning] (default {!Bcast_tuning.default}, which reproduces the seed
+      engine event for event) sets batching, pipelining-window and
+      dissemination knobs; raises [Invalid_argument] if batch or window is
+      below 1. All members of a group must share the same tuning.
+
       [metrics] receives the protocol counters [log.prepares],
-      [log.accepts_sent], [log.accept_resends] and [log.chosen]; omitted,
-      they accumulate in a private registry so the hot path is identical
-      either way. *)
+      [log.accepts_sent], [log.accept_resends] and [log.chosen], plus the
+      engine histograms [abcast.batch_size] and [abcast.window_occupancy];
+      omitted, they accumulate in a private registry so the hot path is
+      identical either way. *)
 
   val id : t -> Net.Node_id.t
   val status : t -> status
   val mode_is_durable : t -> bool
 
-  val on_decide : t -> (slot:int -> V.t option -> unit) -> unit
-  (** [on_decide m f] registers the delivery upcall: [f ~slot v] fires for
-      every decided slot in increasing order ([None] for protocol no-ops).
-      In durable mode, after a restart the upcall {e re-fires from slot 0}
-      as entries are re-learned — replay is the layer above's concern.
-      In volatile mode it fires from the {!resume} slot onwards. *)
+  val on_decide : t -> (slot:int -> V.t list -> unit) -> unit
+  (** [on_decide m f] registers the delivery upcall: [f ~slot vs] fires for
+      every decided slot in increasing order, with [vs] the slot's values
+      in submission order ([[]] for protocol no-ops, more than one element
+      when the leader batched). In durable mode, after a restart the upcall
+      {e re-fires from slot 0} as entries are re-learned — replay is the
+      layer above's concern. In volatile mode it fires from the {!resume}
+      slot onwards. *)
 
   val propose : t -> V.t -> unit
   (** [propose m v] submits [v] for ordering. The log may order a value
@@ -97,9 +110,9 @@ module Make (V : VALUE) : sig
   val decided_prefix : t -> int
   (** Number of contiguously decided slots this member has delivered. *)
 
-  val chosen_at : t -> int -> V.t option option
-  (** [chosen_at m s] is [Some e] when this member knows slot [s] decided
-      ([e = None] for a no-op), [None] otherwise. *)
+  val chosen_at : t -> int -> V.t list option
+  (** [chosen_at m s] is [Some vs] when this member knows slot [s] decided
+      ([vs = []] for a no-op), [None] otherwise. *)
 
   val leader_hint : t -> Net.Node_id.t option
   (** Whom this member currently believes to be leader. *)

@@ -35,15 +35,17 @@ val run_load_point :
   ?warmup_s:float ->
   ?measure_s:float ->
   ?apply_write_factor:float ->
+  ?tuning:Gcs.Bcast_tuning.t ->
   ?obs_trace:bool ->
   Groupsafe.System.technique ->
   load_tps:float ->
   load_point
 (** One simulated run: open Poisson arrivals at [load_tps] over the
     Table 4 system, [warmup_s] (default 5) discarded, [measure_s]
-    (default 60) measured. Resource samplers are always attached;
-    [obs_trace] (default [false]) additionally records tracer spans into
-    [trace_events]. *)
+    (default 60) measured. [tuning] selects the broadcast-engine tuning
+    (batching, window, dissemination backend) for the Dsm techniques.
+    Resource samplers are always attached; [obs_trace] (default [false])
+    additionally records tracer spans into [trace_events]. *)
 
 val default_loads : float list
 (** The paper's X axis: 20..40 tps in steps of 2. *)
@@ -52,6 +54,7 @@ val fig9 :
   ?seed:int64 ->
   ?loads:float list ->
   ?measure_s:float ->
+  ?tuning:Gcs.Bcast_tuning.t ->
   ?replications:int ->
   ?csv_path:string ->
   ?trace_out:string ->
@@ -68,6 +71,33 @@ val fig9 :
     records each technique's first-load replication-0 cell and writes a
     Chrome trace-event file. Both are byte-identical at any [--jobs]
     count. *)
+
+val log_ceiling : ?n:int -> ?burst:int -> Gcs.Bcast_tuning.t -> float
+(** The ordering layer's raw throughput ceiling for one engine tuning: an
+    [n]-member (default 9) bare volatile replicated-log cluster on the LAN
+    network model is saturated with a [burst] (default 400) of values
+    proposed at the leader in one instant; the result is decided values
+    per simulated second from the burst to the last decision at the
+    leader, or [0.] if the burst never fully decided. Deterministic —
+    fixed internal seed. *)
+
+val default_ceiling_loads : float list
+(** The extended Fig. 9 load axis: 40..2240 tps, far past the ~38 tps
+    crossover of the paper's hardware. *)
+
+val broadcast_ceiling : ?seed:int64 -> ?loads:float list -> ?measure_s:float -> unit -> unit
+(** The broadcast-engine ceiling study (docs/PERFORMANCE.md): first
+    {!log_ceiling} for the seed, batched, ring and ring+batched engines
+    (the engine-level speedups); then the full system on Table 4 with
+    storage 10x faster than the paper's 2004 disks (so the ordering layer,
+    not the ordered-apply pipeline, is the binding resource) swept over
+    [loads] (default {!default_ceiling_loads}) for group-safe on the seed,
+    batched and ring+batched engines and 2-safe on the seed and batched
+    engines, reporting each backend's saturation point (highest load still
+    serving >= 95% of the offered rate) and where the seed group-safe
+    stack's latency advantage over batched 2-safe collapses. Cells fan out
+    over the pool with seeds fixed up front; byte-identical at any
+    [--jobs] count. *)
 
 val run_closed_point :
   ?seed:int64 ->

@@ -316,6 +316,28 @@ let test_nemesis_explore_deterministic () =
     Alcotest.(check string) "full traces byte-identical" a.E.outcome.E.trace b.E.outcome.E.trace
   | _ -> Alcotest.fail "explorations disagreed on finding a counterexample"
 
+let test_nemesis_tuned_engines () =
+  (* Batched and ring engines must survive the same storms the seed engine
+     certifies against: a window of in-flight Accepts crosses the
+     retransmit path, and ring dissemination adds a forwarding hop the
+     nemesis can cut mid-circulation. Small budget — the 500-storm runs
+     live in the experiment harness certifications. *)
+  List.iter
+    (fun tuning ->
+      let r =
+        E.explore ~seed:42L ~budget:60 ~max_exhaustive_events:0 ~max_random_events:3
+          (E.default_config ~predicate:E.Any_loss ~nemesis:true ~tuning
+             (System.Dsm Dsm_replica.Two_safe_mode))
+      in
+      check_int
+        (Printf.sprintf "full budget explored (%s)" (Gcs.Bcast_tuning.to_string tuning))
+        60 r.E.runs;
+      check_bool
+        (Printf.sprintf "storms loss-free on %s" (Gcs.Bcast_tuning.to_string tuning))
+        true
+        (Option.is_none r.E.counterexample))
+    [ Gcs.Bcast_tuning.batched (); Gcs.Bcast_tuning.ring () ]
+
 let test_minority_stall_verdict () =
   let cfg =
     E.default_config ~predicate:E.Any_loss ~nemesis:true (System.Dsm Dsm_replica.Group_safe_mode)
@@ -498,6 +520,8 @@ let () =
           Alcotest.test_case "e2e broadcast survives 500 storms" `Slow test_nemesis_certify_e2e;
           Alcotest.test_case "eager 2PC survives 500 storms" `Slow test_nemesis_certify_twopc;
           Alcotest.test_case "deterministic per seed" `Quick test_nemesis_explore_deterministic;
+          Alcotest.test_case "batched and ring engines loss-free" `Quick
+            test_nemesis_tuned_engines;
           Alcotest.test_case "minority partition stalls then converges" `Quick
             test_minority_stall_verdict;
           Alcotest.test_case "stuck accept repaired" `Quick test_stuck_accept_repaired;

@@ -192,7 +192,7 @@ let test_fd_change_hook () =
 
 module Log = Replicated_log.Make (V)
 
-let make_log_cluster ?(durable = false) n =
+let make_log_cluster ?(durable = false) ?tuning n =
   let c = make_cluster n in
   let decided = Array.init n (fun _ -> ref []) in
   let members =
@@ -202,9 +202,9 @@ let make_log_cluster ?(durable = false) n =
             Log.Durable { disk = c.disks.(i); write_time = (fun () -> ms 8.) }
           else Log.Volatile
         in
-        let m = Log.create c.endpoints.(i) ~group:(group c) ~mode () in
-        Log.on_decide m (fun ~slot:_ v ->
-            match v with Some x -> decided.(i) := x :: !(decided.(i)) | None -> ());
+        let m = Log.create c.endpoints.(i) ~group:(group c) ~mode ?tuning () in
+        Log.on_decide m (fun ~slot:_ vs ->
+            List.iter (fun x -> decided.(i) := x :: !(decided.(i))) vs);
         m)
   in
   (c, members, decided)
@@ -301,6 +301,116 @@ let prop_log_agreement_under_minority_crashes =
         | x :: xs, y :: ys -> x = y && is_prefix xs ys
       in
       is_prefix l0 l1 || is_prefix l1 l0)
+
+(* ---- Broadcast-engine tuning: batching, pipelining, ring ---- *)
+
+(* One submission schedule, run through a tuned cluster: all values
+   proposed at node 0 (the stable leader), [spacing_tenths]/10 ms apart,
+   so the leader's arrival order is the schedule order whatever the
+   engine does with message counts. Returns each member's delivered
+   stream. *)
+let run_log_schedule ?tuning ~spacing_tenths values =
+  let c, members, decided = make_log_cluster ?tuning 3 in
+  run_for c.engine (ms 200.);
+  List.iteri
+    (fun i v ->
+      ignore
+        (Sim.Engine.schedule c.engine
+           ~delay:(ms (float_of_int (i * spacing_tenths) /. 10.))
+           (fun () -> Log.propose members.(0) v)))
+    values;
+  run_for c.engine (sec 5.);
+  Array.to_list (Array.map (fun d -> List.rev !d) decided)
+
+let prop_log_tuning_stream_equivalence =
+  (* For any submission sequence and any (batch, window, dissemination),
+     every member's delivered stream is identical to the seed
+     one-value-per-instance engine's: batching and ring circulation are
+     pure transport optimisations, invisible above the log. *)
+  let gen =
+    QCheck2.Gen.(
+      tup5
+        (list_size (int_range 1 40) (int_range 0 10_000))
+        (int_range 1 30) (* spacing, tenths of a ms *)
+        (int_range 1 8) (* batch *)
+        (int_range 1 8) (* window *)
+        bool (* ring dissemination *))
+  in
+  QCheck2.Test.make ~name:"tuned engine delivers the seed engine's stream" ~count:25 gen
+    (fun (values, spacing_tenths, batch, window, ring) ->
+      let baseline = run_log_schedule ~spacing_tenths values in
+      let tuning =
+        {
+          (if ring then Bcast_tuning.ring ~batch ~window ()
+           else Bcast_tuning.batched ~batch ~window ())
+          with
+          batch_delay = ms 1.;
+        }
+      in
+      let tuned = run_log_schedule ~tuning ~spacing_tenths values in
+      List.for_all (fun stream -> stream = values) baseline
+      && List.for_all (fun stream -> stream = values) tuned)
+
+let test_ring_orders_and_agrees () =
+  let c, members, decided = make_log_cluster ~tuning:(Bcast_tuning.ring ()) 5 in
+  run_for c.engine (ms 200.);
+  Log.propose members.(0) 10;
+  Log.propose members.(2) 20;
+  Log.propose members.(4) 30;
+  run_for c.engine (sec 2.);
+  let l0 = decided_list decided 0 in
+  check_int "all three decided" 3 (List.length l0);
+  for i = 1 to 4 do
+    Alcotest.(check (list int)) "same order everywhere" l0 (decided_list decided i)
+  done
+
+let test_ring_survives_leader_crash () =
+  let c, members, decided = make_log_cluster ~tuning:(Bcast_tuning.ring ~batch:4 ()) 3 in
+  run_for c.engine (ms 100.);
+  Log.propose members.(1) 1;
+  run_for c.engine (sec 1.);
+  check_bool "node 0 leads" true (Log.is_leading members.(0));
+  Sim.Process.kill c.processes.(0);
+  run_for c.engine (sec 1.) (* failover *);
+  Log.propose members.(1) 2;
+  Log.propose members.(2) 3;
+  run_for c.engine (sec 2.);
+  let l1 = decided_list decided 1 and l2 = decided_list decided 2 in
+  Alcotest.(check (list int)) "survivors agree" l1 l2;
+  check_bool "new values decided" true (List.mem 2 l1 && List.mem 3 l1);
+  check_bool "pre-crash value kept" true (List.mem 1 l1)
+
+let test_log_batched_inflight_retransmit () =
+  (* The PR 2 wedge, batched: a window of in-flight batched Accepts is
+     dropped while the leader stays leader (outage shorter than the
+     detector timeout). Only the leader's periodic retransmission can
+     unwedge those slots — and batching must queue the remaining batches
+     behind the stalled window, then flush them once it drains. *)
+  let tuning = Bcast_tuning.batched ~batch:4 ~window:2 () in
+  let run broken =
+    let c, members, decided = make_log_cluster ~tuning 3 in
+    if broken then Array.iter Log.break_no_accept_retransmit members;
+    run_for c.engine (ms 200.);
+    Net.Network.partition c.network [ [ c.ids.(0) ]; [ c.ids.(1); c.ids.(2) ] ];
+    (* 16 submissions while cut off: two full batches enter the window
+       and are lost; the other two wait behind them. *)
+    for v = 1 to 16 do
+      Log.propose members.(0) v
+    done;
+    run_for c.engine (ms 30.) (* heal before anyone suspects anyone *);
+    Net.Network.heal c.network;
+    run_for c.engine (sec 3.);
+    (decided_list decided 1, Log.is_leading members.(0))
+  in
+  let delivered, still_leading = run false in
+  check_bool "leader kept its lease" true still_leading;
+  Alcotest.(check (list int))
+    "retransmit recovers all batches in order"
+    (List.init 16 (fun i -> i + 1))
+    delivered;
+  let wedged, still_leading = run true in
+  check_bool "leader kept its lease (broken)" true still_leading;
+  check_bool "without retransmit the batched window wedges" true (wedged = [])
 
 (* ---- Classical atomic broadcast ---- *)
 
@@ -596,8 +706,8 @@ let test_log_non_uniform_agrees_without_faults () =
   let members =
     Array.init 3 (fun i ->
         let m = Log.create c.endpoints.(i) ~group:(group c) ~mode:Log.Volatile ~uniform:false () in
-        Log.on_decide m (fun ~slot:_ v ->
-            match v with Some x -> decided.(i) := x :: !(decided.(i)) | None -> ());
+        Log.on_decide m (fun ~slot:_ vs ->
+            List.iter (fun x -> decided.(i) := x :: !(decided.(i))) vs);
         m)
   in
   run_for c.engine (ms 200.);
@@ -942,6 +1052,12 @@ let () =
         :: Alcotest.test_case "non-uniform agrees without faults" `Quick
              test_log_non_uniform_agrees_without_faults
         :: qsuite [ prop_log_agreement_under_minority_crashes ] );
+      ( "bcast_tuning",
+        Alcotest.test_case "ring orders and agrees" `Quick test_ring_orders_and_agrees
+        :: Alcotest.test_case "ring survives leader crash" `Quick test_ring_survives_leader_crash
+        :: Alcotest.test_case "batched in-flight accepts retransmit" `Quick
+             test_log_batched_inflight_retransmit
+        :: qsuite [ prop_log_tuning_stream_equivalence ] );
       ( "atomic_broadcast",
         [
           Alcotest.test_case "total order" `Quick test_abcast_total_order;

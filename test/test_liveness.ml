@@ -193,6 +193,30 @@ let takeover technique =
 let test_takeover_group_safe () = takeover (System.Dsm Dsm_replica.Group_safe_mode)
 let test_takeover_two_safe () = takeover (System.Dsm Dsm_replica.Two_safe_mode)
 
+let test_liveness_tuned_engines () =
+  (* Eventual decision must hold when the engine batches and pipelines (a
+     leader kill can orphan a whole in-flight window) and when values
+     circulate a ring (a kill cuts the ring mid-circulation until the
+     membership view heals it). *)
+  List.iter
+    (fun tuning ->
+      let cfg =
+        E.default_config ~liveness:true ~tuning (System.Dsm Dsm_replica.Two_safe_mode)
+      in
+      let r = E.explore ~seed:42L ~budget:30 ~max_random_events:3 cfg in
+      check_bool
+        (Printf.sprintf "every fair storm decided on %s" (Gcs.Bcast_tuning.to_string tuning))
+        true
+        (Option.is_none r.E.counterexample);
+      let t =
+        E.leader_takeover
+          (E.default_config ~liveness:true ~tuning (System.Dsm Dsm_replica.Group_safe_mode))
+      in
+      check_bool
+        (Printf.sprintf "takeover verdict on %s" (Gcs.Bcast_tuning.to_string tuning))
+        true t.E.ok)
+    [ Gcs.Bcast_tuning.batched (); Gcs.Bcast_tuning.ring () ]
+
 let () =
   Alcotest.run "liveness"
     [
@@ -216,5 +240,7 @@ let () =
         [
           Alcotest.test_case "group-safe hands over" `Quick test_takeover_group_safe;
           Alcotest.test_case "2-safe hands over" `Quick test_takeover_two_safe;
+          Alcotest.test_case "batched and ring engines stay live" `Quick
+            test_liveness_tuned_engines;
         ] );
     ]

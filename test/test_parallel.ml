@@ -148,6 +148,21 @@ let test_merged_registry_identical_across_jobs () =
   check_bool "merged metrics non-trivial" true (String.length m1 > 100);
   Alcotest.(check string) "merged registry byte-identical" m1 m4
 
+(* The broadcast-ceiling study fans (load x engine-tuning) cells over the
+   pool; tuned engines (batched, ring) must stay as deterministic as the
+   seed engine. *)
+let ceiling_output jobs =
+  Pool.set_default_jobs jobs;
+  capture_stdout (fun () ->
+      Harness.Experiment.broadcast_ceiling ~seed:7L ~loads:[ 40.; 640. ] ~measure_s:2. ())
+
+let test_ceiling_identical_across_jobs () =
+  let c1 = ceiling_output 1 in
+  let c4 = ceiling_output 4 in
+  Pool.set_default_jobs 1;
+  check_bool "ceiling report non-trivial" true (String.length c1 > 100);
+  Alcotest.(check string) "ceiling report byte-identical" c1 c4
+
 let explorer_verdict jobs technique =
   Pool.set_default_jobs jobs;
   let module E = Check.Explorer in
@@ -188,6 +203,8 @@ let () =
           Alcotest.test_case "fig9 sweep across jobs" `Quick test_fig9_identical_across_jobs;
           Alcotest.test_case "merged obs registry across jobs" `Quick
             test_merged_registry_identical_across_jobs;
+          Alcotest.test_case "broadcast ceiling across jobs" `Quick
+            test_ceiling_identical_across_jobs;
           Alcotest.test_case "nemesis storms across jobs" `Quick
             test_explorer_storms_identical_across_jobs;
         ] );

@@ -411,6 +411,20 @@ let test_rediscover_skip_checksum () =
       (let v = verdict_of "rediscovery" replay in
        (not v.Check.Durability.repair_ok) || v.Check.Durability.forbidden > 0)
 
+let test_storage_batched_certify () =
+  (* With batching, one WAL record's worth of ordering progress can cover a
+     whole batch of transactions: a torn write or lying fsync under the
+     record must not turn into forbidden loss for any member of the
+     batch. *)
+  let cfg =
+    E.default_config ~storage:true
+      ~tuning:(Gcs.Bcast_tuning.batched ())
+      (System.Dsm Dsm_replica.Group_safe_mode)
+  in
+  let r = E.explore ~seed:42L ~budget:50 ~max_random_events:3 cfg in
+  check_bool "every storage storm durable on the batched engine" true
+    (Option.is_none r.E.counterexample)
+
 let test_storage_explore_deterministic () =
   let cfg = E.default_config ~storage:true System.Two_pc in
   let r1 = E.explore ~seed:7L ~budget:50 ~max_random_events:3 cfg in
@@ -475,6 +489,8 @@ let () =
         [
           Alcotest.test_case "skip-checksum rediscovered" `Slow test_rediscover_skip_checksum;
           Alcotest.test_case "deterministic per seed" `Quick test_storage_explore_deterministic;
+          Alcotest.test_case "batched engine survives storage storms" `Quick
+            test_storage_batched_certify;
           Alcotest.test_case "schedule serialization round-trips" `Quick
             test_storage_serialize_round_trip;
         ] );

@@ -1,13 +1,20 @@
 (* groupsafe_lint: the repo's determinism / domain-safety / hygiene linter.
 
-   Usage: groupsafe_lint [--assume-lib] PATH...
+   Usage: groupsafe_lint [--assume-lib] [--typed] PATH...
 
    Walks every .ml under the given paths (sorted, so output order is itself
    deterministic), applies the rule catalogue in Lint (see docs/LINTING.md)
    and prints findings as "file:line: [rule-id] message". Exit code 1 when
    anything fires, 0 on a clean tree. Library-only rules (P-toplevel-mutable,
    H-missing-mli) apply to files with a "lib" path component, or to every
-   file under --assume-lib (used by the fixture golden test). *)
+   file under --assume-lib (used by the fixture golden test).
+
+   --typed additionally runs the typed tier (Typed_lint): the .cmt files
+   under the same paths are paired with their sources and walked for the
+   T-rules, and any [@lint.allow] that suppressed nothing across BOTH tiers
+   is reported as L-unused-allow. The cmts must exist already — run
+   `dune build @check` first, or use the `dune build @typed-lint` alias
+   which orders that dependency itself. *)
 
 let is_lib_path path =
   match List.rev (String.split_on_char '/' path) with
@@ -30,14 +37,16 @@ let rec collect path acc =
 
 let () =
   let assume_lib = ref false in
+  let typed = ref false in
   let roots = ref [] in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         match arg with
         | "--assume-lib" -> assume_lib := true
+        | "--typed" -> typed := true
         | "--help" | "-help" ->
-          print_endline "usage: groupsafe_lint [--assume-lib] PATH...";
+          print_endline "usage: groupsafe_lint [--assume-lib] [--typed] PATH...";
           exit 0
         | _ -> roots := arg :: !roots)
     Sys.argv;
@@ -54,13 +63,55 @@ let () =
       end)
     roots;
   let files = List.sort String.compare (List.concat_map (fun r -> collect r []) roots) in
-  let findings =
-    List.concat_map
-      (fun file -> Lint.check_file ~lib:(!assume_lib || is_lib_path file) file)
+  let syntactic =
+    List.map
+      (fun file -> (file, Lint.lint_file ~lib:(!assume_lib || is_lib_path file) file))
       files
-    |> List.sort Lint.compare_finding
   in
+  let syntactic_findings = List.concat_map (fun (_, (fs, _)) -> fs) syntactic in
+  let typed_note = ref "" in
+  let findings =
+    if not !typed then syntactic_findings
+    else begin
+      let cmts = Typed_lint.find_cmts roots in
+      let paired = Typed_lint.pair_sources ~sources:files ~cmts in
+      if paired = [] then begin
+        prerr_endline
+          "groupsafe_lint: --typed found no .cmt for any given source; run `dune \
+           build @check` first (or `dune build @typed-lint`)";
+        exit 2
+      end;
+      let typed_results =
+        List.map
+          (fun { Typed_lint.path; cmt } -> (path, Typed_lint.lint_cmt ~file:path cmt))
+          paired
+      in
+      let typed_findings = List.concat_map (fun (_, (fs, _)) -> fs) typed_results in
+      (* The staleness sweep needs both tiers' view of a file, so it only
+         covers files the typed tier actually analyzed. *)
+      let analyzed = List.map fst typed_results in
+      let allows_of results file =
+        List.concat_map
+          (fun (f, (_, allows)) -> if String.equal f file then allows else [])
+          results
+      in
+      let unused =
+        List.concat_map
+          (fun file ->
+            Lint.unused_allows (allows_of syntactic file @ allows_of typed_results file))
+          analyzed
+      in
+      (* An unpaired source silently skips the typed tier (a library that is
+         never built, say), so the coverage gap must at least be visible. *)
+      typed_note :=
+        Printf.sprintf " (syntactic+typed; %d of %d cmt-paired)"
+          (List.length paired) (List.length files);
+      syntactic_findings @ typed_findings @ unused
+    end
+  in
+  let findings = List.sort Lint.compare_finding findings in
   List.iter (fun f -> Format.printf "%a@." Lint.pp f) findings;
-  Printf.eprintf "groupsafe_lint: %d file(s), %d finding(s)\n" (List.length files)
+  Printf.eprintf "groupsafe_lint: %d file(s)%s, %d finding(s)\n" (List.length files)
+    !typed_note
     (List.length findings);
   if findings <> [] then exit 1

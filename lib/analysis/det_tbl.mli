@@ -37,3 +37,32 @@ val fold :
 val bindings : ?cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
 (** [bindings tbl] is the distinct bindings of [tbl] sorted by key —
     [Hashtbl.to_seq] made deterministic. *)
+
+(** The same discipline for [Hashtbl.Make] instances ([T-hashtbl-iter]).
+    [Hashtbl.S] carries no key order, so every function takes a required
+    [~cmp]; pass the key module's own [compare]. Typical use:
+
+    {[
+      module Uid_tbl = Hashtbl.Make (Uid)
+      module Det_uid_tbl = Analysis.Det_tbl.Keyed (Uid_tbl)
+
+      let resend t = Det_uid_tbl.iter ~cmp:Uid.compare (fun _ e -> send e) t
+    ]} *)
+module Keyed (T : Hashtbl.S) : sig
+  val sorted_keys : cmp:(T.key -> T.key -> int) -> 'v T.t -> T.key list
+  (** Distinct keys in ascending [cmp] order. *)
+
+  val iter : cmp:(T.key -> T.key -> int) -> (T.key -> 'v -> unit) -> 'v T.t -> unit
+  (** Apply [f] to each distinct binding in ascending key order. *)
+
+  val fold :
+    cmp:(T.key -> T.key -> int) ->
+    (T.key -> 'v -> 'acc -> 'acc) ->
+    'v T.t ->
+    'acc ->
+    'acc
+  (** Fold over the distinct bindings in ascending key order. *)
+
+  val bindings : cmp:(T.key -> T.key -> int) -> 'v T.t -> (T.key * 'v) list
+  (** Distinct bindings sorted by key. *)
+end

@@ -2,6 +2,14 @@ open Parsetree
 
 type finding = { file : string; line : int; rule : string; message : string }
 
+type allow = {
+  a_file : string;
+  a_line : int;
+  a_rule : string;
+  a_reason : string;
+  mutable a_used : bool;
+}
+
 let rules =
   [
     ( "D-random",
@@ -25,11 +33,27 @@ let rules =
       "a catch-all exception handler also swallows Break, Stack_overflow \
        and Assert_failure; match specific exceptions or re-raise" );
     ("H-missing-mli", "every library module needs a reviewed .mli interface");
+    ( "T-hashtbl-iter",
+      "typed tier: unordered Hashtbl enumeration through an alias, functor \
+       instance or eta-expansion; use sorted iteration (Analysis.Det_tbl)" );
+    ( "T-float-eq",
+      "typed tier: polymorphic =/<>/compare instantiated at float; compare \
+       with a tolerance or use integer microseconds" );
+    ( "T-poly-compare-mutable",
+      "typed tier: polymorphic comparison at a type containing mutable \
+       state or functions — history-dependent or raising" );
+    ( "T-domain-escape",
+      "typed tier: closure handed to Parallel.Domain_pool captures mutable \
+       state that is not Atomic/Mutex-guarded — a cross-domain race" );
     ( "L-unknown-rule",
       "[@lint.allow] names a rule id the linter does not know" );
     ( "L-bad-allow",
       "[@lint.allow] must carry a rule id and a non-empty reason string" );
     ("L-parse-error", "the file does not parse, so it cannot be linted");
+    ( "L-unused-allow",
+      "a [@lint.allow] that suppressed nothing in a full syntactic+typed \
+       run is stale; delete it" );
+    ("L-cmt-error", "the .cmt file cannot be read, so the typed tier skipped it");
   ]
 
 let known_rule id = List.mem_assoc id rules
@@ -39,10 +63,22 @@ let known_rule id = List.mem_assoc id rules
    diagnostic. *)
 let suppressible id = known_rule id && not (String.length id > 1 && id.[0] = 'L')
 
+(* Each typed rule that refines a syntactic rule honors the syntactic id's
+   suppressions too (and vice versa), so a site that fires under both tiers
+   needs a single annotation. *)
+let covers ~allow ~rule =
+  String.equal allow rule
+  ||
+  match (allow, rule) with
+  | "D-hashtbl-iter", "T-hashtbl-iter" | "T-hashtbl-iter", "D-hashtbl-iter" -> true
+  | "D-float-eq", "T-float-eq" | "T-float-eq", "D-float-eq" -> true
+  | _ -> false
+
 type ctx = {
   file : string;
   lib : bool;
-  mutable scopes : (string * string) list;  (** active (rule-id, reason) allows *)
+  mutable scopes : allow list;  (** active allows, innermost first *)
+  mutable allows : allow list;  (** every allow seen, for the staleness sweep *)
   mutable inside_expr : bool;  (** false only at module top level *)
   mutable findings : finding list;
 }
@@ -50,7 +86,9 @@ type ctx = {
 let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
 
 let report ctx loc rule message =
-  if not (List.mem_assoc rule ctx.scopes) then
+  match List.find_opt (fun a -> covers ~allow:a.a_rule ~rule) ctx.scopes with
+  | Some a -> a.a_used <- true
+  | None ->
     ctx.findings <- { file = ctx.file; line = line_of loc; rule; message } :: ctx.findings
 
 (* L-findings bypass the suppression scopes (see [suppressible]). *)
@@ -64,7 +102,13 @@ let string_const e =
   | Pexp_constant (Pconst_string (s, _, _)) -> Some s
   | _ -> None
 
-let add_allows ctx (attrs : attributes) =
+(* [parse_allows ~file attrs] splits the [@lint.allow] attributes of [attrs]
+   into well-formed allows and meta findings for the malformed ones. Shared
+   by the syntactic walker below and the typed walker (Typed_lint): the
+   typedtree carries the same Parsetree attributes, so both tiers see the
+   same suppressions at the same locations. *)
+let parse_allows ~file (attrs : attributes) =
+  let allows = ref [] and metas = ref [] in
   List.iter
     (fun (a : attribute) ->
       if String.equal a.attr_name.txt "lint.allow" then begin
@@ -83,15 +127,66 @@ let add_allows ctx (attrs : attributes) =
         in
         match payload with
         | Some (rule, reason) when suppressible rule && String.trim reason <> "" ->
-          ctx.scopes <- (rule, reason) :: ctx.scopes
+          allows :=
+            { a_file = file; a_line = line_of a.attr_loc; a_rule = rule;
+              a_reason = reason; a_used = false }
+            :: !allows
         | Some (rule, _) when not (suppressible rule) ->
-          report_meta ctx a.attr_loc "L-unknown-rule"
-            (Printf.sprintf "unknown rule id %S in [@lint.allow] (see docs/LINTING.md)" rule)
+          metas :=
+            { file; line = line_of a.attr_loc; rule = "L-unknown-rule";
+              message =
+                Printf.sprintf "unknown rule id %S in [@lint.allow] (see docs/LINTING.md)"
+                  rule }
+            :: !metas
         | Some _ | None ->
-          report_meta ctx a.attr_loc "L-bad-allow"
-            "expected [@lint.allow \"rule-id\" \"non-empty reason\"]"
+          metas :=
+            { file; line = line_of a.attr_loc; rule = "L-bad-allow";
+              message = "expected [@lint.allow \"rule-id\" \"non-empty reason\"]" }
+            :: !metas
       end)
-    attrs
+    attrs;
+  (List.rev !allows, List.rev !metas)
+
+let add_allows ctx (attrs : attributes) =
+  let allows, metas = parse_allows ~file:ctx.file attrs in
+  ctx.scopes <- allows @ ctx.scopes;
+  ctx.allows <- allows @ ctx.allows;
+  ctx.findings <- List.rev_append metas ctx.findings
+
+(* The staleness sweep: an attribute that suppressed zero findings across
+   {e both} tiers is dead weight. Allows are grouped by source location and
+   rule id so the syntactic and typed walkers' separate sightings of the
+   same attribute count as one. *)
+let unused_allows all =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      let key = (a.a_file, a.a_line, a.a_rule) in
+      match Hashtbl.find_opt tbl key with
+      | Some used -> Hashtbl.replace tbl key (used || a.a_used)
+      | None -> Hashtbl.add tbl key a.a_used)
+    all;
+  let keys =
+    (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+    [@lint.allow "D-hashtbl-iter" "the keys are sorted on the next line"])
+    |> List.sort compare
+  in
+  List.filter_map
+    (fun ((file, line, rule) as key) ->
+      if Hashtbl.find tbl key then None
+      else
+        Some
+          {
+            file;
+            line;
+            rule = "L-unused-allow";
+            message =
+              Printf.sprintf
+                "[@lint.allow %S] suppressed nothing in a full syntactic+typed run; \
+                 delete it"
+                rule;
+          })
+    keys
 
 (* ---- syntactic helpers ---- *)
 
@@ -227,6 +322,17 @@ let check_expr ctx e =
             "catch-all handler swallows Break/Stack_overflow/Assert_failure \
              too; match specific exceptions or re-raise")
       cases
+  | Pexp_match (_, cases) ->
+    (* [match ... with exception _ -> ...] is a try/with in disguise. *)
+    List.iter
+      (fun c ->
+        match c.pc_lhs.ppat_desc with
+        | Ppat_exception p when catchall_pattern p && not (mentions_raise c.pc_rhs) ->
+          report ctx c.pc_lhs.ppat_loc "H-catchall-exn"
+            "catch-all [exception _] case swallows Break/Stack_overflow/\
+             Assert_failure too; match specific exceptions or re-raise"
+        | _ -> ())
+      cases
   | _ -> ()
 
 let check_toplevel_mutable ctx (vb : value_binding) =
@@ -279,8 +385,8 @@ let iterator ctx =
   in
   { default with expr; value_binding; module_binding; structure_item }
 
-let check_source ~file ~lib src =
-  let ctx = { file; lib; scopes = []; inside_expr = false; findings = [] } in
+let lint_source ~file ~lib src =
+  let ctx = { file; lib; scopes = []; allows = []; inside_expr = false; findings = [] } in
   let lexbuf = Lexing.from_string src in
   Lexing.set_filename lexbuf file;
   (match Parse.implementation lexbuf with
@@ -292,22 +398,30 @@ let check_source ~file ~lib src =
   | str ->
     let it = iterator ctx in
     it.structure it str);
-  List.rev ctx.findings
+  (List.rev ctx.findings, List.rev ctx.allows)
 
-let check_file ~lib path =
+let check_source ~file ~lib src = fst (lint_source ~file ~lib src)
+
+let lint_file ~lib path =
   let src = In_channel.with_open_bin path In_channel.input_all in
-  let findings = check_source ~file:path ~lib src in
-  if lib && not (Sys.file_exists (path ^ "i")) then
-    findings
-    @ [
-        {
-          file = path;
-          line = 1;
-          rule = "H-missing-mli";
-          message = "library module has no .mli interface; add one so the public surface is reviewed";
-        };
-      ]
-  else findings
+  let findings, allows = lint_source ~file:path ~lib src in
+  let findings =
+    if lib && not (Sys.file_exists (path ^ "i")) then
+      findings
+      @ [
+          {
+            file = path;
+            line = 1;
+            rule = "H-missing-mli";
+            message =
+              "library module has no .mli interface; add one so the public surface is reviewed";
+          };
+        ]
+    else findings
+  in
+  (findings, allows)
+
+let check_file ~lib path = fst (lint_file ~lib path)
 
 let compare_finding (a : finding) (b : finding) =
   match String.compare a.file b.file with

@@ -1,0 +1,646 @@
+(* The typed lint tier: walks the .cmt typedtrees dune already produces
+   (-bin-annot is always on) with Tast_iterator, so rules see resolved
+   paths and inferred types instead of surface syntax. This is what lets
+   T-hashtbl-iter look through [module H = Hashtbl] aliases, Hashtbl.Make
+   functor instances and eta-expansions, T-float-eq catch comparisons whose
+   float type is inferred, and T-domain-escape compute a closure's captured
+   environment. Only compiler-libs is needed — no new dependency.
+
+   Environments in a cmt are stored as summaries; Envaux reconstructs them
+   on demand so Ctype.expand_head and Env.find_type work. Reconstruction
+   needs the original load path (for cmi files); we replay the one recorded
+   in the cmt, resolving relative entries against the recorded build
+   directory so the linter works from any cwd. When reconstruction fails
+   for a module (a cmi moved or was never built) the affected check simply
+   degrades to the unexpanded type rather than erroring out. *)
+
+open Typedtree
+
+type source = { path : string; cmt : string }
+
+(* ---- path helpers ---- *)
+
+let rec flatten_path = function
+  | Path.Pident id -> [ Ident.name id ]
+  | Path.Pdot (p, s) -> flatten_path p @ [ s ]
+  (* [Hashtbl.Make(Uid).t]: the functor argument does not matter for rule
+     matching, only the functor's own path. *)
+  | Path.Papply (p, _) -> flatten_path p
+  | Path.Pextra_ty (p, _) -> flatten_path p
+
+let peel_stdlib = function "Stdlib" :: rest -> rest | path -> path
+
+let path_components p = peel_stdlib (flatten_path p)
+
+let rec path_head = function
+  | Path.Pident id -> Some id
+  | Path.Pdot (p, _) | Path.Papply (p, _) | Path.Pextra_ty (p, _) -> path_head p
+
+(* Wrapped-library mangling: [Parallel.Domain_pool] may appear in resolved
+   paths as the single component "Parallel__Domain_pool". *)
+let component_is c name =
+  String.equal c name
+  ||
+  let suffix = "__" ^ name in
+  let lc = String.length c and ls = String.length suffix in
+  lc > ls && String.sub c (lc - ls) ls = suffix
+
+let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+(* ---- per-cmt context ---- *)
+
+type tctx = {
+  file : string;  (** reporting path (the source file as the user named it) *)
+  mutable scopes : Lint.allow list;
+  mutable allows : Lint.allow list;
+  mutable findings : Lint.finding list;
+  mutable reported : (int * string) list;  (** (line, rule) dedup *)
+  (* Idents of modules known to be hashtables: [Hashtbl.Make (...)]
+     instances and [module H = Hashtbl]-style aliases bound in this unit. *)
+  hashtbl_mods : (string, unit) Hashtbl.t;  (** keyed by Ident.unique_name *)
+  pool_mods : (string, unit) Hashtbl.t;  (** aliases of Parallel.Domain_pool *)
+}
+
+let report ctx loc rule message =
+  let line = line_of loc in
+  if not (List.mem (line, rule) ctx.reported) then begin
+    ctx.reported <- (line, rule) :: ctx.reported;
+    match List.find_opt (fun a -> Lint.covers ~allow:a.Lint.a_rule ~rule) ctx.scopes with
+    | Some a -> a.Lint.a_used <- true
+    | None ->
+      ctx.findings <-
+        { Lint.file = ctx.file; line; rule; message } :: ctx.findings
+  end
+
+let add_allows ctx attrs =
+  let allows, metas = Lint.parse_allows ~file:ctx.file attrs in
+  ctx.scopes <- allows @ ctx.scopes;
+  ctx.allows <- allows @ ctx.allows;
+  (* The syntactic tier already reported malformed attributes; dropping the
+     duplicates here keeps a full run's output stable. *)
+  ignore (metas : Lint.finding list)
+
+(* ---- type inspection ---- *)
+
+(* Reconstruction of the stored env can fail in arbitrary ways deep in the
+   compiler (missing cmi, version skew); the check degrades to the
+   unexpanded type. *)
+let expand env ty =
+  try Ctype.expand_head env ty with _ -> ty
+[@@lint.allow "H-catchall-exn"
+  "compiler internals raise many exception types on unreconstructable envs; \
+   every one of them means 'fall back to the raw type'"]
+
+let real_env exp =
+  match Envaux.env_of_only_summary exp.exp_env with
+  | env -> env
+  | exception Envaux.Error _ -> exp.exp_env
+
+let ident_in tbl id = Hashtbl.mem tbl (Ident.unique_name id)
+
+let is_hashtbl_module ctx env p =
+  (match path_components p with
+  | "Hashtbl" :: _ -> true
+  | "MoreLabels" :: "Hashtbl" :: _ -> true
+  | _ -> false)
+  || (match path_head p with
+     | Some id -> ident_in ctx.hashtbl_mods id
+     | None -> false)
+  ||
+  (* A module alias from another unit ([module H = Hashtbl] exported):
+     normalization resolves it when the cmi is available. *)
+  match Env.normalize_module_path None env p with
+  | np -> ( match path_components np with "Hashtbl" :: _ -> true | _ -> false)
+  | exception Not_found -> false
+
+(* Does [ty] expand to a hashtable type: [('a, 'b) Hashtbl.t] or the [t] of
+   a known Hashtbl.Make instance? *)
+let is_hashtbl_type ctx env ty =
+  match Types.get_desc (expand env ty) with
+  | Types.Tconstr (p, _, _) -> begin
+    match (path_components p, path_head p) with
+    | "Hashtbl" :: _, _ -> true
+    | _, Some id -> ident_in ctx.hashtbl_mods id
+    | _, None -> false
+  end
+  | _ -> false
+
+let is_float_type env ty =
+  match Types.get_desc (expand env ty) with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | _ -> false
+
+(* Type constructors that are mutable containers by themselves. [Atomic.t],
+   [Mutex.t], [Condition.t] and [Semaphore.*] are the sanctioned
+   synchronized leaves for T-domain-escape. *)
+let mutable_container_path components =
+  match components with
+  | [ "ref" ]
+  | "Hashtbl" :: _ :: _
+  | [ "Buffer"; "t" ]
+  | [ "Queue"; "t" ]
+  | [ "Stack"; "t" ]
+  | [ "Dynarray"; "t" ] ->
+    true
+  | _ -> false
+
+let synchronized_path components =
+  match components with
+  | [ "Atomic"; "t" ] | [ "Mutex"; "t" ] | [ "Condition"; "t" ] -> true
+  | "Semaphore" :: _ -> true
+  | _ -> false
+
+(* [hazard_in_type ~functions ctx env ty] — does [ty] (recursively, through
+   manifests, records and variants, to a bounded depth) contain mutable
+   state, or a function type when [functions] is set? [functions] is on for
+   T-poly-compare-mutable (structural comparison of closures raises) and
+   off for T-domain-escape (capturing a function is fine; capturing a ref
+   is not). Returns a short description of the offending component. *)
+let hazard_in_type ~functions ctx env ty =
+  let visited = ref [] in
+  let rec go depth ty =
+    if depth > 6 then None
+    else
+      match Types.get_desc (expand env ty) with
+      | Types.Tarrow _ -> if functions then Some "a function" else None
+      | Types.Ttuple ts -> List.find_map (go (depth + 1)) ts
+      | Types.Tconstr (p, args, _) ->
+        if List.exists (Path.same p) !visited then None
+        else begin
+          visited := p :: !visited;
+          let components = path_components p in
+          if synchronized_path components then None
+          else if Path.same p Predef.path_array || Path.same p Predef.path_floatarray
+          then Some "an array"
+          else if mutable_container_path components then
+            Some (Path.name p ^ " (mutable container)")
+          else if
+            match path_head p with
+            | Some id -> ident_in ctx.hashtbl_mods id
+            | None -> false
+          then Some (Path.name p ^ " (a Hashtbl.Make table)")
+          else
+            let decl =
+              match Env.find_type p env with
+              | d -> Some d
+              | exception Not_found -> None
+            in
+            match decl with
+            | None -> None
+            | Some d -> begin
+              match d.Types.type_kind with
+              | Types.Type_record (lds, _) ->
+                if List.exists (fun l -> l.Types.ld_mutable = Asttypes.Mutable) lds
+                then Some (Path.name p ^ " (record with mutable fields)")
+                else
+                  (match List.find_map (fun l -> go (depth + 1) l.Types.ld_type) lds with
+                  | Some _ as h -> h
+                  | None -> List.find_map (go (depth + 1)) args)
+              | Types.Type_variant (cds, _) ->
+                let constructor_hazard cd =
+                  match cd.Types.cd_args with
+                  | Types.Cstr_tuple ts -> List.find_map (go (depth + 1)) ts
+                  | Types.Cstr_record lds ->
+                    if
+                      List.exists (fun l -> l.Types.ld_mutable = Asttypes.Mutable) lds
+                    then Some (Path.name p ^ " (inline record with mutable fields)")
+                    else List.find_map (fun l -> go (depth + 1) l.Types.ld_type) lds
+                in
+                (match List.find_map constructor_hazard cds with
+                | Some _ as h -> h
+                | None -> List.find_map (go (depth + 1)) args)
+              | _ -> List.find_map (go (depth + 1)) args
+            end
+        end
+      | _ -> None
+  in
+  go 0 ty
+
+(* ---- module tracking (Hashtbl.Make instances, Domain_pool aliases) ---- *)
+
+(* The typechecker coerces a functor to its signature before applying it,
+   so [Hashtbl.Make (Uid)] appears as
+   [Tmod_apply (Tmod_constraint (Tmod_ident Hashtbl.Make), ...)]. *)
+let rec peel_constraints me =
+  match me.mod_desc with
+  | Tmod_constraint (me', _, _, _) -> peel_constraints me'
+  | _ -> me
+
+let rec classify_module_expr ctx me =
+  match me.mod_desc with
+  | Tmod_ident (p, _) ->
+    let components = path_components p in
+    if
+      (match components with
+      | "Hashtbl" :: _ -> true
+      | "MoreLabels" :: [ "Hashtbl" ] -> true
+      | _ -> false)
+      || match path_head p with Some id -> ident_in ctx.hashtbl_mods id | None -> false
+    then `Hashtbl
+    else if
+      List.exists (fun c -> component_is c "Domain_pool") components
+      || match path_head p with Some id -> ident_in ctx.pool_mods id | None -> false
+    then `Pool
+    else `Other
+  | Tmod_apply (f, _, _) -> begin
+    match (peel_constraints f).mod_desc with
+    | Tmod_ident (p, _) -> begin
+      match path_components p with
+      | [ "Hashtbl"; "Make" ]
+      | [ "Hashtbl"; "MakeSeeded" ]
+      | [ "MoreLabels"; "Hashtbl"; "Make" ]
+      | [ "MoreLabels"; "Hashtbl"; "MakeSeeded" ] ->
+        `Hashtbl
+      | _ -> `Other
+    end
+    | _ -> `Other
+  end
+  | Tmod_constraint (me', _, _, _) -> classify_module_expr ctx me'
+  | _ -> `Other
+
+(* A functor parameter constrained by [Hashtbl.S] / [Hashtbl.SeededS] is a
+   hashtable module inside the functor body, even though no [Make]
+   application is in sight. *)
+let is_hashtbl_sig (mty : module_type) =
+  match mty.mty_desc with
+  | Tmty_ident (p, _) -> begin
+    match path_components p with
+    | [ "Hashtbl"; ("S" | "SeededS") ] | [ "MoreLabels"; "Hashtbl"; ("S" | "SeededS") ]
+      ->
+      true
+    | _ -> false
+  end
+  | _ -> false
+
+let note_functor_param ctx me =
+  match me.mod_desc with
+  | Tmod_functor (Named (Some id, _, mty), _) when is_hashtbl_sig mty ->
+    Hashtbl.replace ctx.hashtbl_mods (Ident.unique_name id) ()
+  | _ -> ()
+
+let note_module_binding ctx mb =
+  match mb.mb_id with
+  | None -> ()
+  | Some id -> begin
+    match classify_module_expr ctx mb.mb_expr with
+    | `Hashtbl -> Hashtbl.replace ctx.hashtbl_mods (Ident.unique_name id) ()
+    | `Pool -> Hashtbl.replace ctx.pool_mods (Ident.unique_name id) ()
+    | `Other -> ()
+  end
+
+(* ---- T-hashtbl-iter ---- *)
+
+let order_dependent_fn = function
+  | "iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values" -> true
+  | _ -> false
+
+let hashtbl_iter_message fn =
+  Printf.sprintf
+    "%s enumerates a hashtable in history-dependent bucket order; use sorted \
+     iteration (Analysis.Det_tbl / Det_tbl.Keyed) or justify \
+     order-independence"
+    fn
+
+let check_hashtbl_ident ctx env loc p =
+  match p with
+  | Path.Pdot (m, fn) when order_dependent_fn fn && is_hashtbl_module ctx env m ->
+    report ctx loc "T-hashtbl-iter" (hashtbl_iter_message (Path.name p))
+  | _ -> ()
+
+(* The receiver-type variant: an [iter]/[fold]/[to_seq]-named function,
+   whatever module it came from, applied to an argument whose type is a
+   hashtable. Catches instances the path check cannot see (e.g. a functor
+   instance re-exported by another unit). *)
+let check_hashtbl_apply ctx env e fn_path args =
+  match fn_path with
+  | Path.Pdot (m, fn)
+    when order_dependent_fn fn
+         && (not (is_hashtbl_module ctx env m))
+         && List.exists
+              (fun (_, arg) ->
+                match arg with
+                | Some a -> is_hashtbl_type ctx env a.exp_type
+                | None -> false)
+              args ->
+    report ctx e.exp_loc "T-hashtbl-iter" (hashtbl_iter_message (Path.name fn_path))
+  | _ -> ()
+
+(* ---- T-float-eq / T-poly-compare-mutable ---- *)
+
+let stdlib_op p =
+  match p with
+  | Path.Pdot (Path.Pident id, op) when Ident.name id = "Stdlib" -> Some op
+  | _ -> None
+
+let float_eq_op = function "=" | "<>" | "==" | "!=" | "compare" -> true | _ -> false
+
+let poly_compare_op = function
+  | "=" | "<>" | "compare" | "<" | ">" | "<=" | ">=" | "min" | "max" -> true
+  | _ -> false
+
+let first_arg_type args =
+  List.find_map
+    (fun (label, arg) ->
+      match (label, arg) with
+      | Asttypes.Nolabel, Some a -> Some (a, a.exp_type)
+      | _ -> None)
+    args
+
+let check_compare ctx e fn_path args =
+  match stdlib_op fn_path with
+  | None -> ()
+  | Some op -> begin
+    match first_arg_type args with
+    | None -> ()
+    | Some (arg, ty) ->
+      let env = real_env arg in
+      if float_eq_op op && is_float_type env ty then
+        report ctx e.exp_loc "T-float-eq"
+          (Printf.sprintf
+             "polymorphic (%s) instantiated at float; exact float comparison is \
+              brittle — compare with a tolerance or use integer microseconds"
+             op)
+      else if poly_compare_op op then begin
+        match hazard_in_type ~functions:true ctx env ty with
+        | Some what ->
+          report ctx e.exp_loc "T-poly-compare-mutable"
+            (Printf.sprintf
+               "polymorphic (%s) at a type containing %s; structural comparison \
+                of mutable state is history-dependent (and raises on functions)"
+               op what)
+        | None -> ()
+      end
+  end
+
+(* ---- T-domain-escape ---- *)
+
+let is_pool_fn ctx p =
+  match p with
+  | Path.Pdot (m, fn) when fn = "map" || fn = "map_array" || fn = "run_all" ->
+    List.exists (fun c -> component_is c "Domain_pool") (path_components m)
+    || (match path_head m with Some id -> ident_in ctx.pool_mods id | None -> false)
+  | _ -> false
+
+(* Outermost lambdas syntactically present in [e] (descent stops at each
+   lambda: its own nested functions are part of its body analysis). *)
+let collect_lambdas e =
+  let acc = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          match e.exp_desc with
+          | Texp_function _ -> acc := e :: !acc
+          | _ -> Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  List.rev !acc
+
+(* Free variables of a lambda, from the typedtree: every ident occurrence
+   minus every ident bound by a pattern inside it. Idents are uniquely
+   stamped, so shadowing cannot confuse the subtraction. Qualified values
+   ([M.x]) are global by construction and treated as captured. *)
+let closure_captures lam =
+  let bound = Hashtbl.create 16 in
+  let seen = Hashtbl.create 16 in
+  let captured = ref [] in
+  let note_capture ~key ~name exp =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      captured := (name, exp) :: !captured
+    end
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      pat =
+        (fun (type k) it (p : k general_pattern) ->
+          (match p.pat_desc with
+          | Tpat_var (id, _) -> Hashtbl.replace bound (Ident.unique_name id) ()
+          | Tpat_alias (_, id, _) -> Hashtbl.replace bound (Ident.unique_name id) ()
+          | _ -> ());
+          Tast_iterator.default_iterator.pat it p);
+      expr =
+        (fun it e ->
+          (match e.exp_desc with
+          | Texp_ident (Path.Pident id, _, _) ->
+            if not (Hashtbl.mem bound (Ident.unique_name id)) then
+              note_capture ~key:(Ident.unique_name id) ~name:(Ident.name id) e
+          | Texp_ident (p, _, _) ->
+            let n = Path.name p in
+            note_capture ~key:n ~name:n e
+          | _ -> ());
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  (* Two passes over the lambda: first record every binder (patterns are
+     visited before some of their uses only in the first pass's order), then
+     collect occurrences against the complete binder set. *)
+  let binder_only =
+    { it with expr = (fun it e -> Tast_iterator.default_iterator.expr it e) }
+  in
+  binder_only.expr binder_only lam;
+  it.expr it lam;
+  List.rev !captured
+
+let check_domain_escape ctx args =
+  List.iter
+    (fun (label, arg) ->
+      match (label, arg) with
+      | Asttypes.Nolabel, Some argexp ->
+        List.iter
+          (fun lam ->
+            (* This check fires from the enclosing application, before the
+               walker descends into the closure — so an allow written on the
+               closure itself must be brought into scope here by hand. *)
+            let saved = ctx.scopes in
+            add_allows ctx lam.exp_attributes;
+            let hazards =
+              List.filter_map
+                (fun (name, exp) ->
+                  let env = real_env exp in
+                  match hazard_in_type ~functions:false ctx env exp.exp_type with
+                  | Some what -> Some (name, what)
+                  | None -> None)
+                (closure_captures lam)
+            in
+            let hazards = List.sort_uniq compare hazards in
+            (match hazards with
+            | [] -> ()
+            | _ ->
+              report ctx lam.exp_loc "T-domain-escape"
+                (Printf.sprintf
+                   "closure given to Parallel.Domain_pool captures %s — shared \
+                    mutable state races across worker domains; use Atomic/Mutex, \
+                    allocate it inside the closure, or justify single-domain use"
+                   (String.concat ", "
+                      (List.map (fun (n, w) -> Printf.sprintf "%s : %s" n w) hazards))));
+            ctx.scopes <- saved)
+          (collect_lambdas argexp)
+      | _ -> ())
+    args
+
+(* ---- the walker ---- *)
+
+let check_expr ctx e =
+  match e.exp_desc with
+  | Texp_ident (p, lid, _) -> check_hashtbl_ident ctx (real_env e) lid.loc p
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+    let env = real_env e in
+    check_hashtbl_apply ctx env e p args;
+    check_compare ctx e p args;
+    if is_pool_fn ctx p then check_domain_escape ctx args
+  | _ -> ()
+
+let iterator ctx =
+  let default = Tast_iterator.default_iterator in
+  let expr it e =
+    let saved = ctx.scopes in
+    add_allows ctx e.exp_attributes;
+    check_expr ctx e;
+    default.expr it e;
+    ctx.scopes <- saved
+  in
+  let value_binding it vb =
+    let saved = ctx.scopes in
+    add_allows ctx vb.vb_attributes;
+    default.value_binding it vb;
+    ctx.scopes <- saved
+  in
+  let module_binding it mb =
+    let saved = ctx.scopes in
+    add_allows ctx mb.mb_attributes;
+    note_module_binding ctx mb;
+    default.module_binding it mb;
+    ctx.scopes <- saved
+  in
+  let structure_item it si =
+    match si.str_desc with
+    | Tstr_attribute attr ->
+      (* Floating [@@@lint.allow ...]: applies to the rest of the structure
+         (deliberately never popped within it). *)
+      add_allows ctx [ attr ]
+    | Tstr_eval (_, attrs) ->
+      let saved = ctx.scopes in
+      add_allows ctx attrs;
+      default.structure_item it si;
+      ctx.scopes <- saved
+    | _ -> default.structure_item it si
+  in
+  let module_expr it me =
+    note_functor_param ctx me;
+    default.module_expr it me
+  in
+  { default with expr; value_binding; module_binding; module_expr; structure_item }
+
+(* ---- cmt loading ---- *)
+
+let init_load_path (cmt : Cmt_format.cmt_infos) ~cmt_path =
+  let resolve entry =
+    if Filename.is_relative entry then
+      [ entry; Filename.concat cmt.cmt_builddir entry ]
+    else [ entry ]
+  in
+  let dirs =
+    (Config.standard_library :: Filename.dirname cmt_path
+    :: List.concat_map resolve cmt.cmt_loadpath)
+    |> List.filter Sys.file_exists
+    |> List.sort_uniq String.compare
+  in
+  Load_path.init ~auto_include:Load_path.no_auto_include dirs;
+  Env.reset_cache ();
+  Envaux.reset_cache ()
+
+let read_cmt_opt cmt_path =
+  try Some (Cmt_format.read_cmt cmt_path) with _ -> None
+[@@lint.allow "H-catchall-exn"
+  "read_cmt raises Sys_error/End_of_file/Cmi_format.Error/... — all of them \
+   mean the same thing: this cmt is unusable, report (or skip) and move on"]
+
+let lint_cmt ~file cmt_path =
+  let cmt_error message =
+    ( [ { Lint.file; line = 1; rule = "L-cmt-error"; message } ], [] )
+  in
+  match read_cmt_opt cmt_path with
+  | None ->
+    cmt_error
+      (Printf.sprintf "cannot read %s; rebuild with `dune build @check`" cmt_path)
+  | Some cmt -> begin
+    match cmt.Cmt_format.cmt_annots with
+    | Cmt_format.Implementation str ->
+      init_load_path cmt ~cmt_path;
+      let ctx =
+        {
+          file;
+          scopes = [];
+          allows = [];
+          findings = [];
+          reported = [];
+          hashtbl_mods = Hashtbl.create 8;
+          pool_mods = Hashtbl.create 8;
+        }
+      in
+      let it = iterator ctx in
+      it.structure it str;
+      (List.rev ctx.findings, List.rev ctx.allows)
+    | _ ->
+      cmt_error
+        (Printf.sprintf "%s holds no implementation typedtree" cmt_path)
+  end
+
+(* ---- cmt discovery and pairing ---- *)
+
+let rec collect_cmts path acc =
+  match Sys.is_directory path with
+  | true ->
+    Array.to_list (Sys.readdir path)
+    |> List.sort String.compare
+    |> List.fold_left (fun acc name -> collect_cmts (Filename.concat path name) acc) acc
+  | false -> if Filename.check_suffix path ".cmt" then path :: acc else acc
+  | exception Sys_error _ -> acc
+
+let find_cmts roots = List.sort String.compare (List.concat_map (fun r -> collect_cmts r []) roots)
+
+let split_components path = String.split_on_char '/' path |> List.filter (fun c -> c <> "" && c <> ".")
+
+(* Longest common path-component suffix: "lib/gcs/view.ml" vs the recorded
+   "lib/gcs/view.ml" scores 3; a basename-only coincidence scores 1. *)
+let suffix_score a b =
+  let ra = List.rev (split_components a) and rb = List.rev (split_components b) in
+  let rec go n = function
+    | x :: xs, y :: ys when String.equal x y -> go (n + 1) (xs, ys)
+    | _ -> n
+  in
+  go 0 (ra, rb)
+
+let pair_sources ~sources ~cmts =
+  let recorded =
+    List.filter_map
+      (fun cmt_path ->
+        match read_cmt_opt cmt_path with
+        | Some
+            { Cmt_format.cmt_sourcefile = Some sf;
+              cmt_annots = Cmt_format.Implementation _; _ } ->
+          Some (cmt_path, sf)
+        | _ -> None)
+      cmts
+  in
+  List.filter_map
+    (fun source ->
+      let best =
+        List.fold_left
+          (fun best (cmt_path, sf) ->
+            let score = suffix_score source sf in
+            match best with
+            | Some (best_score, _) when best_score >= score -> best
+            | _ when score >= 1 && Filename.basename sf = Filename.basename source ->
+              Some (score, cmt_path)
+            | _ -> best)
+          None recorded
+      in
+      match best with
+      | Some (_, cmt) -> Some { path = source; cmt }
+      | None -> None)
+    sources

@@ -1,0 +1,50 @@
+(** The typed lint tier: [T-*] rules over the [.cmt] typedtrees dune
+    already produces ([-bin-annot]; compiler-libs only, no new dependency).
+
+    Where the syntactic tier ({!Lint}) matches surface syntax, this walker
+    sees resolved paths and inferred types, closing the blind spots
+    documented in docs/LINTING.md:
+
+    - [T-hashtbl-iter] — unordered [Hashtbl] enumeration through a module
+      alias ([module H = Hashtbl]), a [Hashtbl.Make] functor instance, an
+      eta-expansion ([let it = H.iter]), or any [iter]/[fold]/[to_seq]
+      whose receiver type is a hashtable.
+    - [T-float-eq] — polymorphic [=]/[<>]/[==]/[!=]/[compare] instantiated
+      at [float] anywhere, literal or not.
+    - [T-poly-compare-mutable] — polymorphic comparison at a type
+      containing mutable state (refs, hashtables, arrays, mutable record
+      fields) or functions: history-dependent results, or a runtime raise.
+    - [T-domain-escape] — a closure handed to [Parallel.Domain_pool.map]/
+      [map_array]/[run_all] whose captured environment (free variables,
+      computed from the typedtree) reaches a mutable value that is not
+      [Atomic]/[Mutex]-guarded and not allocated inside the closure.
+
+    Suppressions are the same [[@lint.allow]] attributes the syntactic tier
+    reads — the typedtree carries them at the same locations — and the
+    refinement pairs in {!Lint.covers} mean one annotation silences both
+    tiers. Functor {e parameters} constrained by [Hashtbl.S]/[SeededS] are
+    tracked too. Known remaining blind spots: instances re-exported by other
+    compilation units when their cmi is unavailable, and closures passed by
+    name rather than as a syntactic [fun]. *)
+
+type source = { path : string; cmt : string }
+(** A source file paired with the cmt holding its typedtree. *)
+
+val lint_cmt : file:string -> string -> Lint.finding list * Lint.allow list
+(** [lint_cmt ~file cmt_path] loads [cmt_path] and walks its typedtree;
+    findings are reported against [file] (the path the caller knows the
+    source by — cmt files record build-relative paths). Returns the
+    findings and every suppression walked past, usage-marked, for the
+    [L-unused-allow] sweep. An unreadable or implementation-free cmt yields
+    a single [L-cmt-error] finding. *)
+
+val find_cmts : string list -> string list
+(** [find_cmts roots] is every [.cmt] file under [roots] (descending into
+    dune's dot-directories — [.objs], [.eobjs]), sorted. *)
+
+val pair_sources : sources:string list -> cmts:string list -> source list
+(** [pair_sources ~sources ~cmts] matches each source [.ml] path to the cmt
+    whose recorded source file shares the longest trailing path suffix with
+    it (ties broken deterministically; basenames must agree). Sources with
+    no matching cmt are dropped — the caller decides whether that is an
+    error. *)

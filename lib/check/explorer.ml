@@ -670,7 +670,10 @@ let explore ?(slots = [ ms 2.; ms 30. ]) ?(max_exhaustive_events = 3) ?(max_rand
       let here = !base in
       let failures =
         Parallel.Domain_pool.map
-          (fun k -> (run config storms.(here + k)).failed)
+          ((fun k -> (run config storms.(here + k)).failed)
+          [@lint.allow "T-domain-escape"
+            "read-only sharing: [storms] is fully written before the fan-out \
+             and each worker reads a distinct index"])
           (List.init n Fun.id)
       in
       List.iteri

@@ -13,6 +13,16 @@ struct
     let equal a b = a.origin = b.origin && a.incarnation = b.incarnation && a.seq = b.seq
     let hash = Hashtbl.hash
 
+    (* Total order for deterministic table enumeration: all fields are
+       plain ints, so lexicographic (origin, incarnation, seq). *)
+    let compare a b =
+      match Int.compare a.origin b.origin with
+      | 0 -> (
+        match Int.compare a.incarnation b.incarnation with
+        | 0 -> Int.compare a.seq b.seq
+        | c -> c)
+      | c -> c
+
     let pp ppf u = Format.fprintf ppf "%d.%d.%d" u.origin u.incarnation u.seq
   end
 
@@ -37,6 +47,7 @@ struct
 
   module Log = Replicated_log.Make (LV)
   module Uid_tbl = Hashtbl.Make (Uid)
+  module Det_uid_tbl = Analysis.Det_tbl.Keyed (Uid_tbl)
 
   type Net.Message.payload +=
     | Join_req
@@ -228,7 +239,10 @@ struct
          (* Release anything still held in the delay gate: the snapshot and
             its delivery position must reflect every decided entry. *)
          Delivery_delay.flush t.delivery_delay;
-         let uids = Uid_tbl.fold (fun uid () acc -> uid :: acc) t.delivered_uids [] in
+         (* Sorted so the Join_state payload — and hence the joiner's replayed
+            state and every downstream trace — is a function of the table's
+            contents, not its insertion history. *)
+         let uids = Det_uid_tbl.sorted_keys ~cmp:Uid.compare t.delivered_uids in
          Net.Endpoint.send t.ep ~dst:src
            (Join_state
               {
@@ -323,7 +337,12 @@ struct
            ~pending:(fun () -> (not t.recovering) && Uid_tbl.length t.unstable > 0)
            ~action:(fun () ->
              Obs.Registry.inc t.m_retransmit_ticks;
-             Uid_tbl.iter (fun _ entry -> Log.propose t.log entry) t.unstable)
+             (* Re-proposals hit the simulated network in uid order: the
+                proposal stream must depend on which entries are unstable,
+                never on the order they entered the table. *)
+             Det_uid_tbl.iter ~cmp:Uid.compare
+               (fun _ entry -> Log.propose t.log entry)
+               t.unstable)
            ());
     Log.on_decide log (on_log_decide t);
     Failure_detector.on_change fd (fun () -> propose_view_repairs t);

@@ -4,6 +4,17 @@ module Make (V : Replicated_log.VALUE) = struct
 
     let equal a b = a.origin = b.origin && a.incarnation = b.incarnation && a.seq = b.seq
     let hash = Hashtbl.hash
+
+    (* Total order for deterministic table enumeration: all fields are
+       plain ints, so lexicographic (origin, incarnation, seq). *)
+    let compare a b =
+      match Int.compare a.origin b.origin with
+      | 0 -> (
+        match Int.compare a.incarnation b.incarnation with
+        | 0 -> Int.compare a.seq b.seq
+        | c -> c)
+      | c -> c
+
     let pp ppf u = Format.fprintf ppf "%d.%d.%d" u.origin u.incarnation u.seq
   end
 
@@ -16,6 +27,7 @@ module Make (V : Replicated_log.VALUE) = struct
 
   module Log = Replicated_log.Make (LV)
   module Uid_tbl = Hashtbl.Make (Uid)
+  module Det_uid_tbl = Analysis.Det_tbl.Keyed (Uid_tbl)
 
   type token = int (* the log slot of the delivery *)
 
@@ -143,7 +155,12 @@ module Make (V : Replicated_log.VALUE) = struct
            ~pending:(fun () -> Uid_tbl.length t.unstable > 0)
            ~action:(fun () ->
              Obs.Registry.inc t.m_retransmit_ticks;
-             Uid_tbl.iter (fun _ entry -> Log.propose t.log entry) t.unstable)
+             (* Re-proposals hit the simulated network in uid order: the
+                proposal stream must depend on which entries are unstable,
+                never on the order they entered the table. *)
+             Det_uid_tbl.iter ~cmp:Uid.compare
+               (fun _ entry -> Log.propose t.log entry)
+               t.unstable)
            ());
     Log.on_decide log (on_log_decide t);
     let process = Net.Endpoint.process ep in

@@ -45,7 +45,10 @@ let map_array ?jobs f items =
           if i < n then begin
             (match f items.(i) with
             | v -> results.(i) <- Some v
-            | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+            | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()))
+            [@lint.allow "H-catchall-exn"
+              "worker exceptions are stored per index and re-raised after the \
+               joins, lowest index first; nothing is swallowed"];
             loop ()
           end
         in

@@ -1,0 +1,13 @@
+(* T-domain-escape: the closure handed to the domain pool captures [hits],
+   a ref mutated from every worker domain — a data race. The ref is local,
+   so even P-toplevel-mutable has nothing to say syntactically. *)
+let run items =
+  let hits = ref 0 in
+  let doubled =
+    Parallel.Domain_pool.map
+      (fun x ->
+        incr hits;
+        x * 2)
+      items
+  in
+  (!hits, doubled)

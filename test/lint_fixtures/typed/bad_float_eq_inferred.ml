@@ -1,0 +1,7 @@
+(* T-float-eq with no float literal in sight: both operands' float type is
+   inferred, so the syntactic literal-based rule cannot fire. *)
+let converged prev next = prev = next /. 2.0
+
+let same_point (x1, y1) (x2, y2) =
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  compare dx dy = 0

@@ -1,0 +1,8 @@
+(* T-hashtbl-iter through a module alias: the syntactic tier only matches
+   the literal module name [Hashtbl]. *)
+module H = Hashtbl
+
+let render tbl =
+  let buf = Buffer.create 64 in
+  H.iter (fun k v -> Buffer.add_string buf (Printf.sprintf "%d=%d;" k v)) tbl;
+  Buffer.contents buf

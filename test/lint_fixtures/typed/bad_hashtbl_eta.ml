@@ -1,0 +1,10 @@
+(* T-hashtbl-iter through an eta-alias: the unordered enumerator is bound
+   to a fresh name before use (and reached through a module alias, so the
+   literal path [Hashtbl.iter] never appears for the syntactic tier). The
+   typed tier flags the aliasing ident itself — any later call site is
+   already order-dependent. *)
+module H = Hashtbl
+
+let each = H.iter
+
+let visit f tbl = each (fun k v -> f k v) tbl

@@ -1,0 +1,10 @@
+(* T-hashtbl-iter through a [Hashtbl.Make] functor instance, and through a
+   functor parameter constrained by [Hashtbl.S] — both invisible to a
+   syntactic match on [Hashtbl.iter]. *)
+module Ids = Hashtbl.Make (Int)
+
+let sum tbl = Ids.fold (fun _ v acc -> acc + v) tbl 0
+
+module Over (T : Hashtbl.S) = struct
+  let keys tbl = T.fold (fun k _ acc -> k :: acc) tbl []
+end

@@ -1,0 +1,8 @@
+(* T-poly-compare-mutable: polymorphic comparison at types that contain
+   mutable state or functions. No syntactic rule inspects the operand
+   type, so this entire file is invisible to the syntactic tier. *)
+type node = { id : int; visits : int ref }
+
+let same (a : node) b = a = b
+
+let pick (f : int -> int) g = min f g

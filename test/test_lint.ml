@@ -172,6 +172,151 @@ let test_det_tbl_custom_compare () =
     [ "c"; "b"; "a" ]
     (Analysis.Det_tbl.sorted_keys ~cmp:(fun x y -> compare y x) t)
 
+(* ---- the typed tier (T-rules) ---- *)
+
+let typed_dir = "lint_fixtures/typed"
+
+let typed_lint file =
+  let path = Filename.concat typed_dir file in
+  let cmts = Typed_lint.find_cmts [ typed_dir ] in
+  match Typed_lint.pair_sources ~sources:[ path ] ~cmts with
+  | [ { Typed_lint.path; cmt } ] -> Typed_lint.lint_cmt ~file:path cmt
+  | _ -> Alcotest.failf "no cmt paired for %s (stale build?)" file
+
+let expected_typed_rule = function
+  | "bad_hashtbl_alias.ml" | "bad_hashtbl_functor.ml" | "bad_hashtbl_eta.ml" ->
+    Some "T-hashtbl-iter"
+  | "bad_float_eq_inferred.ml" -> Some "T-float-eq"
+  | "bad_poly_compare.ml" -> Some "T-poly-compare-mutable"
+  | "bad_domain_escape.ml" -> Some "T-domain-escape"
+  | "allow_clean_typed.ml" | "stale_allow.ml" -> None
+  | other -> Alcotest.failf "unexpected typed fixture %s" other
+
+let test_typed_fixture_exactness () =
+  let files =
+    Sys.readdir typed_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ml")
+    |> List.sort String.compare
+  in
+  check_int "typed corpus present" 8 (List.length files);
+  List.iter
+    (fun f ->
+      let found = rules_of (fst (typed_lint f)) in
+      match expected_typed_rule f with
+      | None -> Alcotest.(check (list string)) (f ^ " is clean") [] found
+      | Some rule ->
+        check_bool (f ^ " fires") true (found <> []);
+        List.iter
+          (fun r -> Alcotest.(check string) (f ^ " fires only " ^ rule) rule r)
+          found)
+    files
+
+let test_typed_blind_spot_ablation () =
+  (* The point of the tier: every typed fixture is invisible to the
+     syntactic pass. Outside a library context the syntactic tier must find
+     literally nothing in any of them. *)
+  Sys.readdir typed_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  |> List.iter (fun f ->
+         let path = Filename.concat typed_dir f in
+         Alcotest.(check (list string))
+           (f ^ " is syntactically invisible")
+           []
+           (rules_of (Lint.check_file ~lib:false path)))
+
+let test_unused_allow_sweep () =
+  (* allow_clean_typed.ml: the allow suppressed a real T-finding, so the
+     sweep over both tiers' allows has nothing to report. *)
+  let path = Filename.concat typed_dir "allow_clean_typed.ml" in
+  let t_findings, t_allows = typed_lint "allow_clean_typed.ml" in
+  let _, s_allows = Lint.lint_file ~lib:false path in
+  Alcotest.(check (list string)) "allowed violation is silent" [] (rules_of t_findings);
+  check_int "used allow not reported" 0
+    (List.length (Lint.unused_allows (s_allows @ t_allows)));
+  (* stale_allow.ml: nothing ever fires, so the same sweep must flag the
+     attribute itself. *)
+  let path = Filename.concat typed_dir "stale_allow.ml" in
+  let t_findings, t_allows = typed_lint "stale_allow.ml" in
+  let _, s_allows = Lint.lint_file ~lib:false path in
+  Alcotest.(check (list string)) "nothing fires in stale_allow" [] (rules_of t_findings);
+  let unused = Lint.unused_allows (s_allows @ t_allows) in
+  Alcotest.(check (list string)) "stale allow flagged" [ "L-unused-allow" ]
+    (rules_of unused);
+  check_int "at the attribute's line" 5 (List.hd unused).Lint.line
+
+(* ---- Det_tbl.Keyed: deterministic streams from Hashtbl.Make tables ---- *)
+
+module Quid = struct
+  type t = { origin : int; incarnation : int; seq : int }
+
+  let equal a b = a.origin = b.origin && a.incarnation = b.incarnation && a.seq = b.seq
+  let hash = Hashtbl.hash
+
+  let compare a b =
+    match Int.compare a.origin b.origin with
+    | 0 -> (
+      match Int.compare a.incarnation b.incarnation with
+      | 0 -> Int.compare a.seq b.seq
+      | c -> c)
+    | c -> c
+end
+
+module Quid_tbl = Hashtbl.Make (Quid)
+module Det_quid_tbl = Analysis.Det_tbl.Keyed (Quid_tbl)
+
+(* The retransmit paths in Atomic_broadcast/E2e_broadcast re-propose every
+   unstable entry via Det_tbl.Keyed: the property their determinism rests
+   on is that the proposal stream is a function of the table's contents
+   alone. Two tables built with different insertion orders, capacities and
+   insert-then-remove churn must yield byte-identical streams. *)
+let test_keyed_stream_det =
+  let quid (o, i, s) = { Quid.origin = o; incarnation = i; seq = s } in
+  let entry (u : Quid.t) = Printf.sprintf "%d.%d.%d" u.origin u.incarnation u.seq in
+  let stream tbl =
+    let buf = Buffer.create 128 in
+    Det_quid_tbl.iter ~cmp:Quid.compare
+      (fun _ e ->
+        Buffer.add_string buf e;
+        Buffer.add_char buf ';')
+      tbl;
+    Buffer.contents buf
+  in
+  let uid_gen =
+    QCheck2.Gen.(
+      map quid (triple (int_range 0 4) (int_range 0 3) (int_range 0 30)))
+  in
+  QCheck2.Test.make
+    ~name:"equal-content uid tables yield identical proposal streams" ~count:300
+    QCheck2.Gen.(triple (list uid_gen) (list uid_gen) int)
+    (fun (keep, churn, salt) ->
+      (* [churn] keys that collide with kept ones must stay kept. *)
+      let churn = List.filter (fun u -> not (List.exists (Quid.equal u) keep)) churn in
+      let a = Quid_tbl.create 1 in
+      List.iter (fun u -> Quid_tbl.replace a u (entry u)) keep;
+      let b = Quid_tbl.create 512 in
+      List.iter (fun u -> Quid_tbl.replace b u (entry u)) churn;
+      (* Deterministic shuffle: order by a salted hash. *)
+      let shuffled =
+        List.sort
+          (fun x y -> compare (Hashtbl.hash (salt, x)) (Hashtbl.hash (salt, y)))
+          keep
+      in
+      List.iter (fun u -> Quid_tbl.replace b u (entry u)) shuffled;
+      List.iter (fun u -> Quid_tbl.remove b u) churn;
+      String.equal (stream a) (stream b))
+
+let test_keyed_sorted_keys () =
+  let t = Quid_tbl.create 4 in
+  List.iter
+    (fun (o, i, s) -> Quid_tbl.replace t { Quid.origin = o; incarnation = i; seq = s } ())
+    [ (1, 0, 2); (0, 1, 0); (1, 0, 1); (0, 0, 9) ];
+  Alcotest.(check (list (triple int int int)))
+    "ascending (origin, incarnation, seq)"
+    [ (0, 0, 9); (0, 1, 0); (1, 0, 1); (1, 0, 2) ]
+    (List.map
+       (fun (u : Quid.t) -> (u.origin, u.incarnation, u.seq))
+       (Det_quid_tbl.sorted_keys ~cmp:Quid.compare t))
+
 (* ---- fixture corpus exactness (beyond the golden diff) ---- *)
 
 let expected_fixture_rule file =
@@ -237,6 +382,19 @@ let () =
           Alcotest.test_case "equal tables, equal output" `Quick test_det_tbl_equal_tables;
           Alcotest.test_case "shadowed bindings" `Quick test_det_tbl_shadowed_bindings;
           Alcotest.test_case "custom comparator" `Quick test_det_tbl_custom_compare;
+        ] );
+      ( "det_tbl_keyed",
+        [
+          QCheck_alcotest.to_alcotest test_keyed_stream_det;
+          Alcotest.test_case "sorted_keys in uid order" `Quick test_keyed_sorted_keys;
+        ] );
+      ( "typed tier",
+        [
+          Alcotest.test_case "each fixture fires exactly its T-rule" `Quick
+            test_typed_fixture_exactness;
+          Alcotest.test_case "syntactic pass misses the whole corpus" `Quick
+            test_typed_blind_spot_ablation;
+          Alcotest.test_case "unused-allow sweep" `Quick test_unused_allow_sweep;
         ] );
       ( "fixtures",
         [ Alcotest.test_case "each triggers exactly its rule" `Quick test_fixture_exactness ] );

@@ -162,16 +162,78 @@ let cmds =
       (Cmd.info "fig9"
          ~doc:
            "Response time vs offered load (Figure 9). --batch/--window/--backend select the \
-            broadcast-engine tuning for the Dsm techniques.")
+            broadcast-engine tuning for the Dsm techniques; --shards runs every cell on that \
+            many Table 4 replica groups (key-range sharded, --cross of submissions \
+            2PC-certified across shards).")
       Term.(
         const (fun seed loads measure_s batch window backend replications csv_path trace_out
-                   metrics_out jobs ->
+                   metrics_out shards cross_fraction jobs ->
             apply_jobs jobs;
             Harness.Experiment.fig9 ~seed ~loads ~measure_s
               ~tuning:(tuning_of batch window backend)
-              ~replications ~csv_path ?trace_out ?metrics_out ())
+              ~replications ~csv_path ?trace_out ?metrics_out ~shards ~cross_fraction ())
         $ seed $ loads $ measure $ batch_arg $ window_arg $ backend_arg $ replications $ csv
-        $ trace_out $ metrics_out $ jobs);
+        $ trace_out $ metrics_out
+        $ Arg.(
+            value & opt int 1
+            & info [ "shards" ] ~docv:"N"
+                ~doc:"Key-range shards; each is a full Table 4 replica group.")
+        $ Arg.(
+            value & opt float 0.
+            & info [ "cross" ] ~docv:"FRACTION"
+                ~doc:
+                  "With --shards > 1: fraction of submissions extended with a write on the \
+                   next shard (cross-shard 2PC).")
+        $ jobs);
+    Cmd.v
+      (Cmd.info "shardout"
+         ~doc:
+           "Shard-out study: aggregate committed throughput vs shard count (1..32 key-range \
+            shards, 3 servers each) at a fixed offered load far past one group's ceiling, over \
+            Zipf-skewed keys; shard-local and cross-shard (2PC) sweeps.")
+      Term.(
+        const (fun seed counts load_tps measure_s cross zipf jobs ->
+            apply_jobs jobs;
+            Harness.Experiment.shardout ~seed ~counts ~load_tps ~measure_s ~cross_fraction:cross
+              ~zipf_s:zipf ())
+        $ seed
+        $ Arg.(
+            value
+            & opt (list int) Harness.Experiment.default_shard_counts
+            & info [ "counts" ] ~docv:"N,..." ~doc:"Shard counts to sweep.")
+        $ Arg.(
+            value & opt float 320.
+            & info [ "load" ] ~docv:"TPS" ~doc:"Total offered load, split over the shards.")
+        $ Arg.(
+            value & opt float 10.
+            & info [ "measure" ] ~docv:"SECONDS" ~doc:"Measured simulated seconds per cell.")
+        $ Arg.(
+            value & opt float 0.1
+            & info [ "cross" ] ~docv:"FRACTION"
+                ~doc:"Fraction of submissions crossing shards in the cross sweep.")
+        $ Arg.(
+            value & opt float 1.1
+            & info [ "zipf" ] ~docv:"S" ~doc:"Zipf skew exponent for each shard's key choice.")
+        $ jobs);
+    Cmd.v
+      (Cmd.info "shardstorm"
+         ~doc:
+           "Sharded storm certification: seeded storms of crashes, whole-shard isolations, \
+            cross-group cuts and loss windows on a sharded deployment with cross-shard 2PC \
+            traffic; every run certified per shard (safety, durability, convergence) plus the \
+            global cross-shard loss and atomicity audit. Exits non-zero on a counterexample.")
+      Term.(
+        const (fun seed budget shards jobs ->
+            apply_jobs jobs;
+            if not (Harness.Experiment.shard_storms ~seed ~budget ~shards ()) then
+              Stdlib.exit 1)
+        $ Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Storm seed.")
+        $ Arg.(
+            value & opt int 500 & info [ "budget" ] ~docv:"N" ~doc:"Storms per configuration.")
+        $ Arg.(
+            value & opt int 2
+            & info [ "shards" ] ~docv:"N" ~doc:"Shards (3 servers each) per deployment.")
+        $ jobs);
     Cmd.v
       (Cmd.info "ceiling"
          ~doc:

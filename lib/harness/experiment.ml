@@ -93,6 +93,93 @@ let run_closed_point ?(seed = 1L) ?(params = Workload.Params.table4) ?(warmup_s 
     Workload.Metrics.mean_response_ms m,
     Workload.Metrics.abort_rate m )
 
+(* ---- Sharded load points (docs/SHARDING.md) ---- *)
+
+(* One sharded run, mirroring [run_load_point] per shard: shard [i]'s
+   client RNG splits off its own engine's stream, its generator allocates
+   ids [i, i+shards, ...], and its arrival process carries an equal slice
+   of the offered load. With [shards = 1], no skew and no cross traffic,
+   every draw and every event reproduces the unsharded runner
+   byte-for-byte (same engine seed, legacy item picker, fast path only).
+   [zipf_s > 0] skews each shard's item choice towards the low keys of its
+   range; [cross_fraction] of submissions (decided per submission, drawn
+   only when [shards > 1] so the single-shard stream is untouched) extend
+   the transaction with one write in the next shard's range and so go
+   through cross-shard 2PC certification. *)
+let run_sharded_load_point ?(seed = 1L) ?(params = Workload.Params.table4) ?(warmup_s = 5.)
+    ?(measure_s = 60.) ?tuning ?(shards = 1) ?(cross_fraction = 0.) ?(zipf_s = 0.) ?jobs
+    technique ~load_tps =
+  let cfg =
+    Shard.Sharded_system.config ~seed ?tuning ~fd_config:light_fd ~trace_enabled:false ~shards
+      ~params technique
+  in
+  let t = Shard.Sharded_system.create cfg in
+  let map = Shard.Sharded_system.map t in
+  let sps = params.Workload.Params.servers in
+  let per_server = params.Workload.Params.clients_per_server in
+  let arrivals =
+    List.init shards (fun i ->
+        let engine = Shard.Sharded_system.engine_of t i in
+        let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+        let lo, hi = Shard.Shard_map.range map i in
+        let pick =
+          if zipf_s > 0. then begin
+            let z = Workload.Zipf.create ~items:(hi - lo) ~s:zipf_s in
+            Some (fun r -> lo + Workload.Zipf.sample z r)
+          end
+          else if shards > 1 then Some (fun r -> lo + Sim.Rng.int r (hi - lo))
+          else None (* the unsharded picker, byte-for-byte *)
+        in
+        let generator =
+          Workload.Generator.create ~id_base:i ~id_stride:shards ?pick params
+            (Sim.Rng.split rng)
+        in
+        let submit () =
+          let delegate = Sim.Rng.int rng sps in
+          let client = (delegate * per_server) + Sim.Rng.int rng per_server in
+          let tx = Workload.Generator.next generator ~client in
+          let tx =
+            if shards > 1 && cross_fraction > 0. && Sim.Rng.float rng 1. < cross_fraction
+            then begin
+              let partner = (i + 1) mod shards in
+              let plo, phi = Shard.Shard_map.range map partner in
+              let item = plo + Sim.Rng.int rng (phi - plo) in
+              Db.Transaction.make ~id:tx.Db.Transaction.id ~client
+                (tx.Db.Transaction.ops @ [ Db.Op.Write (item, tx.Db.Transaction.id) ])
+            end
+            else tx
+          in
+          Shard.Sharded_system.submit t ~delegate:((i * sps) + delegate) tx
+        in
+        Workload.Arrival.open_poisson engine ~rng:(Sim.Rng.split rng)
+          ~rate_tps:(load_tps /. float_of_int shards)
+          submit)
+  in
+  let warmup_at = Sim.Sim_time.add (Shard.Sharded_system.now t) (sec warmup_s) in
+  Shard.Sharded_system.set_warmup t warmup_at;
+  Shard.Sharded_system.run_for ?jobs t (sec (warmup_s +. measure_s));
+  List.iter Workload.Arrival.stop arrivals;
+  Shard.Sharded_system.run_for ?jobs t (sec 3.) (* drain in-flight transactions *);
+  let metrics = List.init shards (Shard.Sharded_system.metrics t) in
+  let responses = Sim.Stats.merge "response_ms" (List.map Workload.Metrics.responses metrics) in
+  let commits = List.fold_left (fun a m -> a + Workload.Metrics.commits m) 0 metrics in
+  let aborts = List.fold_left (fun a m -> a + Workload.Metrics.aborts m) 0 metrics in
+  let throughput =
+    List.fold_left (fun a m -> a +. Workload.Metrics.throughput_tps m ~since:warmup_at) 0. metrics
+  in
+  {
+    technique;
+    load_tps;
+    mean_ms = Sim.Stats.mean responses;
+    p95_ms = Sim.Stats.percentile responses 95.;
+    abort_rate =
+      (if commits + aborts = 0 then nan else float_of_int aborts /. float_of_int (commits + aborts));
+    throughput_tps = throughput;
+    completed = Sim.Stats.count responses;
+    registry = Shard.Sharded_system.merged_registry t;
+    trace_events = [];
+  }
+
 (* ---- Figure 9 ---- *)
 
 let default_loads = [ 20.; 22.; 24.; 26.; 28.; 30.; 32.; 34.; 36.; 38.; 40. ]
@@ -126,8 +213,21 @@ let cell_of_runs ~replications runs =
 let replication_seed seed r = Int64.add seed (Int64.of_int (r * 7919))
 
 let fig9 ?(seed = 1L) ?(loads = default_loads) ?measure_s ?tuning ?(replications = 1)
-    ?(csv_path = "fig9.csv") ?trace_out ?metrics_out () =
-  Report.section "Figure 9: response time vs offered load (Table 4 system)";
+    ?(csv_path = "fig9.csv") ?trace_out ?metrics_out ?(shards = 1) ?(cross_fraction = 0.) () =
+  Report.section
+    (if shards = 1 then "Figure 9: response time vs offered load (Table 4 system)"
+     else
+       Printf.sprintf
+         "Figure 9, sharded: response time vs offered load (%d Table 4 groups)" shards);
+  if shards > 1 then begin
+    Report.note
+      (Printf.sprintf
+         "%d shards, one Table 4 replica group each; offered load split evenly; %.0f%% of \
+          submissions cross-shard (2PC-certified)."
+         shards (100. *. cross_fraction));
+    if trace_out <> None then
+      Report.note "trace capture is unsharded-only; ignoring --trace-out."
+  end;
   (match tuning with
   | Some t when t <> Gcs.Bcast_tuning.default ->
     Report.note
@@ -152,7 +252,8 @@ let fig9 ?(seed = 1L) ?(loads = default_loads) ?measure_s ?tuning ?(replications
      byte-identical at any worker count. With [trace_out], the first-load
      replication-0 cell of each technique also records tracer spans —
      chosen by index, so the selection is worker-count independent too. *)
-  let trace_on = trace_out <> None in
+  let trace_on = trace_out <> None && shards = 1 in
+  let trace_out = if shards = 1 then trace_out else None in
   let items =
     List.concat
       (List.mapi
@@ -166,8 +267,14 @@ let fig9 ?(seed = 1L) ?(loads = default_loads) ?measure_s ?tuning ?(replications
     Array.of_list
       (Pool.map
          (fun (li, load_tps, technique, r) ->
-           run_load_point ~seed:(replication_seed seed r) ?measure_s ?tuning
-             ~obs_trace:(trace_on && li = 0 && r = 0) technique ~load_tps)
+           if shards = 1 then
+             run_load_point ~seed:(replication_seed seed r) ?measure_s ?tuning
+               ~obs_trace:(trace_on && li = 0 && r = 0) technique ~load_tps
+           else
+             (* cells already fan out over the pool; each sharded run stays
+                sequential inside its cell (byte-identical either way). *)
+             run_sharded_load_point ~seed:(replication_seed seed r) ?measure_s ?tuning ~shards
+               ~cross_fraction ~jobs:1 technique ~load_tps)
          items)
   in
   let ntech = List.length fig9_techniques in
@@ -1704,6 +1811,97 @@ let storage ?(seed = 42L) ?(budget = 500)
   gs_ok && e2e_ok && twopc_ok && gs_batched_ok && mut_checksum_ok && torn.E.t_ok
   && lie_one.E.f_ok && lie_gs.E.f_ok && lie_e2e.E.f_ok
 
+(* ---- Shard-out study (docs/SHARDING.md) ---- *)
+
+let default_shard_counts = [ 1; 2; 4; 8; 16; 32 ]
+
+(* Aggregate committed throughput vs shard count at a fixed offered load
+   chosen far past one group's saturation: a single 3-server group can
+   serve only its ceiling, while [k] shards split the load [k] ways and
+   serve nearly all of it — the scaling the paper's full-replication
+   techniques cannot reach (every server applies every write). The cross
+   rows tax the fast path with 2PC-certified multi-shard transactions. *)
+let shardout ?(seed = 1L) ?(counts = default_shard_counts) ?(load_tps = 320.)
+    ?(measure_s = 10.) ?(cross_fraction = 0.1) ?(zipf_s = 1.1) () =
+  Report.section "Shard-out: aggregate committed throughput vs shard count";
+  let technique = System.Dsm Dsm_replica.Group_safe_mode in
+  let params = { Workload.Params.table4 with Workload.Params.servers = 3; items = 4096 } in
+  Report.note
+    (Printf.sprintf
+       "group-safe, 3 servers per shard, %.0f tps offered in total, Zipf(%.2f) keys;" load_tps
+       zipf_s);
+  Report.note "local rows: every transaction on its home shard (fast path only);";
+  Report.note
+    (Printf.sprintf "cross rows: %.0f%% of submissions also write the next shard's range (2PC)."
+       (100. *. cross_fraction));
+  let run ~cross shards =
+    run_sharded_load_point ~seed ~params ~warmup_s:2. ~measure_s ~shards
+      ~cross_fraction:(if cross then cross_fraction else 0.)
+      ~zipf_s technique ~load_tps
+  in
+  let cells = List.map (fun c -> (c, run ~cross:false c, run ~cross:true c)) counts in
+  let header =
+    [
+      "shards"; "servers"; "local tput(tps)"; "local mean(ms)"; "cross tput(tps)";
+      "cross mean(ms)"; "cross abort";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (c, local, cross) ->
+        [
+          string_of_int c;
+          string_of_int (c * 3);
+          Report.f1 local.throughput_tps;
+          Report.f1 local.mean_ms;
+          Report.f1 cross.throughput_tps;
+          Report.f1 cross.mean_ms;
+          Report.pct cross.abort_rate;
+        ])
+      cells
+  in
+  Report.table ~header rows;
+  (match (List.assoc_opt 1 (List.map (fun (c, l, _) -> (c, l)) cells),
+          List.assoc_opt 8 (List.map (fun (c, l, _) -> (c, l)) cells))
+   with
+  | Some one, Some eight when one.throughput_tps > 0. ->
+    let ratio = eight.throughput_tps /. one.throughput_tps in
+    Report.note
+      (Printf.sprintf "shard-local scaling, 8 shards vs 1: %.1fx aggregate committed throughput%s"
+         ratio
+         (if ratio >= 4. then " (>= 4x)" else " (< 4x!)"))
+  | _ -> ())
+
+(* ---- Sharded storm certification ---- *)
+
+let shard_storms ?(seed = 42L) ?(budget = 500) ?(shards = 2) () =
+  Report.section "Sharded storms: per-shard oracles + cross-shard 2PC audit";
+  Report.note
+    (Printf.sprintf
+       "%d-shard deployments, 3 servers per shard; every second transaction cross-shard;" shards);
+  Report.note
+    "each storm mixes crashes, whole-shard isolations, cross-group cuts and loss windows;";
+  Report.note
+    "verdict per run: every shard durability-clean and convergent, every committed";
+  Report.note "cross-shard transaction atomic, losses only where the level permits them.";
+  let ok = ref true in
+  List.iter
+    (fun technique ->
+      let cfg = Shard.Shard_check.default_config ~shards ~cross_every:2 technique in
+      let r = Shard.Shard_check.storm ~seed ~budget cfg in
+      Printf.printf "%s:\n%s\n%!" (System.technique_name technique)
+        (Shard.Shard_check.render_result r);
+      if r.Shard.Shard_check.counterexample <> None then ok := false)
+    [ System.Dsm Dsm_replica.Two_safe_mode; System.Two_pc ];
+  Report.table ~header:[ "check"; "verdict" ]
+    [
+      [
+        Printf.sprintf "2-safe + eager 2PC: %d sharded storms each certified clean" budget;
+        (if !ok then "ok" else "FAILED");
+      ];
+    ];
+  !ok
+
 (* Wall clock and simulated events per experiment section: recorded into
    [Report]'s timing registry so the benchmark trajectory (BENCH_*.json)
    gets per-section visibility rather than one end-to-end total. *)
@@ -1740,6 +1938,8 @@ let all ?(seed = 1L) ?(fast = false) () =
   timed "broadcast_ceiling" (fun () ->
       if fast then broadcast_ceiling ~seed ~loads:[ 40.; 640.; 1600. ] ~measure_s:10. ()
       else broadcast_ceiling ~seed ());
+  timed "shardout" (fun () ->
+      if fast then shardout ~seed ~counts:[ 1; 2; 4; 8 ] ~measure_s:5. () else shardout ~seed ());
   if not fast then timed "closed_loop" (fun () -> closed_loop ~seed ());
   timed "section7" (fun () -> section7 ());
   timed "scaleout" (fun () -> scaleout ~seed ());

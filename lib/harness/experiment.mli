@@ -47,6 +47,31 @@ val run_load_point :
     Resource samplers are always attached; [obs_trace] (default [false])
     additionally records tracer spans into [trace_events]. *)
 
+val run_sharded_load_point :
+  ?seed:int64 ->
+  ?params:Workload.Params.t ->
+  ?warmup_s:float ->
+  ?measure_s:float ->
+  ?tuning:Gcs.Bcast_tuning.t ->
+  ?shards:int ->
+  ?cross_fraction:float ->
+  ?zipf_s:float ->
+  ?jobs:int ->
+  Groupsafe.System.technique ->
+  load_tps:float ->
+  load_point
+(** One run on a {!Shard.Sharded_system}: [shards] (default 1) replica
+    groups of [params.servers] each over the global [params.items] key
+    space, the offered load split evenly, shard [i] generating ids
+    [i, i + shards, ...] over its own key range ([zipf_s > 0] skews the
+    choice, Zipf-style). [cross_fraction] of submissions (only drawn when
+    [shards > 1]) extend the transaction with a write on the next shard
+    and go through cross-shard 2PC. With [shards = 1] the run reproduces
+    {!run_load_point} byte-for-byte. The returned point aggregates across
+    shards (responses merged, commits summed); [registry] holds the
+    merged [shard.<i>.*] export and [trace_events] is empty. Results are
+    byte-identical at any [jobs]. *)
+
 val default_loads : float list
 (** The paper's X axis: 20..40 tps in steps of 2. *)
 
@@ -59,6 +84,8 @@ val fig9 :
   ?csv_path:string ->
   ?trace_out:string ->
   ?metrics_out:string ->
+  ?shards:int ->
+  ?cross_fraction:float ->
   unit ->
   unit
 (** Figure 9: response time vs offered load (default 20..40 tps in steps
@@ -70,7 +97,9 @@ val fig9 :
     {!Obs.Export} dump (JSON, or CSV for a [.csv] path); [trace_out]
     records each technique's first-load replication-0 cell and writes a
     Chrome trace-event file. Both are byte-identical at any [--jobs]
-    count. *)
+    count. With [shards > 1] every cell runs {!run_sharded_load_point}
+    on that many Table 4 groups ([cross_fraction] of submissions
+    cross-shard); trace capture is unsharded-only and ignored. *)
 
 val log_ceiling : ?n:int -> ?burst:int -> Gcs.Bcast_tuning.t -> float
 (** The ordering layer's raw throughput ceiling for one engine tuning: an
@@ -274,6 +303,36 @@ val storage :
     [counterexample_path] (default ["storage-counterexample.txt"]) for CI
     artifact upload. [true] iff every check passed; deterministic per
     [seed] (default 42) at any worker count. *)
+
+val default_shard_counts : int list
+(** The shard-out X axis: 1..32 shards in powers of two. *)
+
+val shardout :
+  ?seed:int64 ->
+  ?counts:int list ->
+  ?load_tps:float ->
+  ?measure_s:float ->
+  ?cross_fraction:float ->
+  ?zipf_s:float ->
+  unit ->
+  unit
+(** The shard-out study (docs/SHARDING.md): aggregate committed
+    throughput vs shard count for group-safe replication, 3 servers per
+    shard, at a fixed offered load (default 320 tps — far past one
+    group's ceiling) over Zipf-skewed keys. Reports a shard-local sweep
+    (fast path only) and a cross-shard sweep ([cross_fraction] of
+    submissions 2PC-certified), plus the 8-shards-vs-1 scaling ratio. *)
+
+val shard_storms : ?seed:int64 -> ?budget:int -> ?shards:int -> unit -> bool
+(** The sharded-storm acceptance run ({!Shard.Shard_check}): [budget]
+    (default 500) seeded storms per configuration on [shards] (default 2)
+    replica groups with every second transaction cross-shard, mixing
+    crashes, whole-shard isolations, cross-group cuts and loss windows;
+    every run must leave each shard durability-clean and convergent,
+    every committed cross-shard transaction atomic, and losses only where
+    the shard's level permits them. Certifies the end-to-end (2-safe) and
+    eager-2PC configurations; [true] iff no counterexample was found.
+    Deterministic per [seed] (default 42). *)
 
 val all : ?seed:int64 -> ?fast:bool -> unit -> unit
 (** Run everything in paper order. [fast] (default false) shrinks the

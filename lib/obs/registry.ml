@@ -90,6 +90,16 @@ let merge_into ~into src =
       | Hist h -> Histogram.merge_into ~into:(histogram into name) h)
     src.metrics
 
+let merge_prefixed ~into ~prefix src =
+  Analysis.Det_tbl.iter
+    (fun name m ->
+      let name = prefix ^ name in
+      match m with
+      | Counter r -> add (counter into name) !r
+      | Gauge_max r -> observe_max (gauge_max into name) !r
+      | Hist h -> Histogram.merge_into ~into:(histogram into name) h)
+    src.metrics
+
 let merge a b =
   let t = create () in
   merge_into ~into:t a;

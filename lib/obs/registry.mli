@@ -46,5 +46,12 @@ val bindings : t -> (string * view) list
     @raise Invalid_argument on a metric-kind mismatch between the two. *)
 val merge_into : into:t -> t -> unit
 
+(** [merge_prefixed ~into ~prefix src] is {!merge_into} with every metric
+    of [src] landing under [prefix ^ name] in [into] — how per-shard
+    registries fold into one dump as [shard.<i>.*] without colliding.
+    Names are walked in sorted order, so the result is deterministic.
+    @raise Invalid_argument on a metric-kind mismatch. *)
+val merge_prefixed : into:t -> prefix:string -> t -> unit
+
 (** Fresh registry holding the fold of both arguments. *)
 val merge : t -> t -> t

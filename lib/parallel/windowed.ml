@@ -1,0 +1,122 @@
+(* Conservative time-windowed parallel execution.
+
+   [run] advances [tasks] independent steppers through [windows]
+   synchronised rounds: within a round every task steps once (tasks are
+   statically partitioned over the worker domains, each task owned by
+   exactly one worker for the whole run), then all workers meet at a
+   barrier and the caller's [exchange] runs alone on the coordinating
+   domain. Because a task only ever runs on one domain and the exchange
+   only ever runs between barriers, the observable behaviour — every
+   mutation each stepper performs, in order — is identical to the
+   sequential [jobs = 1] execution, at any worker count.
+
+   The barrier is a spin barrier (Atomic counters + [Domain.cpu_relax]):
+   windows are short and workers re-enter the barrier thousands of times
+   per run, so parking threads would cost more than it saves. *)
+
+let sequential ~tasks ~windows ~step ~exchange =
+  for w = 0 to windows - 1 do
+    for task = 0 to tasks - 1 do
+      step ~task ~window:w
+    done;
+    exchange ~window:w
+  done
+
+let run ?jobs ~tasks ~windows ~step ~exchange () =
+  if tasks < 0 then invalid_arg "Windowed.run: negative task count";
+  if windows < 0 then invalid_arg "Windowed.run: negative window count";
+  let jobs =
+    match jobs with
+    | Some j -> if j < 1 then invalid_arg "Windowed.run: need at least one worker" else j
+    | None -> Domain_pool.default_jobs ()
+  in
+  (* Never spin more workers than the machine has cores: a worker beyond
+     [recommended_domain_count] can only time-slice against the others,
+     and a spin barrier crossed thousands of times per run turns that
+     oversubscription into minutes of wasted quanta. The observable
+     behaviour is identical at any worker count, so clamping is free. *)
+  let workers = Stdlib.min (Stdlib.min jobs tasks) (Domain.recommended_domain_count ()) in
+  if tasks = 0 || windows = 0 then ()
+  else if workers <= 1 then sequential ~tasks ~windows ~step ~exchange
+  else begin
+    (* [phase = w + 1] opens window [w] to the workers; [arrived] counts
+       workers that finished it. The coordinator resets [arrived] before
+       opening the next window, and no worker can pass its wait (and
+       increment again) until the next window opens, so the counter is
+       race-free. [aborted] releases the spin loops if the exchange
+       raises, so a coordinator failure cannot deadlock the workers. *)
+    let phase = Atomic.make 0 in
+    let arrived = Atomic.make 0 in
+    let aborted = Atomic.make false in
+    (* Per-task failure slots: a failed task skips its remaining windows
+       (continuing a stepper whose state is mid-exception would be
+       meaningless) while its worker keeps honouring the barrier so the
+       other tasks finish deterministically. *)
+    let failures = Array.make tasks None in
+    let worker k () =
+      let w = ref 0 in
+      let live = ref true in
+      while !live && !w < windows do
+        while Atomic.get phase < !w + 1 && not (Atomic.get aborted) do
+          Domain.cpu_relax ()
+        done;
+        if Atomic.get aborted then live := false
+        else begin
+          let task = ref k in
+          while !task < tasks do
+            (if failures.(!task) = None then
+               match step ~task:!task ~window:!w with
+               | () -> ()
+               | exception e ->
+                 failures.(!task) <- Some (e, Printexc.get_raw_backtrace ()))
+             [@lint.allow "H-catchall-exn"
+               "stored per task and re-raised after the join, lowest task \
+                first; nothing is swallowed"];
+            task := !task + workers
+          done;
+          incr w;
+          Atomic.incr arrived
+        end
+      done
+    in
+    let spawned = List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+    let finish_workers () = List.iter Domain.join spawned in
+    let exchange_error = ref None in
+    (try
+       for w = 0 to windows - 1 do
+         Atomic.set arrived 0;
+         Atomic.set phase (w + 1);
+         (* The coordinator is also worker 0. *)
+         let task = ref 0 in
+         while !task < tasks do
+           (if failures.(!task) = None then
+              match step ~task:!task ~window:w with
+              | () -> ()
+              | exception e ->
+                failures.(!task) <- Some (e, Printexc.get_raw_backtrace ()))
+            [@lint.allow "H-catchall-exn"
+              "stored per task and re-raised after the join, lowest task \
+               first; nothing is swallowed"];
+           task := !task + workers
+         done;
+         while Atomic.get arrived < workers - 1 do
+           Domain.cpu_relax ()
+         done;
+         exchange ~window:w
+       done
+     with e ->
+       exchange_error := Some (e, Printexc.get_raw_backtrace ());
+       Atomic.set aborted true)
+    [@lint.allow "H-catchall-exn"
+      "exchange failures are re-raised after the worker join; catching \
+       here only prevents a deadlocked barrier"];
+    finish_workers ();
+    (* Surface the lowest-task failure first (deterministic at any worker
+       count), then any exchange failure. *)
+    Array.iter
+      (function Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      failures;
+    match !exchange_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end

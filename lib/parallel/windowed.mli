@@ -1,0 +1,35 @@
+(** Conservative time-windowed parallel execution over OCaml domains.
+
+    The execution model behind the domain-per-shard simulation kernel
+    (docs/SHARDING.md): [tasks] independent steppers advance through
+    [windows] synchronised rounds. Within a round, [step ~task ~window]
+    runs once per task — tasks are statically partitioned over the worker
+    domains ([task mod workers] owns it), so each task's state is only
+    ever touched by one domain. Between rounds every worker meets a
+    barrier and [exchange ~window] runs alone on the calling domain: the
+    only place where cross-task state may be moved.
+
+    Determinism contract: provided each task's [step] touches only that
+    task's state (plus anything [exchange] hands it between rounds), the
+    run is byte-identical to the sequential [jobs = 1] execution at any
+    worker count — the window grid, the step order within a task, and the
+    exchange points do not depend on [jobs].
+
+    A [step] failure marks its task failed (skipping that task's
+    remaining windows) without disturbing the others; after all windows
+    the lowest failed task's exception is re-raised. An [exchange]
+    failure aborts the run and is re-raised after the worker join. *)
+
+val run :
+  ?jobs:int ->
+  tasks:int ->
+  windows:int ->
+  step:(task:int -> window:int -> unit) ->
+  exchange:(window:int -> unit) ->
+  unit ->
+  unit
+(** [run ~tasks ~windows ~step ~exchange ()] executes the rounds. [jobs]
+    defaults to {!Domain_pool.default_jobs}; with [jobs = 1] (or a single
+    task) everything runs sequentially on the calling domain — same
+    observable behaviour, no domains spawned.
+    @raise Invalid_argument on negative counts or [jobs < 1]. *)

@@ -1,0 +1,40 @@
+(* Contiguous key-range sharding.
+
+   The key space [0, items) is cut into [shards] contiguous ranges, as
+   even as possible: the first [items mod shards] ranges hold one extra
+   key. [cuts] stores the boundaries — range s is [cuts.(s), cuts.(s+1)) —
+   and routing is closed-form (no table walk), so a lookup costs O(1) and
+   the map is a pure function of (items, shards). *)
+
+type t = { items : int; shards : int; cuts : int array }
+
+let create ~items ~shards =
+  if items <= 0 then invalid_arg "Shard_map.create: need at least one item";
+  if shards <= 0 then invalid_arg "Shard_map.create: need at least one shard";
+  if shards > items then invalid_arg "Shard_map.create: more shards than items";
+  let base = items / shards and rem = items mod shards in
+  let cuts = Array.make (shards + 1) 0 in
+  for s = 1 to shards do
+    cuts.(s) <- (s * base) + Stdlib.min s rem
+  done;
+  { items; shards; cuts }
+
+let items t = t.items
+let shards t = t.shards
+
+let shard_of_key t k =
+  if k < 0 || k >= t.items then invalid_arg "Shard_map.shard_of_key: key out of range";
+  let base = t.items / t.shards and rem = t.items mod t.shards in
+  let wide = rem * (base + 1) in
+  if k < wide then k / (base + 1) else rem + ((k - wide) / base)
+
+let range t s =
+  if s < 0 || s >= t.shards then invalid_arg "Shard_map.range: shard out of range";
+  (t.cuts.(s), t.cuts.(s + 1))
+
+let shards_of_tx t tx =
+  List.sort_uniq Int.compare
+    (List.map (shard_of_key t)
+       (Db.Transaction.read_set tx @ Db.Transaction.write_set tx))
+
+let single_shard t tx = match shards_of_tx t tx with [ s ] -> Some s | _ -> None

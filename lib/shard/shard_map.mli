@@ -1,0 +1,33 @@
+(** Contiguous key-range sharding (docs/SHARDING.md).
+
+    Deterministic routing from keys to shards: the key space [0, items) is
+    cut into [shards] contiguous ranges, as even as possible (the first
+    [items mod shards] ranges hold one key more). The map is a pure
+    function of [(items, shards)] — no state, no randomness — so every
+    replica, the workload generator and the checker all route a key to the
+    same shard by construction. *)
+
+type t
+
+val create : items:int -> shards:int -> t
+(** @raise Invalid_argument unless [0 < shards <= items]. *)
+
+val items : t -> int
+val shards : t -> int
+
+val shard_of_key : t -> int -> int
+(** The shard owning the key; O(1), closed-form.
+    @raise Invalid_argument if the key is outside [0, items). *)
+
+val range : t -> int -> int * int
+(** [range t s] is shard [s]'s key range as [(lo, hi)] — [lo] inclusive,
+    [hi] exclusive. Ranges are contiguous, disjoint and cover [0, items).
+    @raise Invalid_argument if [s] is outside [0, shards). *)
+
+val shards_of_tx : t -> Db.Transaction.t -> int list
+(** The shards a transaction touches (read set union write set), ascending
+    and without duplicates — the 2PC participant list. *)
+
+val single_shard : t -> Db.Transaction.t -> int option
+(** [Some s] when the whole transaction lives on shard [s] — the fast-path
+    test. *)

@@ -1,17 +1,34 @@
-type t = { params : Params.t; rng : Sim.Rng.t; mutable counter : int }
+type t = {
+  params : Params.t;
+  rng : Sim.Rng.t;
+  id_base : int;
+  id_stride : int;
+  pick : (Sim.Rng.t -> int) option;
+  mutable counter : int;
+}
 
-let create params rng = { params; rng; counter = 0 }
+let create ?(id_base = 0) ?(id_stride = 1) ?pick params rng =
+  if id_stride < 1 then invalid_arg "Generator.create: stride must be positive";
+  if id_base < 0 then invalid_arg "Generator.create: negative id base";
+  { params; rng; id_base; id_stride; pick; counter = 0 }
 
 let pick_item g =
-  let p = g.params in
-  if p.Params.hot_items > 0 && Sim.Rng.bool g.rng p.Params.hot_fraction then
-    Sim.Rng.int g.rng (min p.Params.hot_items p.Params.items)
-  else Sim.Rng.int g.rng p.Params.items
+  match g.pick with
+  | Some f -> f g.rng
+  | None ->
+    let p = g.params in
+    if p.Params.hot_items > 0 && Sim.Rng.bool g.rng p.Params.hot_fraction then
+      Sim.Rng.int g.rng (min p.Params.hot_items p.Params.items)
+    else Sim.Rng.int g.rng p.Params.items
+
+let alloc_id g =
+  let id = g.id_base + (g.counter * g.id_stride) in
+  g.counter <- g.counter + 1;
+  id
 
 let next g ~client =
   let p = g.params in
-  let id = g.counter in
-  g.counter <- g.counter + 1;
+  let id = alloc_id g in
   let length = Sim.Rng.uniform_int g.rng p.Params.tx_length_min p.Params.tx_length_max in
   let op _ =
     let item = pick_item g in
@@ -23,5 +40,5 @@ let next g ~client =
      lengths are >= 1 by construction of the parameters. *)
   Db.Transaction.make ~id ~client ops
 
-let next_id g = g.counter
+let next_id g = g.id_base + (g.counter * g.id_stride)
 let generated g = g.counter

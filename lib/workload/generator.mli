@@ -8,15 +8,21 @@
 
 type t
 
-val create : Params.t -> Sim.Rng.t -> t
+val create : ?id_base:int -> ?id_stride:int -> ?pick:(Sim.Rng.t -> int) -> Params.t -> Sim.Rng.t -> t
 (** [create params rng] draws from [rng]; transaction ids are assigned
-    sequentially from 0 and are unique per generator. *)
+    sequentially from [id_base] in steps of [id_stride] (defaults 0 and 1
+    — dense ids from 0, the historical behaviour, byte-for-byte). Sharded
+    workloads give shard [i] of [n] the pair [(i, n)] so ids stay globally
+    unique without coordination. [pick] overrides the item distribution
+    (e.g. a {!Zipf} sampler restricted to one shard's key range); it is
+    handed the generator's own RNG and must consume draws from it only.
+    @raise Invalid_argument if [id_stride < 1] or [id_base < 0]. *)
 
 val next : t -> client:int -> Db.Transaction.t
 (** The next transaction, issued by [client]. *)
 
 val next_id : t -> int
-(** The id {!next} will assign (ids are dense from 0). *)
+(** The id {!next} will assign. *)
 
 val generated : t -> int
 (** Transactions generated so far. *)

@@ -1,0 +1,46 @@
+(* Zipf(s) key sampler over [0, items).
+
+   P(k) is proportional to 1 / (k+1)^s: key 0 is the hottest, and the
+   skew grows with s (s = 0 is uniform). Sampling inverts the cumulative
+   distribution with a binary search over a precomputed table — one array
+   lookup path, no hash tables, so the stream is a pure function of the
+   RNG stream and the parameters (no insertion-order leakage), and two
+   samplers built with the same parameters draw identical streams from
+   identical RNGs. *)
+
+type t = { items : int; s : float; cum : float array }
+
+let create ~items ~s =
+  if items <= 0 then invalid_arg "Zipf.create: need at least one item";
+  if s < 0. then invalid_arg "Zipf.create: negative exponent";
+  let cum = Array.make items 0. in
+  let total = ref 0. in
+  for k = 0 to items - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (k + 1)) s);
+    cum.(k) <- !total
+  done;
+  (* Normalise so the last entry is exactly 1.0: [Rng.float rng 1.0] is
+     in [0, 1), so the search always lands. *)
+  let norm = !total in
+  for k = 0 to items - 1 do
+    cum.(k) <- cum.(k) /. norm
+  done;
+  cum.(items - 1) <- 1.0;
+  { items; s; cum }
+
+let items t = t.items
+let s t = t.s
+
+let probability t k =
+  if k < 0 || k >= t.items then invalid_arg "Zipf.probability: key out of range";
+  if k = 0 then t.cum.(0) else t.cum.(k) -. t.cum.(k - 1)
+
+let sample t rng =
+  let u = Sim.Rng.float rng 1.0 in
+  (* Smallest k with cum.(k) > u. *)
+  let lo = ref 0 and hi = ref (t.items - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -1,0 +1,27 @@
+(** Zipf-skewed key sampler.
+
+    [Zipf(s)] over [0, items): the probability of key [k] is proportional
+    to [1 / (k+1)^s], so key 0 is the hottest and [s = 0] degenerates to
+    uniform. The sampler inverts a precomputed cumulative table (arrays
+    only — no hash tables, so the stream cannot depend on insertion
+    history) and is deterministic: the same parameters and the same RNG
+    stream always yield the same key stream. Used by the sharded keyed
+    workload (docs/SHARDING.md), with one sampler per shard over that
+    shard's key range. *)
+
+type t
+
+val create : items:int -> s:float -> t
+(** [create ~items ~s] precomputes the cumulative distribution — O(items)
+    time and space.
+    @raise Invalid_argument if [items <= 0] or [s < 0]. *)
+
+val items : t -> int
+val s : t -> float
+
+val probability : t -> int -> float
+(** The exact probability mass of key [k] — what frequency tests compare
+    empirical counts against. @raise Invalid_argument out of range. *)
+
+val sample : t -> Sim.Rng.t -> int
+(** Draw one key (one [Rng.float] consumed per draw). *)

@@ -1,0 +1,29 @@
+(* Renders the merged shard-order observability export of a fixed corpus
+   replay (isolate-shard.sched: 2 shards of 3 under 2-safe, shard 1
+   isolated mid-run then healed) for the golden-file test. The export pins
+   the shard.<i>.* namespace layout and every cross-shard protocol counter
+   byte for byte — a replayed counterexample must keep emitting exactly
+   what the direct run emitted (promote with `dune promote` after a
+   reviewed instrumentation change). *)
+
+let () =
+  let module SC = Shard.Shard_check in
+  let cfg =
+    SC.default_config ~shards:2 ~cross_every:2
+      (Groupsafe.System.Dsm Groupsafe.Dsm_replica.Two_safe_mode)
+  in
+  let text =
+    let ic = open_in_bin "shard_corpus/isolate-shard.sched" in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let sched =
+    match Check.Schedule.parse text with
+    | Ok s -> s
+    | Error e -> failwith ("gen_shard_golden: bad corpus schedule: " ^ e)
+  in
+  let o = SC.run cfg sched in
+  print_string
+    (Obs.Export.to_json [ { Obs.Export.name = "shard-replay"; registry = o.SC.registry } ])

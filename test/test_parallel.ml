@@ -185,6 +185,59 @@ let test_explorer_storms_identical_across_jobs () =
   Alcotest.(check string) "group-safe verdict byte-identical" gs_1 gs_4;
   Alcotest.(check string) "2-safe verdict byte-identical" ts_1 ts_4
 
+(* ---- Sharded determinism ---- *)
+
+(* The sharded runner parallelises ACROSS shard domains inside one run
+   (windowed exchange), not across sweep cells — [jobs] is threaded to
+   [Sharded_system.run_for]. Three shards deliberately do not divide two
+   or four workers, and four is [#shards + 1]; the windowed barrier must
+   make all of them byte-identical. *)
+let sharded_point jobs =
+  let p =
+    Harness.Experiment.run_sharded_load_point ~seed:17L ~warmup_s:1. ~measure_s:2. ~shards:3
+      ~cross_fraction:0.3 ~zipf_s:1.1 ~jobs
+      (Groupsafe.System.Dsm Groupsafe.Dsm_replica.Group_safe_mode)
+      ~load_tps:60.
+  in
+  let summary =
+    Printf.sprintf "completed=%d mean=%h p95=%h abort=%h tput=%h" p.Harness.Experiment.completed
+      p.Harness.Experiment.mean_ms p.Harness.Experiment.p95_ms p.Harness.Experiment.abort_rate
+      p.Harness.Experiment.throughput_tps
+  in
+  ( summary,
+    Obs.Export.to_json
+      [ { Obs.Export.name = "sharded"; registry = p.Harness.Experiment.registry } ] )
+
+let test_sharded_identical_across_jobs () =
+  let s1, r1 = sharded_point 1 in
+  let s2, r2 = sharded_point 2 in
+  let s4, r4 = sharded_point 4 in
+  check_bool "sharded registry non-trivial" true (String.length r1 > 100);
+  check_bool "sharded run did work" true (String.length s1 > 10);
+  Alcotest.(check string) "metrics identical, jobs 1 vs 2 (3 shards)" s1 s2;
+  Alcotest.(check string) "metrics identical, jobs 1 vs 4 (shards+1)" s1 s4;
+  Alcotest.(check string) "registry identical, jobs 1 vs 2 (3 shards)" r1 r2;
+  Alcotest.(check string) "registry identical, jobs 1 vs 4 (shards+1)" r1 r4
+
+(* Shard storms drive whole Shard_check runs (windowed engines, oracles,
+   shrinking) on top of the pool default; the rendered verdict must not
+   depend on the worker count. *)
+let shard_storm_verdict jobs =
+  Pool.set_default_jobs jobs;
+  let module SC = Shard.Shard_check in
+  let cfg =
+    SC.default_config ~shards:2 ~cross_every:2
+      (Groupsafe.System.Dsm Groupsafe.Dsm_replica.Two_safe_mode)
+  in
+  SC.render_result (SC.storm ~seed:42L ~budget:6 cfg)
+
+let test_shard_storms_identical_across_jobs () =
+  let v1 = shard_storm_verdict 1 in
+  let v4 = shard_storm_verdict 4 in
+  Pool.set_default_jobs 1;
+  check_bool "storm verdict non-trivial" true (String.length v1 > 50);
+  Alcotest.(check string) "shard storm verdict byte-identical" v1 v4
+
 let () =
   Alcotest.run "parallel"
     [
@@ -207,5 +260,8 @@ let () =
             test_ceiling_identical_across_jobs;
           Alcotest.test_case "nemesis storms across jobs" `Quick
             test_explorer_storms_identical_across_jobs;
+          Alcotest.test_case "sharded run across jobs" `Quick test_sharded_identical_across_jobs;
+          Alcotest.test_case "shard storms across jobs" `Quick
+            test_shard_storms_identical_across_jobs;
         ] );
     ]
